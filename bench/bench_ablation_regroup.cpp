@@ -1,0 +1,29 @@
+// Ablation (DESIGN.md #1): regrouping size limit sweep.
+// Too small -> no QOC advantage (pulses serialize); larger -> shorter latency
+// at exponentially growing GRAPE cost. This bench quantifies that trade-off.
+#include "bench_circuits/generators.h"
+#include "epoc/pipeline.h"
+
+#include <cstdio>
+
+int main() {
+    using namespace epoc;
+    std::printf("Ablation: regroup max_qubits sweep (latency vs QOC compile cost)\n\n");
+    const auto circuits = {bench::table1_suite()[0], bench::table1_suite()[4]};
+    for (const auto& [name, c] : circuits) {
+        std::printf("%s (%d qubits, %zu gates):\n", name.c_str(), c.num_qubits(), c.size());
+        std::printf("  %-6s %12s %10s %8s %12s\n", "limit", "latency[ns]", "fidelity",
+                    "pulses", "qoc[ms]");
+        for (int limit = 1; limit <= 4; ++limit) {
+            core::EpocOptions opt;
+            opt.regroup_opt.max_qubits = limit;
+            opt.latency.fidelity_threshold = 0.993;
+            core::EpocCompiler compiler(opt);
+            const core::EpocResult r = compiler.compile(c);
+            std::printf("  %-6d %12.1f %10.4f %8zu %12.0f\n", limit, r.latency_ns, r.esp,
+                        r.num_pulses, r.qoc_ms);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

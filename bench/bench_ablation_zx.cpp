@@ -1,0 +1,37 @@
+// Ablation (DESIGN.md #4): contribution isolation -- how much of EPOC's
+// latency win comes from the ZX stage vs synthesis vs regrouping.
+#include "bench_circuits/generators.h"
+#include "epoc/pipeline.h"
+
+#include <cstdio>
+
+int main() {
+    using namespace epoc;
+    std::printf("Ablation: stage contribution (latency in ns)\n\n");
+    std::printf("%-10s %10s %10s %10s %10s\n", "circuit", "full", "-zx", "-synth",
+                "-regroup");
+
+    const auto make = [](bool zx, bool synth, bool regroup) {
+        core::EpocOptions opt;
+        opt.use_zx = zx;
+        opt.use_synthesis = synth;
+        opt.regroup_enabled = regroup;
+        opt.latency.fidelity_threshold = 0.993;
+        return core::EpocCompiler(opt);
+    };
+
+    for (const auto& [name, c] : bench::table1_suite()) {
+        if (c.num_qubits() > 6) continue; // keep the sweep cheap
+        std::fprintf(stderr, "  %s...\n", name.c_str());
+        core::EpocCompiler full = make(true, true, true);
+        core::EpocCompiler no_zx = make(false, true, true);
+        core::EpocCompiler no_synth = make(true, false, true);
+        core::EpocCompiler no_regroup = make(true, true, false);
+        std::printf("%-10s %10.1f %10.1f %10.1f %10.1f\n", name.c_str(),
+                    full.compile(c).latency_ns, no_zx.compile(c).latency_ns,
+                    no_synth.compile(c).latency_ns, no_regroup.compile(c).latency_ns);
+    }
+    std::printf("\n(each column disables one stage; larger numbers = that stage was "
+                "contributing)\n");
+    return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 9: compilation time with and without grouping.
+// Paper: grouping introduces minimal overhead (average +7.11%).
+#include "suite_common.h"
+
+int main() {
+    using namespace epoc::benchharness;
+    std::printf("Figure 9: compilation time with vs without grouping (17 benchmarks)\n");
+    const std::vector<SuiteRow> rows = run_grouping_suite();
+    std::printf("%-10s %14s %14s %10s\n", "circuit", "grouped[ms]", "no-group[ms]",
+                "overhead");
+    double total_g = 0.0, total_n = 0.0;
+    for (const SuiteRow& r : rows) {
+        const double over =
+            100.0 * (r.grouped.compile_ms - r.ungrouped.compile_ms) / r.ungrouped.compile_ms;
+        total_g += r.grouped.compile_ms;
+        total_n += r.ungrouped.compile_ms;
+        std::printf("%-10s %14.0f %14.0f %9.1f%%\n", r.name.c_str(), r.grouped.compile_ms,
+                    r.ungrouped.compile_ms, over);
+    }
+    std::printf("\ntotal compile time: grouped %.1fs vs ungrouped %.1fs -> %+.2f%% "
+                "(paper: +7.11%%)\n",
+                total_g / 1000.0, total_n / 1000.0, 100.0 * (total_g - total_n) / total_n);
+    return 0;
+}

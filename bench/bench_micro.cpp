@@ -1,0 +1,97 @@
+// Micro-benchmarks (Google Benchmark) for the kernels the pipeline spends its
+// time in: matrix multiply, matrix exponential, ZX reduction + extraction,
+// synthesis instantiation, and one GRAPE iteration budget.
+#include "bench_circuits/random_circuits.h"
+#include "circuit/unitary.h"
+#include "linalg/expm.h"
+#include "linalg/random_unitary.h"
+#include "qoc/grape.h"
+#include "synthesis/instantiate.h"
+#include "zx/circuit_to_zx.h"
+#include "zx/extract.h"
+#include "zx/simplify.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace epoc;
+
+void BM_MatrixMultiply(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = linalg::random_unitary(n, std::uint64_t{1});
+    const auto b = linalg::random_unitary(n, std::uint64_t{2});
+    for (auto _ : state) benchmark::DoNotOptimize(a * b);
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Expm(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto h = qoc::make_block_hamiltonian(static_cast<int>(n));
+    linalg::Matrix m = h.drift;
+    for (const auto& c : h.controls) m += c.h;
+    for (auto _ : state) benchmark::DoNotOptimize(linalg::exp_i(m, 2.0));
+}
+BENCHMARK(BM_Expm)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_CircuitUnitary(benchmark::State& state) {
+    bench::RandomCircuitSpec spec;
+    spec.num_qubits = static_cast<int>(state.range(0));
+    spec.num_gates = 60;
+    const auto c = bench::random_circuit(spec);
+    for (auto _ : state) benchmark::DoNotOptimize(circuit::circuit_unitary(c));
+}
+BENCHMARK(BM_CircuitUnitary)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_ZxFullReduce(benchmark::State& state) {
+    bench::RandomCircuitSpec spec;
+    spec.num_qubits = static_cast<int>(state.range(0));
+    spec.num_gates = 80;
+    spec.non_clifford_fraction = 0.15;
+    const auto c = bench::random_circuit(spec);
+    for (auto _ : state) {
+        zx::ZxGraph g = zx::circuit_to_zx(c);
+        zx::full_reduce(g);
+        benchmark::DoNotOptimize(g.num_vertices());
+    }
+}
+BENCHMARK(BM_ZxFullReduce)->Arg(4)->Arg(8);
+
+void BM_ZxExtract(benchmark::State& state) {
+    bench::RandomCircuitSpec spec;
+    spec.num_qubits = static_cast<int>(state.range(0));
+    spec.num_gates = 80;
+    spec.non_clifford_fraction = 0.15;
+    const auto c = bench::random_circuit(spec);
+    zx::ZxGraph reduced = zx::circuit_to_zx(c);
+    zx::full_reduce(reduced);
+    for (auto _ : state) {
+        zx::ZxGraph g = reduced;
+        benchmark::DoNotOptimize(zx::extract_circuit(std::move(g)).size());
+    }
+}
+BENCHMARK(BM_ZxExtract)->Arg(4)->Arg(8);
+
+void BM_Instantiate2Q(benchmark::State& state) {
+    const auto target = linalg::random_unitary(4, std::uint64_t{7});
+    const auto s = synthesis::SynthStructure::seed(2).expanded(0, 1).expanded(1, 0)
+                       .expanded(0, 1);
+    synthesis::InstantiateOptions opt;
+    opt.restarts = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(synthesis::instantiate(s, target, opt).distance);
+}
+BENCHMARK(BM_Instantiate2Q);
+
+void BM_GrapeIterations(benchmark::State& state) {
+    const auto h = qoc::make_block_hamiltonian(2);
+    const auto target = circuit::kind_matrix(circuit::GateKind::CX, {});
+    qoc::GrapeOptions opt;
+    opt.max_iterations = static_cast<int>(state.range(0));
+    opt.target_fidelity = 1.1; // never met: measure the full budget
+    for (auto _ : state)
+        benchmark::DoNotOptimize(qoc::grape_optimize(h, target, 20, opt).fidelity);
+}
+BENCHMARK(BM_GrapeIterations)->Arg(10)->Arg(50);
+
+} // namespace

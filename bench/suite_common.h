@@ -1,0 +1,48 @@
+// Shared harness for the Figure 8/9/10 benches: run the 17-benchmark suite
+// through the EPOC pipeline with and without the regrouping step, once, and
+// report rows. Each figure binary prints its own column of the same sweep.
+#pragma once
+
+#include "bench_circuits/generators.h"
+#include "epoc/pipeline.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace epoc::benchharness {
+
+struct SuiteRow {
+    std::string name;
+    core::EpocResult grouped;
+    core::EpocResult ungrouped;
+};
+
+inline core::EpocOptions suite_options(bool regroup) {
+    core::EpocOptions opt;
+    opt.regroup_enabled = regroup;
+    opt.latency.fidelity_threshold = 0.993;
+    opt.latency.grape.max_iterations = 150;
+    opt.qsearch.threshold = 1e-4;
+    return opt;
+}
+
+inline std::vector<SuiteRow> run_grouping_suite() {
+    std::vector<SuiteRow> rows;
+    // One compiler per arm: pulse libraries persist across circuits, exactly
+    // like the paper's reusable pulse database.
+    core::EpocCompiler grouped(suite_options(true));
+    core::EpocCompiler ungrouped(suite_options(false));
+    for (const auto& [name, circuit] : bench::figure_suite()) {
+        SuiteRow row;
+        row.name = name;
+        std::fprintf(stderr, "  compiling %-10s (grouped)...\n", name.c_str());
+        row.grouped = grouped.compile(circuit);
+        std::fprintf(stderr, "  compiling %-10s (no grouping)...\n", name.c_str());
+        row.ungrouped = ungrouped.compile(circuit);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace epoc::benchharness

@@ -1,0 +1,45 @@
+// Pulse-library demo (paper Section 3.4): the lookup table that accelerates
+// repeated QOC, and the benefit of EPOC's global-phase-aware matching.
+#include "circuit/gate.h"
+#include "qoc/pulse_library.h"
+
+#include <complex>
+#include <cstdio>
+
+int main() {
+    using namespace epoc;
+    const auto h1 = qoc::make_block_hamiltonian(1);
+    qoc::LatencySearchOptions opt;
+    opt.fidelity_threshold = 0.995;
+
+    qoc::PulseLibrary phase_aware(true);
+    qoc::PulseLibrary phase_oblivious(false);
+
+    const linalg::Matrix gates[] = {
+        circuit::hadamard(),
+        circuit::pauli_x(),
+        circuit::kind_matrix(circuit::GateKind::SX, {}),
+    };
+
+    std::printf("generating pulses for 3 gates and 3 phase-shifted copies...\n\n");
+    for (const auto& g : gates) {
+        const auto& r = phase_aware.get_or_generate(h1, g, opt);
+        phase_oblivious.get_or_generate(h1, g, opt);
+        std::printf("  pulse: %2d slots, %5.1f ns, fidelity %.4f\n", r.pulse.num_slots(),
+                    r.pulse.duration(), r.pulse.fidelity);
+    }
+    for (const auto& g : gates) {
+        linalg::Matrix shifted = g;
+        shifted *= std::polar(1.0, 0.9); // same operation, different global phase
+        phase_aware.get_or_generate(h1, shifted, opt);
+        phase_oblivious.get_or_generate(h1, shifted, opt);
+    }
+
+    std::printf("\nphase-aware lookup (EPOC):      %zu entries, hit rate %.0f%%\n",
+                phase_aware.size(), 100.0 * phase_aware.stats().hit_rate());
+    std::printf("phase-oblivious lookup (prior): %zu entries, hit rate %.0f%%\n",
+                phase_oblivious.size(), 100.0 * phase_oblivious.stats().hit_rate());
+    std::printf("\nEPOC recognises phase-shifted duplicates; the exact-matrix table\n"
+                "regenerates every one of them from scratch.\n");
+    return 0;
+}

@@ -1,0 +1,331 @@
+#include "bench_circuits/generators.h"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+namespace epoc::bench {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+Circuit ghz(int n) {
+    Circuit c(n);
+    c.h(0);
+    for (int q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+    return c;
+}
+
+Circuit bell_pairs(int n) {
+    if (n % 2 != 0) throw std::invalid_argument("bell_pairs: n must be even");
+    Circuit c(n);
+    for (int q = 0; q < n; q += 2) {
+        c.h(q);
+        c.cx(q, q + 1);
+    }
+    return c;
+}
+
+Circuit bv(int n, std::uint64_t secret) {
+    // n data qubits + 1 ancilla.
+    Circuit c(n + 1);
+    c.x(n).h(n);
+    for (int q = 0; q < n; ++q) c.h(q);
+    for (int q = 0; q < n; ++q)
+        if (secret & (std::uint64_t{1} << q)) c.cx(q, n);
+    for (int q = 0; q < n; ++q) c.h(q);
+    c.h(n);
+    return c;
+}
+
+Circuit simon(int n, std::uint64_t s) {
+    // 2n qubits: data 0..n-1, output n..2n-1. Oracle: copy + period XOR.
+    Circuit c(2 * n);
+    for (int q = 0; q < n; ++q) c.h(q);
+    for (int q = 0; q < n; ++q) c.cx(q, n + q);
+    // XOR the period pattern controlled on the first set bit of s.
+    int ctrl = -1;
+    for (int q = 0; q < n; ++q)
+        if (s & (std::uint64_t{1} << q)) {
+            ctrl = q;
+            break;
+        }
+    if (ctrl >= 0)
+        for (int q = 0; q < n; ++q)
+            if (s & (std::uint64_t{1} << q)) c.cx(ctrl, n + q);
+    for (int q = 0; q < n; ++q) c.h(q);
+    return c;
+}
+
+Circuit bb84(int n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) {
+        if (rng() & 1) c.x(q); // bit choice
+        if (rng() & 1) c.h(q); // basis choice
+    }
+    // Receiver basis rotation.
+    for (int q = 0; q < n; ++q)
+        if (rng() & 1) c.h(q);
+    return c;
+}
+
+Circuit qaoa(int n, int p) {
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) c.h(q);
+    for (int layer = 0; layer < p; ++layer) {
+        const double gamma = 0.7 + 0.2 * layer;
+        const double beta = 0.4 + 0.1 * layer;
+        for (int q = 0; q < n; ++q) c.rzz(gamma, q, (q + 1) % n);
+        for (int q = 0; q < n; ++q) c.rx(2 * beta, q);
+    }
+    return c;
+}
+
+Circuit decod24() {
+    // In the spirit of QASMBench decod24-v2: a 2-to-4 line decoder over
+    // 4 qubits built from {h, t/tdg, cx}.
+    Circuit c(4);
+    c.h(0).h(1);
+    c.cx(0, 2);
+    c.t(2);
+    c.cx(1, 2);
+    c.tdg(2);
+    c.cx(0, 2);
+    c.cx(0, 3);
+    c.tdg(3);
+    c.cx(1, 3);
+    c.t(3);
+    c.cx(0, 3);
+    c.x(2).x(3);
+    c.cx(2, 3);
+    return c;
+}
+
+Circuit dnn(int n, int layers, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> ang(-kPi, kPi);
+    Circuit c(n);
+    for (int l = 0; l < layers; ++l) {
+        for (int q = 0; q < n; ++q) {
+            c.ry(ang(rng), q);
+            c.rz(ang(rng), q);
+        }
+        for (int q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+    }
+    for (int q = 0; q < n; ++q) c.ry(ang(rng), q);
+    return c;
+}
+
+Circuit ham7() {
+    // Hamming(7,4)-style encoder: data qubits 0-3, parity qubits 4-6.
+    Circuit c(7);
+    for (int q = 0; q < 4; ++q) c.h(q);
+    c.cx(0, 4).cx(1, 4).cx(3, 4);
+    c.cx(0, 5).cx(2, 5).cx(3, 5);
+    c.cx(1, 6).cx(2, 6).cx(3, 6);
+    // Syndrome-style mixing round.
+    c.h(4).h(5).h(6);
+    c.cx(4, 0).cx(5, 1).cx(6, 2);
+    c.t(0).tdg(1).t(2).tdg(3);
+    c.cx(0, 3).cx(1, 3).cx(2, 3);
+    return c;
+}
+
+Circuit qft(int n) {
+    Circuit c(n);
+    for (int q = n - 1; q >= 0; --q) {
+        c.h(q);
+        for (int j = q - 1; j >= 0; --j) c.cp(kPi / std::pow(2.0, q - j), j, q);
+    }
+    for (int q = 0; q < n / 2; ++q) c.swap(q, n - 1 - q);
+    return c;
+}
+
+Circuit adder(int n) {
+    // Cuccaro ripple-carry adder: a[0..n-1], b[0..n-1], carry-in, carry-out.
+    const int a0 = 0, b0 = n, cin = 2 * n, cout = 2 * n + 1;
+    Circuit c(2 * n + 2);
+    const auto maj = [&](int x, int y, int z) { c.cx(z, y).cx(z, x).ccx(x, y, z); };
+    const auto uma = [&](int x, int y, int z) { c.ccx(x, y, z).cx(z, x).cx(x, y); };
+    maj(cin, b0, a0);
+    for (int i = 1; i < n; ++i) maj(a0 + i - 1, b0 + i, a0 + i);
+    c.cx(a0 + n - 1, cout);
+    for (int i = n - 1; i >= 1; --i) uma(a0 + i - 1, b0 + i, a0 + i);
+    uma(cin, b0, a0);
+    return c;
+}
+
+Circuit wstate(int n) {
+    // Staircase construction: start from |0...01>, then repeatedly split the
+    // excitation forward with a controlled-RY and move it with a CNOT. After
+    // step k the amplitude left on qubit k is exactly sqrt(1/n).
+    Circuit c(n);
+    c.x(0);
+    for (int k = 0; k + 1 < n; ++k) {
+        const double theta = 2 * std::acos(std::sqrt(1.0 / (n - k)));
+        c.add(circuit::Gate(circuit::GateKind::CRY, {k, k + 1}, {theta}));
+        c.cx(k + 1, k);
+    }
+    return c;
+}
+
+Circuit toffoli_circuit() {
+    Circuit c(3);
+    c.h(0).h(1).ccx(0, 1, 2).h(2).t(2);
+    return c;
+}
+
+Circuit fredkin_circuit() {
+    Circuit c(3);
+    c.h(0).x(1).cswap(0, 1, 2).h(1).s(2);
+    return c;
+}
+
+Circuit vqe(int n, int layers, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> ang(-kPi, kPi);
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) c.ry(ang(rng), q);
+    for (int l = 0; l < layers; ++l) {
+        for (int q = 0; q < n; ++q) c.cx(q, (q + 1) % n);
+        for (int q = 0; q < n; ++q) {
+            c.rz(ang(rng), q);
+            c.ry(ang(rng), q);
+        }
+    }
+    return c;
+}
+
+Circuit grover(int n, int iterations) {
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) c.h(q);
+    for (int it = 0; it < iterations; ++it) {
+        // Oracle marking |1...1>: a multi-controlled Z built from CCZ/CZ.
+        if (n == 2) {
+            c.cz(0, 1);
+        } else {
+            c.ccz(0, 1, 2);
+            for (int q = 3; q < n; ++q) c.cz(q - 1, q);
+        }
+        // Diffusion.
+        for (int q = 0; q < n; ++q) c.h(q);
+        for (int q = 0; q < n; ++q) c.x(q);
+        if (n == 2)
+            c.cz(0, 1);
+        else
+            c.ccz(0, 1, 2);
+        for (int q = 0; q < n; ++q) c.x(q);
+        for (int q = 0; q < n; ++q) c.h(q);
+    }
+    return c;
+}
+
+Circuit ising(int n, int steps) {
+    Circuit c(n);
+    const double dt_j = 0.35, dt_h = 0.25;
+    for (int s = 0; s < steps; ++s) {
+        for (int q = 0; q + 1 < n; ++q) c.rzz(2 * dt_j, q, q + 1);
+        for (int q = 0; q < n; ++q) c.rx(2 * dt_h, q);
+    }
+    return c;
+}
+
+Circuit qpe(int bits) {
+    // Phase estimation of P(2*pi*theta) with theta = 1/5 on the last qubit.
+    const double theta = 2 * kPi / 5.0;
+    Circuit c(bits + 1);
+    c.x(bits);
+    for (int q = 0; q < bits; ++q) c.h(q);
+    for (int q = 0; q < bits; ++q) {
+        const double angle = theta * std::pow(2.0, q);
+        c.cp(angle, q, bits);
+    }
+    // Inverse QFT on the readout register.
+    for (int q = 0; q < bits / 2; ++q) c.swap(q, bits - 1 - q);
+    for (int q = 0; q < bits; ++q) {
+        for (int j = 0; j < q; ++j) c.cp(-kPi / std::pow(2.0, q - j), j, q);
+        c.h(q);
+    }
+    return c;
+}
+
+Circuit qec_bit_flip(bool inject_error) {
+    // Qubits 0-2: code block; 3-4: syndrome ancillas.
+    Circuit c(5);
+    c.ry(0.6, 0); // arbitrary logical state
+    c.cx(0, 1).cx(0, 2);
+    if (inject_error) c.x(1);
+    c.cx(0, 3).cx(1, 3); // Z1 Z2 syndrome
+    c.cx(1, 4).cx(2, 4); // Z2 Z3 syndrome
+    // Correct by syndrome: (1,0) -> q0, (1,1) -> q1, (0,1) -> q2. Negated
+    // controls are realised as X sandwiches.
+    c.x(4);
+    c.ccx(3, 4, 0);
+    c.x(4);
+    c.ccx(3, 4, 1);
+    c.x(3);
+    c.ccx(3, 4, 2);
+    c.x(3);
+    return c;
+}
+
+Circuit deutsch_jozsa(int n) {
+    Circuit c(n + 1);
+    c.x(n).h(n);
+    for (int q = 0; q < n; ++q) c.h(q);
+    // Balanced oracle: parity of all inputs.
+    for (int q = 0; q < n; ++q) c.cx(q, n);
+    for (int q = 0; q < n; ++q) c.h(q);
+    return c;
+}
+
+Circuit hidden_shift(int n, std::uint64_t shift) {
+    if (n % 2 != 0) throw std::invalid_argument("hidden_shift: n must be even");
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) c.h(q);
+    // Shifted bent function f(x+s): X on shifted bits around the oracle.
+    for (int q = 0; q < n; ++q)
+        if (shift & (std::uint64_t{1} << q)) c.x(q);
+    for (int q = 0; q < n / 2; ++q) c.cz(2 * q, 2 * q + 1);
+    for (int q = 0; q < n; ++q)
+        if (shift & (std::uint64_t{1} << q)) c.x(q);
+    for (int q = 0; q < n; ++q) c.h(q);
+    // Dual bent function.
+    for (int q = 0; q < n / 2; ++q) c.cz(2 * q, 2 * q + 1);
+    for (int q = 0; q < n; ++q) c.h(q);
+    return c;
+}
+
+std::vector<NamedCircuit> figure_suite() {
+    return {
+        {"ghz5", ghz(5)},
+        {"bell4", bell_pairs(4)},
+        {"bv5", bv(4)},
+        {"simon4", simon(2)},
+        {"bb84_5", bb84(5)},
+        {"qaoa4", qaoa(4, 1)},
+        {"decod24", decod24()},
+        {"dnn4", dnn(4, 2)},
+        {"ham7", ham7()},
+        {"qft4", qft(4)},
+        {"adder2", adder(1)},
+        {"wstate4", wstate(4)},
+        {"toffoli", toffoli_circuit()},
+        {"fredkin", fredkin_circuit()},
+        {"vqe4", vqe(4, 1)},
+        {"grover3", grover(3, 1)},
+        {"ising5", ising(5, 2)},
+    };
+}
+
+std::vector<NamedCircuit> table1_suite() {
+    return {
+        {"simon", simon(2)},  {"bb84", bb84(4)}, {"bv", bv(4)},   {"qaoa", qaoa(4, 1)},
+        {"decod24", decod24()}, {"dnn", dnn(4, 2)}, {"ham7", ham7()},
+    };
+}
+
+} // namespace epoc::bench

@@ -1,0 +1,73 @@
+// QASMBench-style benchmark circuit generators.
+//
+// Structurally faithful C++ reimplementations of the circuit families the
+// paper evaluates on (QASMBench, Li et al. 2020): the seven Table-1 programs
+// (simon, bb84, bv, qaoa, decod24, dnn, ham7) and enough additional families
+// to fill the 17-benchmark suite of Figures 8-10. Sizes are parameterized;
+// defaults stay small enough that per-block GRAPE runs are tractable on one
+// core (see DESIGN.md scale note).
+#pragma once
+
+#include "circuit/circuit.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace epoc::bench {
+
+using circuit::Circuit;
+
+Circuit ghz(int n);
+Circuit bell_pairs(int n);
+/// Bernstein-Vazirani with an n-bit secret (bit i of `secret`).
+Circuit bv(int n, std::uint64_t secret = 0b1011011);
+/// Simon's algorithm oracle circuit on 2n qubits with period `s`.
+Circuit simon(int n, std::uint64_t s = 0b11);
+/// BB84 state-preparation layer (basis choices from `seed`).
+Circuit bb84(int n, std::uint64_t seed = 7);
+/// QAOA MaxCut on a ring, p layers, fixed angles.
+Circuit qaoa(int n, int p = 1);
+/// QASMBench decod24-style 2-to-4 decoder (4 qubits).
+Circuit decod24();
+/// Quantum-neural-network ansatz: RY/RZ rotation layers + CX ladders.
+Circuit dnn(int n, int layers = 2, std::uint64_t seed = 3);
+/// Hamming(7,4) encoder-style circuit (7 qubits).
+Circuit ham7();
+/// Quantum Fourier transform.
+Circuit qft(int n);
+/// Cuccaro-style ripple-carry adder on 2n+2 qubits.
+Circuit adder(int n);
+/// W-state preparation.
+Circuit wstate(int n);
+/// Single Toffoli / Fredkin circuits (3 qubits).
+Circuit toffoli_circuit();
+Circuit fredkin_circuit();
+/// Hardware-efficient VQE ansatz.
+Circuit vqe(int n, int layers = 2, std::uint64_t seed = 11);
+/// Grover search with a marked-state oracle (n data qubits).
+Circuit grover(int n, int iterations = 1);
+/// First-order trotterized transverse-field Ising evolution.
+Circuit ising(int n, int steps = 2);
+/// Quantum phase estimation with `bits` readout qubits on a 1-qubit system.
+Circuit qpe(int bits);
+/// Three-qubit bit-flip repetition code: encode, inject an optional X error,
+/// extract the syndrome onto two ancillas, and correct with Toffolis.
+Circuit qec_bit_flip(bool inject_error = true);
+/// Deutsch-Jozsa on n data qubits with a balanced (parity) oracle.
+Circuit deutsch_jozsa(int n);
+/// Hidden-shift problem for bent functions on n qubits (n even).
+Circuit hidden_shift(int n, std::uint64_t shift = 0b1010);
+
+struct NamedCircuit {
+    std::string name;
+    Circuit circuit;
+};
+
+/// The 17-benchmark suite used by the Figure 8/9/10 benches.
+std::vector<NamedCircuit> figure_suite();
+
+/// The 7 Table-1 programs, in the paper's row order.
+std::vector<NamedCircuit> table1_suite();
+
+} // namespace epoc::bench

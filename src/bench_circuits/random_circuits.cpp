@@ -1,0 +1,49 @@
+#include "bench_circuits/random_circuits.h"
+
+#include <numbers>
+#include <random>
+
+namespace epoc::bench {
+
+circuit::Circuit random_circuit(const RandomCircuitSpec& spec) {
+    std::mt19937_64 rng(spec.seed);
+    std::uniform_int_distribution<int> qd(0, spec.num_qubits - 1);
+    std::uniform_int_distribution<int> gd(0, 7);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::uniform_real_distribution<double> ang(-std::numbers::pi, std::numbers::pi);
+
+    circuit::Circuit c(spec.num_qubits);
+    for (int i = 0; i < spec.num_gates; ++i) {
+        const int q = qd(rng);
+        if (uni(rng) < spec.non_clifford_fraction) {
+            if (rng() & 1)
+                c.t(q);
+            else
+                c.rz(ang(rng), q);
+            continue;
+        }
+        switch (gd(rng)) {
+        case 0: c.h(q); break;
+        case 1: c.s(q); break;
+        case 2: c.x(q); break;
+        case 3: c.z(q); break;
+        case 4: c.sx(q); break;
+        default: {
+            if (spec.num_qubits < 2) {
+                c.h(q);
+                break;
+            }
+            int q2 = qd(rng);
+            while (q2 == q) q2 = qd(rng);
+            if (rng() & 1)
+                c.cx(q, q2);
+            else
+                c.cz(q, q2);
+            break;
+        }
+        }
+    }
+    return c;
+}
+
+} // namespace epoc::bench

@@ -1,0 +1,21 @@
+// Random circuit generators for the Figure 5 sweep and for property tests.
+#pragma once
+
+#include "circuit/circuit.h"
+
+#include <cstdint>
+
+namespace epoc::bench {
+
+struct RandomCircuitSpec {
+    int num_qubits = 4;
+    int num_gates = 40;
+    /// Probability weight of non-Clifford gates (t / arbitrary rz); 0 gives a
+    /// pure Clifford circuit, which ZX reduces hardest.
+    double non_clifford_fraction = 0.2;
+    std::uint64_t seed = 1;
+};
+
+circuit::Circuit random_circuit(const RandomCircuitSpec& spec);
+
+} // namespace epoc::bench

@@ -1,0 +1,107 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace epoc::circuit {
+
+void Circuit::add(Gate g) {
+    if (g.qubits.empty()) throw std::invalid_argument("Circuit::add: gate with no qubits");
+    const int arity = kind_arity(g.kind);
+    if (arity != 0 && arity != g.arity())
+        throw std::invalid_argument("Circuit::add: wrong qubit count for " +
+                                    kind_name(g.kind));
+    if (kind_num_params(g.kind) > static_cast<int>(g.params.size()))
+        throw std::invalid_argument("Circuit::add: missing params for " + kind_name(g.kind));
+    std::vector<int> sorted = g.qubits;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+        throw std::invalid_argument("Circuit::add: duplicate qubit operands");
+    for (const int q : g.qubits)
+        if (q < 0 || q >= num_qubits_)
+            throw std::out_of_range("Circuit::add: qubit index out of range");
+    if (g.is_explicit_unitary()) {
+        if (!g.matrix) throw std::invalid_argument("Circuit::add: VUG without matrix");
+        const std::size_t dim = std::size_t{1} << g.qubits.size();
+        if (g.matrix->rows() != dim || g.matrix->cols() != dim)
+            throw std::invalid_argument("Circuit::add: VUG matrix dimension mismatch");
+    }
+    gates_.push_back(std::move(g));
+}
+
+Circuit& Circuit::emit(GateKind k, std::vector<int> qs, std::vector<double> ps) {
+    add(Gate(k, std::move(qs), std::move(ps)));
+    return *this;
+}
+
+void Circuit::append(const Circuit& other) {
+    if (other.num_qubits_ > num_qubits_)
+        throw std::invalid_argument("Circuit::append: other circuit is wider");
+    for (const Gate& g : other.gates_) add(g);
+}
+
+void Circuit::append_mapped(const Circuit& other, const std::vector<int>& mapping) {
+    if (static_cast<int>(mapping.size()) < other.num_qubits_)
+        throw std::invalid_argument("Circuit::append_mapped: mapping too short");
+    for (Gate g : other.gates_) {
+        for (int& q : g.qubits) q = mapping.at(static_cast<std::size_t>(q));
+        add(std::move(g));
+    }
+}
+
+Circuit Circuit::inverse() const {
+    Circuit inv(num_qubits_);
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) inv.add(it->inverse());
+    return inv;
+}
+
+int Circuit::depth() const {
+    std::vector<int> level(static_cast<std::size_t>(num_qubits_), 0);
+    int d = 0;
+    for (const Gate& g : gates_) {
+        int at = 0;
+        for (const int q : g.qubits) at = std::max(at, level[static_cast<std::size_t>(q)]);
+        for (const int q : g.qubits) level[static_cast<std::size_t>(q)] = at + 1;
+        d = std::max(d, at + 1);
+    }
+    return d;
+}
+
+std::vector<std::vector<std::size_t>> Circuit::moments() const {
+    std::vector<int> level(static_cast<std::size_t>(num_qubits_), 0);
+    std::vector<std::vector<std::size_t>> out;
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const Gate& g = gates_[i];
+        int at = 0;
+        for (const int q : g.qubits) at = std::max(at, level[static_cast<std::size_t>(q)]);
+        for (const int q : g.qubits) level[static_cast<std::size_t>(q)] = at + 1;
+        if (static_cast<std::size_t>(at) >= out.size()) out.resize(static_cast<std::size_t>(at) + 1);
+        out[static_cast<std::size_t>(at)].push_back(i);
+    }
+    return out;
+}
+
+std::size_t Circuit::count_kind(GateKind k) const {
+    return static_cast<std::size_t>(
+        std::count_if(gates_.begin(), gates_.end(), [k](const Gate& g) { return g.kind == k; }));
+}
+
+std::size_t Circuit::multi_qubit_count() const {
+    return static_cast<std::size_t>(std::count_if(
+        gates_.begin(), gates_.end(), [](const Gate& g) { return g.arity() >= 2; }));
+}
+
+std::size_t Circuit::t_count() const {
+    return count_kind(GateKind::T) + count_kind(GateKind::Tdg);
+}
+
+std::string Circuit::to_string() const {
+    std::ostringstream os;
+    os << "circuit(" << num_qubits_ << " qubits, " << gates_.size() << " gates, depth "
+       << depth() << ")\n";
+    for (const Gate& g : gates_) os << "  " << g.to_string() << "\n";
+    return os.str();
+}
+
+} // namespace epoc::circuit

@@ -1,0 +1,90 @@
+// Circuit container: an ordered list of gates over a fixed qubit register,
+// with structural queries (depth, moments, per-kind counts) used by the ZX
+// optimizer, the partitioner and the schedulers.
+#pragma once
+
+#include "circuit/gate.h"
+
+#include <string>
+#include <vector>
+
+namespace epoc::circuit {
+
+class Circuit {
+public:
+    Circuit() = default;
+    explicit Circuit(int num_qubits) : num_qubits_(num_qubits) {}
+
+    int num_qubits() const noexcept { return num_qubits_; }
+    std::size_t size() const noexcept { return gates_.size(); }
+    bool empty() const noexcept { return gates_.empty(); }
+
+    const std::vector<Gate>& gates() const noexcept { return gates_; }
+    const Gate& gate(std::size_t i) const { return gates_.at(i); }
+
+    /// Append a gate; validates qubit indices and arity.
+    void add(Gate g);
+
+    // Convenience builders (return *this for chaining).
+    Circuit& x(int q) { return emit(GateKind::X, {q}); }
+    Circuit& y(int q) { return emit(GateKind::Y, {q}); }
+    Circuit& z(int q) { return emit(GateKind::Z, {q}); }
+    Circuit& h(int q) { return emit(GateKind::H, {q}); }
+    Circuit& s(int q) { return emit(GateKind::S, {q}); }
+    Circuit& sdg(int q) { return emit(GateKind::Sdg, {q}); }
+    Circuit& t(int q) { return emit(GateKind::T, {q}); }
+    Circuit& tdg(int q) { return emit(GateKind::Tdg, {q}); }
+    Circuit& sx(int q) { return emit(GateKind::SX, {q}); }
+    Circuit& rx(double th, int q) { return emit(GateKind::RX, {q}, {th}); }
+    Circuit& ry(double th, int q) { return emit(GateKind::RY, {q}, {th}); }
+    Circuit& rz(double th, int q) { return emit(GateKind::RZ, {q}, {th}); }
+    Circuit& p(double th, int q) { return emit(GateKind::P, {q}, {th}); }
+    Circuit& u3(double th, double ph, double la, int q) {
+        return emit(GateKind::U3, {q}, {th, ph, la});
+    }
+    Circuit& cx(int c, int t) { return emit(GateKind::CX, {c, t}); }
+    Circuit& cy(int c, int t) { return emit(GateKind::CY, {c, t}); }
+    Circuit& cz(int c, int t) { return emit(GateKind::CZ, {c, t}); }
+    Circuit& ch(int c, int t) { return emit(GateKind::CH, {c, t}); }
+    Circuit& swap(int a, int b) { return emit(GateKind::SWAP, {a, b}); }
+    Circuit& cp(double th, int c, int t) { return emit(GateKind::CP, {c, t}, {th}); }
+    Circuit& crz(double th, int c, int t) { return emit(GateKind::CRZ, {c, t}, {th}); }
+    Circuit& rzz(double th, int a, int b) { return emit(GateKind::RZZ, {a, b}, {th}); }
+    Circuit& rxx(double th, int a, int b) { return emit(GateKind::RXX, {a, b}, {th}); }
+    Circuit& ccx(int c1, int c2, int t) { return emit(GateKind::CCX, {c1, c2, t}); }
+    Circuit& ccz(int c1, int c2, int t) { return emit(GateKind::CCZ, {c1, c2, t}); }
+    Circuit& cswap(int c, int a, int b) { return emit(GateKind::CSWAP, {c, a, b}); }
+
+    /// Append all gates of `other` (qubit counts must allow it).
+    void append(const Circuit& other);
+
+    /// Append `other` with its qubit i mapped to `mapping[i]`.
+    void append_mapped(const Circuit& other, const std::vector<int>& mapping);
+
+    /// Circuit implementing the inverse unitary (gates reversed and inverted).
+    Circuit inverse() const;
+
+    /// ASAP logical depth: length of the longest chain of gates sharing qubits.
+    int depth() const;
+
+    /// ASAP layering: moments()[d] lists gate indices scheduled at depth d.
+    std::vector<std::vector<std::size_t>> moments() const;
+
+    std::size_t count_kind(GateKind k) const;
+    /// Number of gates acting on >= 2 qubits.
+    std::size_t multi_qubit_count() const;
+    std::size_t two_qubit_count() const { return multi_qubit_count(); }
+    /// Number of T/Tdg gates (ZX optimization quality metric).
+    std::size_t t_count() const;
+
+    /// Multi-line printable listing.
+    std::string to_string() const;
+
+private:
+    Circuit& emit(GateKind k, std::vector<int> qs, std::vector<double> ps = {});
+
+    int num_qubits_ = 0;
+    std::vector<Gate> gates_;
+};
+
+} // namespace epoc::circuit

@@ -1,0 +1,85 @@
+#include "circuit/dag.h"
+
+#include <algorithm>
+
+namespace epoc::circuit {
+
+double GateWeights::of(const Gate& g) const {
+    switch (g.kind) {
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::I:
+        return virtual_rz;
+    default:
+        break;
+    }
+    switch (g.arity()) {
+    case 1: return single_qubit;
+    case 2: return two_qubit;
+    default: return three_qubit;
+    }
+}
+
+CircuitDag::CircuitDag(const Circuit& c, GateWeights weights) {
+    const std::size_t n = c.size();
+    preds_.resize(n);
+    succs_.resize(n);
+    weight_.resize(n);
+    asap_.assign(n, 0.0);
+    alap_.assign(n, 0.0);
+
+    std::vector<int> last(static_cast<std::size_t>(c.num_qubits()), -1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Gate& g = c.gate(i);
+        weight_[i] = weights.of(g);
+        for (const int q : g.qubits) {
+            const int prev = last[static_cast<std::size_t>(q)];
+            if (prev >= 0) {
+                const std::size_t p = static_cast<std::size_t>(prev);
+                if (std::find(succs_[p].begin(), succs_[p].end(), i) == succs_[p].end()) {
+                    succs_[p].push_back(i);
+                    preds_[i].push_back(p);
+                }
+            }
+            last[static_cast<std::size_t>(q)] = static_cast<int>(i);
+        }
+    }
+
+    // ASAP forward pass (gate order is already topological).
+    for (std::size_t i = 0; i < n; ++i)
+        for (const std::size_t p : preds_[i])
+            asap_[i] = std::max(asap_[i], asap_[p] + weight_[p]);
+    critical_length_ = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        critical_length_ = std::max(critical_length_, asap_[i] + weight_[i]);
+
+    // ALAP backward pass.
+    for (std::size_t ii = n; ii-- > 0;) {
+        if (succs_[ii].empty()) {
+            alap_[ii] = critical_length_ - weight_[ii];
+            continue;
+        }
+        double latest = critical_length_;
+        for (const std::size_t s : succs_[ii]) latest = std::min(latest, alap_[s]);
+        alap_[ii] = latest - weight_[ii];
+    }
+}
+
+std::vector<std::size_t> CircuitDag::critical_gates(double tol) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < preds_.size(); ++i)
+        if (slack(i) <= tol) out.push_back(i);
+    return out;
+}
+
+double CircuitDag::criticality(std::size_t gate) const {
+    if (critical_length_ <= 0.0) return 1.0;
+    return 1.0 - slack(gate) / critical_length_;
+}
+
+} // namespace epoc::circuit

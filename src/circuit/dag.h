@@ -1,0 +1,63 @@
+// Gate dependency DAG with criticality analysis.
+//
+// Nodes are gate indices; an edge u -> v means v is the next gate touching
+// one of u's qubits. ASAP/ALAP levels, slack, and weighted critical paths
+// are the machinery behind PAQOC-style "criticality analysis": grouping
+// decisions should spend pulse-optimization effort where the critical path
+// runs (Chen et al., HPCA'23).
+#pragma once
+
+#include "circuit/circuit.h"
+
+#include <vector>
+
+namespace epoc::circuit {
+
+/// Default duration estimates used for criticality weighting [ns].
+struct GateWeights {
+    double single_qubit = 10.0;
+    double two_qubit = 40.0;
+    double three_qubit = 90.0;
+    /// Diagonal Z rotations are virtual (frame updates).
+    double virtual_rz = 0.0;
+
+    double of(const Gate& g) const;
+};
+
+class CircuitDag {
+public:
+    explicit CircuitDag(const Circuit& c, GateWeights weights = {});
+
+    std::size_t size() const { return preds_.size(); }
+    const std::vector<std::size_t>& predecessors(std::size_t gate) const {
+        return preds_.at(gate);
+    }
+    const std::vector<std::size_t>& successors(std::size_t gate) const {
+        return succs_.at(gate);
+    }
+
+    /// Earliest possible start time of each gate (weighted ASAP).
+    const std::vector<double>& asap() const { return asap_; }
+    /// Latest start time that does not stretch the critical path.
+    const std::vector<double>& alap() const { return alap_; }
+    /// alap - asap: zero on the critical path.
+    double slack(std::size_t gate) const { return alap_[gate] - asap_[gate]; }
+
+    /// Weighted critical-path length (the schedule lower bound).
+    double critical_path_length() const { return critical_length_; }
+    /// Gate indices with zero slack, in topological (program) order.
+    std::vector<std::size_t> critical_gates(double tol = 1e-9) const;
+
+    /// Criticality in [0, 1]: 1 = on the critical path.
+    double criticality(std::size_t gate) const;
+
+private:
+    std::vector<std::vector<std::size_t>> preds_;
+    std::vector<std::vector<std::size_t>> succs_;
+    std::vector<double> weight_;
+    std::vector<double> asap_;
+    std::vector<double> alap_;
+    double critical_length_ = 0.0;
+};
+
+} // namespace epoc::circuit

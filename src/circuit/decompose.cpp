@@ -1,0 +1,252 @@
+#include "circuit/decompose.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace epoc::circuit {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Emit a single-qubit unitary in the requested basis onto `out`.
+void emit_single_qubit(Circuit& out, const Matrix& u, int q, Basis basis) {
+    const Zyz e = zyz_decompose(u);
+    if (basis == Basis::U3_CX) {
+        out.u3(e.theta, e.phi, e.lambda, q);
+        return;
+    }
+    // Z-diagonal unitaries are a single virtual RZ on IBM-style hardware; do
+    // not spend two SX pulses on them.
+    if (std::abs(u(0, 1)) < 1e-12 && std::abs(u(1, 0)) < 1e-12) {
+        const double angle = std::arg(u(1, 1)) - std::arg(u(0, 0));
+        if (std::abs(angle) > 1e-12) out.rz(angle, q);
+        return;
+    }
+    // U3(theta, phi, lambda) == RZ(phi+pi) SX RZ(theta+pi) SX RZ(lambda)
+    // up to global phase (Qiskit's standard sx-basis equivalence). RZ gates
+    // are virtual on IBM hardware; only the two SX pulses cost time.
+    out.rz(e.lambda, q);
+    out.sx(q);
+    out.rz(e.theta + kPi, q);
+    out.sx(q);
+    out.rz(e.phi + kPi, q);
+}
+
+void emit_kind(Circuit& out, GateKind k, const std::vector<int>& q,
+               const std::vector<double>& p, Basis basis);
+
+void emit(Circuit& out, GateKind k, std::vector<int> q, std::vector<double> p,
+          Basis basis) {
+    emit_kind(out, k, q, p, basis);
+}
+
+void emit_kind(Circuit& out, GateKind k, const std::vector<int>& q,
+               const std::vector<double>& p, Basis basis) {
+    switch (k) {
+    case GateKind::CX:
+        out.cx(q[0], q[1]);
+        return;
+    case GateKind::I:
+        return;
+    // --- single-qubit gates: lower via ZYZ ---
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::SX:
+    case GateKind::SXdg:
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::U3:
+        emit_single_qubit(out, kind_matrix(k, p), q[0], basis);
+        return;
+    // --- two-qubit gates: standard CX-based expansions (qelib1) ---
+    case GateKind::CZ:
+        emit(out, GateKind::H, {q[1]}, {}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::H, {q[1]}, {}, basis);
+        return;
+    case GateKind::CY:
+        emit(out, GateKind::Sdg, {q[1]}, {}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::S, {q[1]}, {}, basis);
+        return;
+    case GateKind::CH:
+        // qelib1 ch expansion.
+        emit(out, GateKind::H, {q[1]}, {}, basis);
+        emit(out, GateKind::Sdg, {q[1]}, {}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::H, {q[1]}, {}, basis);
+        emit(out, GateKind::T, {q[1]}, {}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::T, {q[1]}, {}, basis);
+        emit(out, GateKind::H, {q[1]}, {}, basis);
+        emit(out, GateKind::S, {q[1]}, {}, basis);
+        emit(out, GateKind::X, {q[1]}, {}, basis);
+        emit(out, GateKind::S, {q[0]}, {}, basis);
+        return;
+    case GateKind::SWAP:
+        out.cx(q[0], q[1]);
+        out.cx(q[1], q[0]);
+        out.cx(q[0], q[1]);
+        return;
+    case GateKind::ISWAP:
+        emit(out, GateKind::S, {q[0]}, {}, basis);
+        emit(out, GateKind::S, {q[1]}, {}, basis);
+        emit(out, GateKind::H, {q[0]}, {}, basis);
+        out.cx(q[0], q[1]);
+        out.cx(q[1], q[0]);
+        emit(out, GateKind::H, {q[1]}, {}, basis);
+        return;
+    case GateKind::CP:
+        emit(out, GateKind::P, {q[0]}, {p[0] / 2}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::P, {q[1]}, {-p[0] / 2}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::P, {q[1]}, {p[0] / 2}, basis);
+        return;
+    case GateKind::CRZ:
+        emit(out, GateKind::RZ, {q[1]}, {p[0] / 2}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::RZ, {q[1]}, {-p[0] / 2}, basis);
+        out.cx(q[0], q[1]);
+        return;
+    case GateKind::CRY:
+        emit(out, GateKind::RY, {q[1]}, {p[0] / 2}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::RY, {q[1]}, {-p[0] / 2}, basis);
+        out.cx(q[0], q[1]);
+        return;
+    case GateKind::CRX:
+        // qelib1 crx expansion.
+        emit(out, GateKind::P, {q[1]}, {kPi / 2}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::U3, {q[1]}, {-p[0] / 2, 0.0, 0.0}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::U3, {q[1]}, {p[0] / 2, -kPi / 2, 0.0}, basis);
+        return;
+    case GateKind::RZZ:
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::RZ, {q[1]}, {p[0]}, basis);
+        out.cx(q[0], q[1]);
+        return;
+    case GateKind::RXX:
+        emit(out, GateKind::H, {q[0]}, {}, basis);
+        emit(out, GateKind::H, {q[1]}, {}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::RZ, {q[1]}, {p[0]}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::H, {q[0]}, {}, basis);
+        emit(out, GateKind::H, {q[1]}, {}, basis);
+        return;
+    case GateKind::RYY:
+        emit(out, GateKind::RX, {q[0]}, {kPi / 2}, basis);
+        emit(out, GateKind::RX, {q[1]}, {kPi / 2}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::RZ, {q[1]}, {p[0]}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::RX, {q[0]}, {-kPi / 2}, basis);
+        emit(out, GateKind::RX, {q[1]}, {-kPi / 2}, basis);
+        return;
+    case GateKind::CU3:
+        // qelib1 cu3(theta, phi, lambda).
+        emit(out, GateKind::P, {q[0]}, {(p[2] + p[1]) / 2}, basis);
+        emit(out, GateKind::P, {q[1]}, {(p[2] - p[1]) / 2}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::U3, {q[1]}, {-p[0] / 2, 0.0, -(p[1] + p[2]) / 2}, basis);
+        out.cx(q[0], q[1]);
+        emit(out, GateKind::U3, {q[1]}, {p[0] / 2, p[1], 0.0}, basis);
+        return;
+    // --- three-qubit gates ---
+    case GateKind::CCX: {
+        const int a = q[0], b = q[1], c = q[2];
+        emit(out, GateKind::H, {c}, {}, basis);
+        out.cx(b, c);
+        emit(out, GateKind::Tdg, {c}, {}, basis);
+        out.cx(a, c);
+        emit(out, GateKind::T, {c}, {}, basis);
+        out.cx(b, c);
+        emit(out, GateKind::Tdg, {c}, {}, basis);
+        out.cx(a, c);
+        emit(out, GateKind::T, {b}, {}, basis);
+        emit(out, GateKind::T, {c}, {}, basis);
+        emit(out, GateKind::H, {c}, {}, basis);
+        out.cx(a, b);
+        emit(out, GateKind::T, {a}, {}, basis);
+        emit(out, GateKind::Tdg, {b}, {}, basis);
+        out.cx(a, b);
+        return;
+    }
+    case GateKind::CCZ:
+        emit(out, GateKind::H, {q[2]}, {}, basis);
+        emit(out, GateKind::CCX, q, {}, basis);
+        emit(out, GateKind::H, {q[2]}, {}, basis);
+        return;
+    case GateKind::CSWAP:
+        out.cx(q[2], q[1]);
+        emit(out, GateKind::CCX, {q[0], q[1], q[2]}, {}, basis);
+        out.cx(q[2], q[1]);
+        return;
+    case GateKind::VUG:
+    case GateKind::UNITARY:
+        throw std::invalid_argument("decompose: explicit-unitary gate reached emit_kind");
+    }
+    throw std::invalid_argument("decompose: unhandled kind");
+}
+
+} // namespace
+
+Zyz zyz_decompose(const Matrix& u) {
+    if (u.rows() != 2 || u.cols() != 2)
+        throw std::invalid_argument("zyz_decompose: expected a 2x2 matrix");
+    Zyz e;
+    const double c = std::abs(u(0, 0));
+    const double s = std::abs(u(1, 0));
+    e.theta = 2.0 * std::atan2(s, c);
+    constexpr double kEps = 1e-12;
+    if (c > kEps && s > kEps) {
+        e.phase = std::arg(u(0, 0));
+        e.phi = std::arg(u(1, 0)) - e.phase;
+        e.lambda = std::arg(-u(0, 1)) - e.phase;
+    } else if (s <= kEps) {
+        // theta ~ 0: only phi+lambda is determined; put it all in phi.
+        e.phase = std::arg(u(0, 0));
+        e.lambda = 0.0;
+        e.phi = std::arg(u(1, 1)) - e.phase;
+    } else {
+        // theta ~ pi: only phi-lambda is determined; put it all in phi.
+        e.lambda = 0.0;
+        e.phase = std::arg(-u(0, 1));
+        e.phi = std::arg(u(1, 0)) - e.phase;
+    }
+    return e;
+}
+
+Circuit decompose_gate(const Gate& g, Basis basis, int num_qubits) {
+    Circuit out(num_qubits);
+    if (g.is_explicit_unitary()) {
+        if (g.arity() != 1)
+            throw std::invalid_argument(
+                "decompose_gate: multi-qubit explicit unitaries require synthesis");
+        emit_single_qubit(out, g.unitary(), g.qubits[0], basis);
+        return out;
+    }
+    emit_kind(out, g.kind, g.qubits, g.params, basis);
+    return out;
+}
+
+Circuit transpile(const Circuit& c, Basis basis) {
+    Circuit out(c.num_qubits());
+    for (const Gate& g : c.gates()) out.append(decompose_gate(g, basis, c.num_qubits()));
+    return out;
+}
+
+} // namespace epoc::circuit

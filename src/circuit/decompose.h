@@ -1,0 +1,37 @@
+// Gate decomposition / transpilation passes.
+//
+// The gate-based pulse baseline (Table 1, "Gate-based" column) plays circuits
+// as calibrated per-gate pulses over a native basis; these passes lower an
+// arbitrary circuit to that basis. All expansions are exact up to global
+// phase and are property-tested against the original unitaries.
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace epoc::circuit {
+
+/// Native basis targets.
+enum class Basis {
+    U3_CX,    ///< arbitrary single-qubit U3 + CNOT
+    RZ_SX_CX, ///< IBM-style {rz, sx, x, cx} (rz is virtual / zero duration)
+};
+
+/// ZYZ Euler angles: u == e^{i*phase} * u3(theta, phi, lambda).
+struct Zyz {
+    double theta = 0.0;
+    double phi = 0.0;
+    double lambda = 0.0;
+    double phase = 0.0;
+};
+
+/// Decompose an arbitrary 2x2 unitary.
+Zyz zyz_decompose(const Matrix& u);
+
+/// Expand one gate into basis gates on the same qubits (global phase dropped).
+Circuit decompose_gate(const Gate& g, Basis basis, int num_qubits);
+
+/// Lower the whole circuit to the basis. Explicit-unitary gates are accepted
+/// only for arity 1 (via ZYZ); larger VUGs require synthesis first.
+Circuit transpile(const Circuit& c, Basis basis);
+
+} // namespace epoc::circuit

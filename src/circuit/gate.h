@@ -1,0 +1,123 @@
+// Gate-level IR.
+//
+// Conventions used across the whole repository:
+//  * Qubit 0 is the least-significant bit of a basis-state index
+//    (little-endian, Qiskit style).
+//  * A k-qubit gate's matrix is expressed in the gate's *local* ordering:
+//    gate.qubits[0] is local bit 0 (least significant), etc.
+//  * VUG ("variable unitary gate", the synthesis primitive from the paper)
+//    carries an explicit unitary matrix via a shared immutable payload, so
+//    Gate stays cheap to copy.
+#pragma once
+
+#include "linalg/matrix.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace epoc::circuit {
+
+using linalg::Matrix;
+using linalg::cplx;
+
+enum class GateKind {
+    // single qubit, fixed
+    I,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    SX,
+    SXdg,
+    // single qubit, parameterized
+    RX,
+    RY,
+    RZ,
+    P, ///< phase gate diag(1, e^{i*theta})
+    U3,
+    // two qubit
+    CX,
+    CY,
+    CZ,
+    CH,
+    SWAP,
+    ISWAP,
+    CP,
+    CRX,
+    CRY,
+    CRZ,
+    RXX,
+    RYY,
+    RZZ,
+    CU3,
+    // three qubit
+    CCX,
+    CCZ,
+    CSWAP,
+    // explicit-unitary gates
+    VUG,     ///< variable unitary gate (synthesis primitive / regrouped block)
+    UNITARY, ///< arbitrary fixed unitary attached to the gate
+};
+
+/// Number of qubits the gate kind acts on. VUG/UNITARY return 0 (determined by
+/// the attached matrix).
+int kind_arity(GateKind k);
+
+/// Number of real parameters the kind carries (0 for fixed gates).
+int kind_num_params(GateKind k);
+
+/// Lower-case mnemonic, matching OpenQASM/qelib1 names where one exists.
+std::string kind_name(GateKind k);
+
+/// Inverse lookup for the QASM parser; throws std::invalid_argument on
+/// unknown names.
+GateKind kind_from_name(const std::string& name);
+
+struct Gate {
+    GateKind kind = GateKind::I;
+    std::vector<int> qubits;
+    std::vector<double> params;
+    /// Payload for VUG / UNITARY kinds; null otherwise.
+    std::shared_ptr<const Matrix> matrix;
+
+    Gate() = default;
+    Gate(GateKind k, std::vector<int> qs, std::vector<double> ps = {})
+        : kind(k), qubits(std::move(qs)), params(std::move(ps)) {}
+
+    /// Construct an explicit-unitary gate over `qs`; `u` must be 2^|qs| square.
+    static Gate make_unitary(std::vector<int> qs, Matrix u, GateKind k = GateKind::UNITARY);
+
+    int arity() const { return static_cast<int>(qubits.size()); }
+    bool is_explicit_unitary() const {
+        return kind == GateKind::VUG || kind == GateKind::UNITARY;
+    }
+
+    /// The gate's local-ordering unitary (dimension 2^arity).
+    Matrix unitary() const;
+
+    /// Gate implementing the inverse operation on the same qubits.
+    Gate inverse() const;
+
+    /// Human-readable form, e.g. "rz(0.7853) q1" or "cx q0,q2".
+    std::string to_string() const;
+};
+
+/// The local-ordering matrix for a kind given parameters (no qubits involved).
+Matrix kind_matrix(GateKind k, const std::vector<double>& params);
+
+/// Standard 2x2 building blocks.
+Matrix pauli_x();
+Matrix pauli_y();
+Matrix pauli_z();
+Matrix hadamard();
+Matrix rx_matrix(double theta);
+Matrix ry_matrix(double theta);
+Matrix rz_matrix(double theta);
+Matrix u3_matrix(double theta, double phi, double lambda);
+
+} // namespace epoc::circuit

@@ -1,0 +1,271 @@
+#include "circuit/peephole.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <optional>
+
+namespace epoc::circuit {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kTol = 1e-10;
+
+enum class Axis { None, Z, X };
+
+/// Rotation axis of `g` as seen from qubit `q` (for commutation checks).
+Axis axis_on(const Gate& g, int q) {
+    switch (g.kind) {
+    case GateKind::I:
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::CZ:
+    case GateKind::CP:
+    case GateKind::CRZ:
+    case GateKind::RZZ:
+    case GateKind::CCZ:
+        return Axis::Z;
+    case GateKind::X:
+    case GateKind::SX:
+    case GateKind::SXdg:
+    case GateKind::RX:
+    case GateKind::RXX:
+        return Axis::X;
+    case GateKind::CX:
+        return g.qubits[0] == q ? Axis::Z : Axis::X;
+    case GateKind::CCX:
+        return (g.qubits[0] == q || g.qubits[1] == q) ? Axis::Z : Axis::X;
+    default:
+        return Axis::None;
+    }
+}
+
+bool touches(const Gate& g, int q) {
+    return std::find(g.qubits.begin(), g.qubits.end(), q) != g.qubits.end();
+}
+
+/// True if a and b commute on every qubit they share (same rotation axis).
+bool commute_on_shared(const Gate& a, const Gate& b) {
+    for (const int q : a.qubits) {
+        if (!touches(b, q)) continue;
+        const Axis ax = axis_on(a, q);
+        const Axis bx = axis_on(b, q);
+        if (ax == Axis::None || bx == Axis::None || ax != bx) return false;
+    }
+    return true;
+}
+
+/// Z-axis rotation angle when the gate is a pure single-qubit Z rotation
+/// (up to global phase).
+std::optional<double> z_angle(const Gate& g) {
+    switch (g.kind) {
+    case GateKind::Z: return kPi;
+    case GateKind::S: return kPi / 2;
+    case GateKind::Sdg: return -kPi / 2;
+    case GateKind::T: return kPi / 4;
+    case GateKind::Tdg: return -kPi / 4;
+    case GateKind::RZ:
+    case GateKind::P: return g.params[0];
+    default: return std::nullopt;
+    }
+}
+
+std::optional<double> x_angle(const Gate& g) {
+    switch (g.kind) {
+    case GateKind::X: return kPi;
+    case GateKind::SX: return kPi / 2;
+    case GateKind::SXdg: return -kPi / 2;
+    case GateKind::RX: return g.params[0];
+    default: return std::nullopt;
+    }
+}
+
+bool zero_mod_2pi(double a) {
+    a = std::fmod(std::abs(a), 2 * kPi);
+    return a < kTol || a > 2 * kPi - kTol;
+}
+
+bool same_qubits_ordered(const Gate& a, const Gate& b) { return a.qubits == b.qubits; }
+
+bool same_qubits_unordered(const Gate& a, const Gate& b) {
+    std::vector<int> qa = a.qubits, qb = b.qubits;
+    std::sort(qa.begin(), qa.end());
+    std::sort(qb.begin(), qb.end());
+    return qa == qb;
+}
+
+/// Self-inverse fixed gates that cancel in identical adjacent pairs.
+bool cancels_with_same(const Gate& a, const Gate& b) {
+    if (a.kind != b.kind) return false;
+    switch (a.kind) {
+    case GateKind::H:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+        return same_qubits_ordered(a, b);
+    case GateKind::CX:
+    case GateKind::CCX:
+    case GateKind::CSWAP:
+        return same_qubits_ordered(a, b);
+    case GateKind::CZ:
+    case GateKind::CCZ:
+    case GateKind::SWAP:
+        return same_qubits_unordered(a, b);
+    default:
+        return false;
+    }
+}
+
+/// Mutually-inverse fixed pairs (s/sdg etc.).
+bool inverse_fixed_pair(const Gate& a, const Gate& b) {
+    const auto pair = [&](GateKind x, GateKind y) {
+        return (a.kind == x && b.kind == y) || (a.kind == y && b.kind == x);
+    };
+    if (!same_qubits_ordered(a, b)) return false;
+    return pair(GateKind::S, GateKind::Sdg) || pair(GateKind::T, GateKind::Tdg) ||
+           pair(GateKind::SX, GateKind::SXdg);
+}
+
+/// Attempt to combine gates at positions i < j. Returns true on success;
+/// `gi` may be replaced, and `erase_both`/`erase_j` describe the deletions.
+struct MergeResult {
+    bool merged = false;
+    bool erase_i = false;
+    std::optional<Gate> replacement;
+};
+
+MergeResult try_merge(const Gate& a, const Gate& b) {
+    MergeResult r;
+    if (cancels_with_same(a, b) || inverse_fixed_pair(a, b)) {
+        r.merged = true;
+        r.erase_i = true;
+        return r;
+    }
+    if (a.arity() == 1 && b.arity() == 1 && a.qubits == b.qubits) {
+        const auto za = z_angle(a), zb = z_angle(b);
+        if (za && zb) {
+            const double sum = *za + *zb;
+            r.merged = true;
+            if (zero_mod_2pi(sum))
+                r.erase_i = true;
+            else
+                r.replacement = Gate(GateKind::P, a.qubits, {sum});
+            return r;
+        }
+        const auto xa = x_angle(a), xb = x_angle(b);
+        if (xa && xb) {
+            const double sum = *xa + *xb;
+            r.merged = true;
+            if (zero_mod_2pi(sum))
+                r.erase_i = true;
+            else
+                r.replacement = Gate(GateKind::RX, a.qubits, {sum});
+            return r;
+        }
+        if (a.kind == GateKind::RY && b.kind == GateKind::RY) {
+            const double sum = a.params[0] + b.params[0];
+            r.merged = true;
+            if (zero_mod_2pi(sum))
+                r.erase_i = true;
+            else
+                r.replacement = Gate(GateKind::RY, a.qubits, {sum});
+            return r;
+        }
+    }
+    // Two-qubit parameterized merges.
+    const auto merge_param = [&](GateKind k, bool unordered) {
+        if (a.kind != k || b.kind != k) return false;
+        if (unordered ? !same_qubits_unordered(a, b) : !same_qubits_ordered(a, b))
+            return false;
+        const double sum = a.params[0] + b.params[0];
+        r.merged = true;
+        if (zero_mod_2pi(sum))
+            r.erase_i = true;
+        else
+            r.replacement = Gate(k, a.qubits, {sum});
+        return true;
+    };
+    if (merge_param(GateKind::CP, true) || merge_param(GateKind::RZZ, true) ||
+        merge_param(GateKind::RXX, true) || merge_param(GateKind::RYY, true) ||
+        merge_param(GateKind::CRZ, false))
+        return r;
+    return r;
+}
+
+/// True if the gate is an identity up to global phase.
+bool is_identity(const Gate& g) {
+    if (g.kind == GateKind::I) return true;
+    const auto za = z_angle(g);
+    if (za && zero_mod_2pi(*za)) return true;
+    const auto xa = x_angle(g);
+    if (xa && zero_mod_2pi(*xa)) return true;
+    if (g.kind == GateKind::RY && zero_mod_2pi(g.params[0])) return true;
+    return false;
+}
+
+} // namespace
+
+Circuit peephole_optimize(const Circuit& c) {
+    std::vector<Gate> gates = c.gates();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // Drop identities.
+        std::vector<Gate> live;
+        live.reserve(gates.size());
+        for (Gate& g : gates) {
+            if (is_identity(g))
+                changed = true;
+            else
+                live.push_back(std::move(g));
+        }
+        gates = std::move(live);
+
+        // Commutation-aware pairwise merge.
+        std::vector<bool> dead(gates.size(), false);
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            if (dead[i]) continue;
+            for (std::size_t j = i + 1; j < gates.size(); ++j) {
+                if (dead[j]) continue;
+                const Gate& a = gates[i];
+                const Gate& b = gates[j];
+                const bool overlap =
+                    std::any_of(a.qubits.begin(), a.qubits.end(),
+                                [&](int q) { return touches(b, q); });
+                if (!overlap) continue;
+                const MergeResult r = try_merge(a, b);
+                if (r.merged) {
+                    dead[j] = true;
+                    if (r.erase_i)
+                        dead[i] = true;
+                    else if (r.replacement)
+                        gates[i] = *r.replacement;
+                    changed = true;
+                    break;
+                }
+                // b blocks further search along these qubits unless it
+                // commutes with a on every shared qubit.
+                if (!commute_on_shared(a, b)) break;
+            }
+        }
+        if (changed) {
+            std::vector<Gate> next;
+            next.reserve(gates.size());
+            for (std::size_t i = 0; i < gates.size(); ++i)
+                if (!dead[i]) next.push_back(std::move(gates[i]));
+            gates = std::move(next);
+        }
+    }
+    Circuit out(c.num_qubits());
+    for (Gate& g : gates) out.add(std::move(g));
+    return out;
+}
+
+} // namespace epoc::circuit

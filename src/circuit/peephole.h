@@ -1,0 +1,18 @@
+// Commutation-aware peephole optimization.
+//
+// Implements the gate commutation / aggregation step of EPOC's graph-based
+// depth optimization (paper Section 3.1): diagonal (Z-axis) gates commute
+// through CZ and through the control of CX; X-axis gates commute through the
+// target of CX. Pairs of mutually-inverse gates cancel, adjacent rotations
+// about the same axis merge, and zero rotations vanish. Runs to a fixpoint.
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace epoc::circuit {
+
+/// Optimize and return the rewritten circuit. Unitary is preserved up to
+/// global phase. VUG/UNITARY gates are kept as opaque barriers.
+Circuit peephole_optimize(const Circuit& c);
+
+} // namespace epoc::circuit

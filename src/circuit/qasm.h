@@ -1,0 +1,39 @@
+// OpenQASM 2.0 subset reader/writer.
+//
+// Supported: OPENQASM/include headers, qreg/creg, all qelib1-style builtin
+// gates known to GateKind, whole-register broadcast, custom `gate` definitions
+// (expanded inline at use), parameter expressions with pi, + - * / (),
+// unary minus and sin/cos/tan/exp/ln/sqrt, and `measure`/`barrier`/`reset`
+// statements (accepted and ignored: the EPOC pipeline is unitary-only).
+#pragma once
+
+#include "circuit/circuit.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace epoc::circuit {
+
+/// Error with 1-based line information for malformed input.
+class QasmError : public std::runtime_error {
+public:
+    QasmError(const std::string& msg, int line)
+        : std::runtime_error("qasm:" + std::to_string(line) + ": " + msg), line_(line) {}
+    int line() const noexcept { return line_; }
+
+private:
+    int line_;
+};
+
+/// Parse QASM source text into a circuit. All qregs are concatenated into one
+/// register in declaration order.
+Circuit parse_qasm(const std::string& source);
+
+/// Read and parse a .qasm file.
+Circuit parse_qasm_file(const std::string& path);
+
+/// Serialize to OpenQASM 2.0. Throws std::invalid_argument if the circuit
+/// contains explicit-unitary gates (VUG/UNITARY), which QASM 2 cannot express.
+std::string to_qasm(const Circuit& c);
+
+} // namespace epoc::circuit

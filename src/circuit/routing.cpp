@@ -1,0 +1,155 @@
+#include "circuit/routing.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace epoc::circuit {
+
+CouplingMap::CouplingMap(int num_qubits, std::vector<std::pair<int, int>> edges)
+    : num_qubits_(num_qubits), edges_(std::move(edges)) {
+    adj_.resize(static_cast<std::size_t>(num_qubits_));
+    for (const auto& [a, b] : edges_) {
+        if (a < 0 || b < 0 || a >= num_qubits_ || b >= num_qubits_ || a == b)
+            throw std::invalid_argument("CouplingMap: bad edge");
+        adj_[static_cast<std::size_t>(a)].push_back(b);
+        adj_[static_cast<std::size_t>(b)].push_back(a);
+    }
+    // All-pairs BFS.
+    dist_.assign(static_cast<std::size_t>(num_qubits_),
+                 std::vector<int>(static_cast<std::size_t>(num_qubits_), -1));
+    for (int s = 0; s < num_qubits_; ++s) {
+        auto& d = dist_[static_cast<std::size_t>(s)];
+        d[static_cast<std::size_t>(s)] = 0;
+        std::deque<int> queue{s};
+        while (!queue.empty()) {
+            const int v = queue.front();
+            queue.pop_front();
+            for (const int w : adj_[static_cast<std::size_t>(v)]) {
+                if (d[static_cast<std::size_t>(w)] >= 0) continue;
+                d[static_cast<std::size_t>(w)] = d[static_cast<std::size_t>(v)] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+}
+
+CouplingMap CouplingMap::linear(int n) {
+    std::vector<std::pair<int, int>> e;
+    for (int i = 0; i + 1 < n; ++i) e.emplace_back(i, i + 1);
+    return CouplingMap(n, std::move(e));
+}
+
+CouplingMap CouplingMap::ring(int n) {
+    std::vector<std::pair<int, int>> e;
+    for (int i = 0; i + 1 < n; ++i) e.emplace_back(i, i + 1);
+    if (n > 2) e.emplace_back(n - 1, 0);
+    return CouplingMap(n, std::move(e));
+}
+
+CouplingMap CouplingMap::grid(int rows, int cols) {
+    std::vector<std::pair<int, int>> e;
+    const auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols) e.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < rows) e.emplace_back(id(r, c), id(r + 1, c));
+        }
+    return CouplingMap(rows * cols, std::move(e));
+}
+
+CouplingMap CouplingMap::full(int n) {
+    std::vector<std::pair<int, int>> e;
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b) e.emplace_back(a, b);
+    return CouplingMap(n, std::move(e));
+}
+
+bool CouplingMap::adjacent(int a, int b) const { return distance(a, b) == 1; }
+
+int CouplingMap::distance(int a, int b) const {
+    const int d = dist_.at(static_cast<std::size_t>(a)).at(static_cast<std::size_t>(b));
+    if (d < 0) throw std::invalid_argument("CouplingMap: disconnected qubits");
+    return d;
+}
+
+int CouplingMap::next_hop(int a, int b) const {
+    if (a == b || adjacent(a, b)) return a;
+    for (const int w : adj_.at(static_cast<std::size_t>(a)))
+        if (distance(w, b) == distance(a, b) - 1) return w;
+    throw std::logic_error("CouplingMap::next_hop: no progress (disconnected?)");
+}
+
+RoutingResult route(const Circuit& c, const CouplingMap& map) {
+    if (c.num_qubits() > map.num_qubits())
+        throw std::invalid_argument("route: circuit wider than device");
+    RoutingResult res;
+    res.circuit = Circuit(map.num_qubits());
+    // layout[q] = physical location of logical q; phys_to_log inverse.
+    std::vector<int> layout(static_cast<std::size_t>(map.num_qubits()));
+    std::iota(layout.begin(), layout.end(), 0);
+    std::vector<int> phys_to_log = layout;
+
+    const auto do_swap = [&](int pa, int pb) {
+        res.circuit.swap(pa, pb);
+        ++res.swaps_inserted;
+        const int la = phys_to_log[static_cast<std::size_t>(pa)];
+        const int lb = phys_to_log[static_cast<std::size_t>(pb)];
+        std::swap(phys_to_log[static_cast<std::size_t>(pa)],
+                  phys_to_log[static_cast<std::size_t>(pb)]);
+        layout[static_cast<std::size_t>(la)] = pb;
+        layout[static_cast<std::size_t>(lb)] = pa;
+    };
+
+    for (const Gate& g : c.gates()) {
+        if (g.arity() > 2)
+            throw std::invalid_argument("route: decompose gates wider than 2 qubits first");
+        Gate mapped = g;
+        if (g.arity() == 1) {
+            mapped.qubits[0] = layout[static_cast<std::size_t>(g.qubits[0])];
+        } else {
+            // Walk the first operand toward the second until adjacent.
+            while (true) {
+                const int pa = layout[static_cast<std::size_t>(g.qubits[0])];
+                const int pb = layout[static_cast<std::size_t>(g.qubits[1])];
+                if (map.adjacent(pa, pb)) break;
+                do_swap(pa, map.next_hop(pa, pb));
+            }
+            mapped.qubits[0] = layout[static_cast<std::size_t>(g.qubits[0])];
+            mapped.qubits[1] = layout[static_cast<std::size_t>(g.qubits[1])];
+        }
+        res.circuit.add(std::move(mapped));
+    }
+    res.final_layout.assign(layout.begin(),
+                            layout.begin() + c.num_qubits());
+    return res;
+}
+
+Circuit restore_layout_circuit(const std::vector<int>& final_layout) {
+    int n = static_cast<int>(final_layout.size());
+    for (const int p : final_layout) n = std::max(n, p + 1);
+    // content[p] = logical qubit held at physical p, or -1 for an untracked
+    // (|0>, "blank") slot; blanks may end up anywhere.
+    std::vector<int> content(static_cast<std::size_t>(n), -1);
+    for (std::size_t q = 0; q < final_layout.size(); ++q)
+        content[static_cast<std::size_t>(final_layout[q])] = static_cast<int>(q);
+
+    Circuit c(n);
+    for (int target = 0; target < static_cast<int>(final_layout.size()); ++target) {
+        if (content[static_cast<std::size_t>(target)] == target) continue;
+        int src = -1;
+        for (int p = 0; p < n; ++p)
+            if (content[static_cast<std::size_t>(p)] == target) {
+                src = p;
+                break;
+            }
+        if (src < 0) throw std::logic_error("restore_layout_circuit: lost a logical qubit");
+        c.swap(src, target);
+        std::swap(content[static_cast<std::size_t>(src)],
+                  content[static_cast<std::size_t>(target)]);
+    }
+    return c;
+}
+
+} // namespace epoc::circuit

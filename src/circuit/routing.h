@@ -1,0 +1,56 @@
+// Qubit mapping and routing for constrained device topologies.
+//
+// The traditional compilation flow in the paper's Figure 1 maps circuits to
+// the target machine's coupling graph before pulse generation. This module
+// provides the standard greedy shortest-path router: two-qubit gates whose
+// operands are not adjacent on the device are preceded by SWAPs that walk
+// the operands together, with the logical-to-physical layout tracked
+// throughout.
+#pragma once
+
+#include "circuit/circuit.h"
+
+#include <utility>
+#include <vector>
+
+namespace epoc::circuit {
+
+class CouplingMap {
+public:
+    CouplingMap(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+    static CouplingMap linear(int n);
+    static CouplingMap ring(int n);
+    static CouplingMap grid(int rows, int cols);
+    static CouplingMap full(int n);
+
+    int num_qubits() const { return num_qubits_; }
+    const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+    bool adjacent(int a, int b) const;
+    /// Hop count between two physical qubits (BFS, precomputed).
+    int distance(int a, int b) const;
+    /// First hop on a shortest path a -> b (a itself if already adjacent/equal).
+    int next_hop(int a, int b) const;
+
+private:
+    int num_qubits_;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> adj_;
+    std::vector<std::vector<int>> dist_;
+};
+
+struct RoutingResult {
+    Circuit circuit;               ///< routed circuit over physical qubits
+    std::vector<int> final_layout; ///< logical q resides at physical final_layout[q]
+    int swaps_inserted = 0;
+};
+
+/// Route a circuit of arity <= 2 gates onto the device (identity initial
+/// layout). Throws std::invalid_argument for wider gates: decompose first.
+RoutingResult route(const Circuit& c, const CouplingMap& map);
+
+/// Test helper: a SWAP circuit that undoes `final_layout`, so that
+/// (restore o routed) == original as a unitary (topology-unconstrained).
+Circuit restore_layout_circuit(const std::vector<int>& final_layout);
+
+} // namespace epoc::circuit

@@ -1,0 +1,106 @@
+#include "circuit/unitary.h"
+
+#include <stdexcept>
+
+namespace epoc::circuit {
+
+namespace {
+
+/// Scatter/gather index helpers: for a gate on `qubits`, every full-register
+/// basis index splits into (local bits on the gate's qubits, rest). `strides`
+/// caches 1<<q per gate qubit.
+struct GateIndexer {
+    std::vector<std::size_t> strides;
+    std::vector<std::size_t> rest_indices; ///< all indices with gate-qubit bits zero
+    std::size_t local_dim;
+
+    GateIndexer(const std::vector<int>& qubits, int num_qubits) {
+        const std::size_t dim = std::size_t{1} << num_qubits;
+        std::size_t mask = 0;
+        strides.reserve(qubits.size());
+        for (const int q : qubits) {
+            const std::size_t s = std::size_t{1} << q;
+            strides.push_back(s);
+            mask |= s;
+        }
+        local_dim = std::size_t{1} << qubits.size();
+        rest_indices.reserve(dim >> qubits.size());
+        for (std::size_t i = 0; i < dim; ++i)
+            if ((i & mask) == 0) rest_indices.push_back(i);
+    }
+
+    std::size_t compose(std::size_t rest, std::size_t local) const {
+        std::size_t idx = rest;
+        for (std::size_t b = 0; b < strides.size(); ++b)
+            if (local & (std::size_t{1} << b)) idx |= strides[b];
+        return idx;
+    }
+};
+
+} // namespace
+
+void apply_gate(std::vector<cplx>& psi, const Matrix& gate_matrix,
+                const std::vector<int>& qubits, int num_qubits) {
+    const std::size_t local_dim = std::size_t{1} << qubits.size();
+    if (gate_matrix.rows() != local_dim || gate_matrix.cols() != local_dim)
+        throw std::invalid_argument("apply_gate: matrix dimension mismatch");
+    if (psi.size() != (std::size_t{1} << num_qubits))
+        throw std::invalid_argument("apply_gate: state dimension mismatch");
+
+    const GateIndexer ix(qubits, num_qubits);
+    std::vector<cplx> in(local_dim), out(local_dim);
+    std::vector<std::size_t> addr(local_dim);
+    for (const std::size_t rest : ix.rest_indices) {
+        for (std::size_t l = 0; l < local_dim; ++l) {
+            addr[l] = ix.compose(rest, l);
+            in[l] = psi[addr[l]];
+        }
+        for (std::size_t r = 0; r < local_dim; ++r) {
+            cplx acc{0.0, 0.0};
+            for (std::size_t c = 0; c < local_dim; ++c) acc += gate_matrix(r, c) * in[c];
+            out[r] = acc;
+        }
+        for (std::size_t l = 0; l < local_dim; ++l) psi[addr[l]] = out[l];
+    }
+}
+
+void apply_gate(Matrix& u, const Matrix& gate_matrix, const std::vector<int>& qubits,
+                int num_qubits) {
+    const std::size_t dim = std::size_t{1} << num_qubits;
+    if (u.rows() != dim) throw std::invalid_argument("apply_gate: accumulator mismatch");
+    std::vector<cplx> col(dim);
+    for (std::size_t c = 0; c < u.cols(); ++c) {
+        for (std::size_t r = 0; r < dim; ++r) col[r] = u(r, c);
+        apply_gate(col, gate_matrix, qubits, num_qubits);
+        for (std::size_t r = 0; r < dim; ++r) u(r, c) = col[r];
+    }
+}
+
+Matrix embed_gate(const Matrix& gate_matrix, const std::vector<int>& qubits,
+                  int num_qubits) {
+    const std::size_t dim = std::size_t{1} << num_qubits;
+    Matrix out(dim, dim);
+    const GateIndexer ix(qubits, num_qubits);
+    const std::size_t local_dim = ix.local_dim;
+    for (const std::size_t rest : ix.rest_indices)
+        for (std::size_t r = 0; r < local_dim; ++r)
+            for (std::size_t c = 0; c < local_dim; ++c)
+                out(ix.compose(rest, r), ix.compose(rest, c)) = gate_matrix(r, c);
+    return out;
+}
+
+Matrix circuit_unitary(const Circuit& c) {
+    const std::size_t dim = std::size_t{1} << c.num_qubits();
+    Matrix u = Matrix::identity(dim);
+    for (const Gate& g : c.gates()) apply_gate(u, g.unitary(), g.qubits, c.num_qubits());
+    return u;
+}
+
+std::vector<cplx> run_statevector(const Circuit& c) {
+    std::vector<cplx> psi(std::size_t{1} << c.num_qubits(), cplx{0.0, 0.0});
+    psi[0] = cplx{1.0, 0.0};
+    for (const Gate& g : c.gates()) apply_gate(psi, g.unitary(), g.qubits, c.num_qubits());
+    return psi;
+}
+
+} // namespace epoc::circuit

@@ -1,0 +1,31 @@
+// Circuit-to-unitary evaluation.
+//
+// Gates are applied directly to state-vector columns rather than by building
+// full-register gate matrices, so evaluating an n-qubit circuit costs
+// O(gates * 4^n * 2^k) instead of O(gates * 8^n).
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace epoc::circuit {
+
+/// Apply `gate_matrix` (dimension 2^|qubits|, local little-endian ordering) to
+/// the state vector `psi` of `num_qubits` qubits, in place.
+void apply_gate(std::vector<cplx>& psi, const Matrix& gate_matrix,
+                const std::vector<int>& qubits, int num_qubits);
+
+/// Apply a gate to a full-register unitary accumulator: u <- G_embedded * u.
+void apply_gate(Matrix& u, const Matrix& gate_matrix, const std::vector<int>& qubits,
+                int num_qubits);
+
+/// The gate's matrix embedded into the full 2^n register space.
+Matrix embed_gate(const Matrix& gate_matrix, const std::vector<int>& qubits,
+                  int num_qubits);
+
+/// Full 2^n x 2^n unitary of the circuit.
+Matrix circuit_unitary(const Circuit& c);
+
+/// Circuit applied to |0...0>; returns the 2^n amplitude vector.
+std::vector<cplx> run_statevector(const Circuit& c);
+
+} // namespace epoc::circuit

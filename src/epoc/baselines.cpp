@@ -1,0 +1,203 @@
+#include "epoc/baselines.h"
+
+#include "circuit/decompose.h"
+#include "qoc/decoherence.h"
+#include "circuit/unitary.h"
+#include "linalg/phase.h"
+
+#include <chrono>
+#include <limits>
+
+namespace epoc::core {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using linalg::Matrix;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+const qoc::BlockHamiltonian& ham_for(std::map<int, qoc::BlockHamiltonian>& cache, int nq,
+                                     const qoc::DeviceParams& dev) {
+    auto it = cache.find(nq);
+    if (it == cache.end()) it = cache.emplace(nq, qoc::make_block_hamiltonian(nq, dev)).first;
+    return it->second;
+}
+
+bool is_identity_unitary(const Matrix& u) {
+    return linalg::hs_fidelity(u, Matrix::identity(u.rows())) > 1.0 - 1e-10;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- gate-based
+
+GateBasedCompiler::GateBasedCompiler(qoc::DeviceParams device,
+                                     qoc::LatencySearchOptions latency)
+    : device_(device), latency_(latency), library_(true) {}
+
+EpocResult GateBasedCompiler::compile(const Circuit& c) {
+    EpocResult res;
+    const auto t0 = std::chrono::steady_clock::now();
+    res.depth_original = c.depth();
+    res.gates_original = c.size();
+
+    const Circuit lowered = circuit::transpile(c, circuit::Basis::RZ_SX_CX);
+    res.synthesized = lowered;
+    res.synthesized_gates = lowered.size();
+
+    std::vector<PulseJob> jobs;
+    for (const Gate& g : lowered.gates()) {
+        if (g.kind == GateKind::RZ || g.kind == GateKind::P) {
+            // Virtual Z: frame update, zero duration, perfect fidelity.
+            jobs.push_back({g.qubits, 0.0, 1.0, "rz"});
+            continue;
+        }
+        const qoc::LatencyResult& lr = library_.get_or_generate(
+            ham_for(hams_, g.arity(), device_), g.unitary(), latency_);
+        jobs.push_back({g.qubits, lr.pulse.duration(), lr.pulse.fidelity,
+                        circuit::kind_name(g.kind)});
+    }
+    res.schedule = schedule_asap(jobs, c.num_qubits());
+    res.num_pulses = jobs.size();
+    res.latency_ns = res.schedule.latency;
+    res.esp = res.schedule.esp;
+    res.esp_decoherent = qoc::esp_with_decoherence(res.schedule);
+    res.compile_ms = ms_since(t0);
+    res.library_stats = library_.stats();
+    return res;
+}
+
+// ---------------------------------------------------------------- PAQOC-like
+
+PaqocLikeCompiler::PaqocLikeCompiler(PaqocOptions opt)
+    : opt_(std::move(opt)), library_(true) {}
+
+EpocResult PaqocLikeCompiler::compile(const Circuit& c) {
+    EpocResult res;
+    const auto t0 = std::chrono::steady_clock::now();
+    res.depth_original = c.depth();
+    res.gates_original = c.size();
+
+    const std::vector<partition::CircuitBlock> blocks =
+        partition::greedy_partition(c, opt_.partition);
+    res.num_blocks = blocks.size();
+
+    std::vector<PulseJob> jobs;
+    for (const partition::CircuitBlock& blk : blocks) {
+        const Matrix u = partition::block_unitary(blk);
+        if (is_identity_unitary(u)) continue;
+        const qoc::LatencyResult& lr = library_.get_or_generate(
+            ham_for(hams_, static_cast<int>(blk.qubits.size()), opt_.device), u,
+            opt_.latency);
+        jobs.push_back({blk.qubits, lr.pulse.duration(), lr.pulse.fidelity, "group"});
+    }
+    res.schedule = schedule_asap(jobs, c.num_qubits());
+    res.num_pulses = jobs.size();
+    res.latency_ns = res.schedule.latency;
+    res.esp = res.schedule.esp;
+    res.esp_decoherent = qoc::esp_with_decoherence(res.schedule);
+    res.compile_ms = ms_since(t0);
+    res.library_stats = library_.stats();
+    return res;
+}
+
+// --------------------------------------------------------------- AccQOC-like
+
+AccqocLikeCompiler::AccqocLikeCompiler(AccqocOptions opt)
+    : opt_(std::move(opt)), library_(true) {}
+
+EpocResult AccqocLikeCompiler::compile(const Circuit& c) {
+    EpocResult res;
+    const auto t0 = std::chrono::steady_clock::now();
+    res.depth_original = c.depth();
+    res.gates_original = c.size();
+
+    partition::PartitionOptions popt;
+    popt.max_qubits = 2;
+    popt.max_gates = opt_.slice_gates;
+    const std::vector<partition::CircuitBlock> blocks = partition::greedy_partition(c, popt);
+    res.num_blocks = blocks.size();
+
+    // Gather distinct unitaries that are not yet in the library.
+    struct Pending {
+        Matrix u;
+        int nq;
+    };
+    std::vector<Pending> pending;
+    std::vector<std::string> seen;
+    for (const partition::CircuitBlock& blk : blocks) {
+        Matrix u = partition::block_unitary(blk);
+        if (is_identity_unitary(u)) continue;
+        if (library_.peek(u) != nullptr) continue;
+        const std::string key = linalg::phase_canonical_key(u, 6);
+        bool dup = false;
+        for (const std::string& s : seen) dup = dup || s == key;
+        if (dup) continue;
+        seen.push_back(key);
+        pending.push_back({std::move(u), static_cast<int>(blk.qubits.size())});
+    }
+
+    // Similarity-graph MST (AccQOC): generate pulses along the tree, warm-
+    // starting every child from its parent's amplitudes. The first pending
+    // unitary roots the tree.
+    if (opt_.use_mst && pending.size() > 1) {
+        const std::size_t n = pending.size();
+        std::vector<bool> in_tree(n, false);
+        std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+        std::vector<std::size_t> parent(n, 0);
+        dist[0] = 0.0;
+        std::vector<std::size_t> order;
+        for (std::size_t step = 0; step < n; ++step) {
+            std::size_t best = n;
+            for (std::size_t i = 0; i < n; ++i)
+                if (!in_tree[i] && (best == n || dist[i] < dist[best])) best = i;
+            in_tree[best] = true;
+            order.push_back(best);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (in_tree[i] || pending[i].nq != pending[best].nq) continue;
+                const double d = linalg::phase_invariant_distance(pending[i].u,
+                                                                  pending[best].u);
+                if (d < dist[i]) {
+                    dist[i] = d;
+                    parent[i] = best;
+                }
+            }
+        }
+        for (const std::size_t i : order) {
+            qoc::LatencySearchOptions lopt = opt_.latency;
+            if (i != 0 && parent[i] != i) {
+                const qoc::LatencyResult* pp = library_.peek(pending[parent[i]].u);
+                if (pp != nullptr && pending[parent[i]].nq == pending[i].nq)
+                    lopt.grape.warm_amplitudes = pp->pulse.amplitudes;
+            }
+            library_.get_or_generate(ham_for(hams_, pending[i].nq, opt_.device),
+                                     pending[i].u, lopt);
+        }
+    }
+
+    std::vector<PulseJob> jobs;
+    for (const partition::CircuitBlock& blk : blocks) {
+        const Matrix u = partition::block_unitary(blk);
+        if (is_identity_unitary(u)) continue;
+        const qoc::LatencyResult& lr = library_.get_or_generate(
+            ham_for(hams_, static_cast<int>(blk.qubits.size()), opt_.device), u,
+            opt_.latency);
+        jobs.push_back({blk.qubits, lr.pulse.duration(), lr.pulse.fidelity, "slice"});
+    }
+    res.schedule = schedule_asap(jobs, c.num_qubits());
+    res.num_pulses = jobs.size();
+    res.latency_ns = res.schedule.latency;
+    res.esp = res.schedule.esp;
+    res.esp_decoherent = qoc::esp_with_decoherence(res.schedule);
+    res.compile_ms = ms_since(t0);
+    res.library_stats = library_.stats();
+    return res;
+}
+
+} // namespace epoc::core

@@ -1,0 +1,72 @@
+// Comparator pipelines for Table 1 and Figures 8-10.
+//
+//  * GateBasedCompiler  -- the traditional flow: lower to {rz, sx, x, cx} and
+//    play one calibrated pulse per gate (rz is virtual / zero-duration).
+//  * PaqocLikeCompiler  -- PAQOC (HPCA'23) stand-in: gate-level greedy
+//    grouping of the *original* circuit (no ZX, no synthesis) and one QOC
+//    pulse per group; the pulse library models its pattern reuse.
+//  * AccqocLikeCompiler -- AccQOC (ISCA'20) stand-in: fixed two-qubit slicing
+//    plus the similarity-graph MST ordering, warm-starting each GRAPE run
+//    from its MST parent's pulse.
+//
+// All three reuse EpocResult so the benches can print one table.
+#pragma once
+
+#include "epoc/pipeline.h"
+
+namespace epoc::core {
+
+class GateBasedCompiler {
+public:
+    explicit GateBasedCompiler(qoc::DeviceParams device = {},
+                               qoc::LatencySearchOptions latency = {});
+    EpocResult compile(const circuit::Circuit& c);
+    qoc::PulseLibrary& library() { return library_; }
+
+private:
+    qoc::DeviceParams device_;
+    qoc::LatencySearchOptions latency_;
+    qoc::PulseLibrary library_;
+    std::map<int, qoc::BlockHamiltonian> hams_;
+};
+
+struct PaqocOptions {
+    /// PAQOC mines small gate patterns (program-aware basis gates of a few
+    /// gates each); max_gates models that pattern granularity.
+    partition::PartitionOptions partition{/*max_qubits=*/2, /*max_gates=*/4};
+    qoc::DeviceParams device;
+    qoc::LatencySearchOptions latency;
+};
+
+class PaqocLikeCompiler {
+public:
+    explicit PaqocLikeCompiler(PaqocOptions opt = {});
+    EpocResult compile(const circuit::Circuit& c);
+    qoc::PulseLibrary& library() { return library_; }
+
+private:
+    PaqocOptions opt_;
+    qoc::PulseLibrary library_;
+    std::map<int, qoc::BlockHamiltonian> hams_;
+};
+
+struct AccqocOptions {
+    int slice_gates = 4; ///< vertical slice size over 2-qubit groups
+    qoc::DeviceParams device;
+    qoc::LatencySearchOptions latency;
+    bool use_mst = true;
+};
+
+class AccqocLikeCompiler {
+public:
+    explicit AccqocLikeCompiler(AccqocOptions opt = {});
+    EpocResult compile(const circuit::Circuit& c);
+    qoc::PulseLibrary& library() { return library_; }
+
+private:
+    AccqocOptions opt_;
+    qoc::PulseLibrary library_;
+    std::map<int, qoc::BlockHamiltonian> hams_;
+};
+
+} // namespace epoc::core

@@ -1,0 +1,20 @@
+// Schedule serialization and visualization: JSON export for downstream
+// tooling and an ASCII timeline for terminals. The JSON schema is stable and
+// covered by tests.
+#pragma once
+
+#include "epoc/scheduler.h"
+
+#include <string>
+
+namespace epoc::core {
+
+/// JSON object: {"num_qubits":N,"latency_ns":..,"esp":..,"pulses":[
+///   {"label":..,"qubits":[..],"start_ns":..,"duration_ns":..,"fidelity":..},..]}
+std::string schedule_to_json(const PulseSchedule& s);
+
+/// Fixed-width per-qubit timeline, one row per qubit; '#' marks busy time.
+/// `columns` is the width of the time axis.
+std::string ascii_timeline(const PulseSchedule& s, int columns = 72);
+
+} // namespace epoc::core

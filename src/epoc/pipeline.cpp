@@ -1,0 +1,194 @@
+#include "epoc/pipeline.h"
+
+#include "circuit/decompose.h"
+#include "circuit/peephole.h"
+#include "synthesis/kak.h"
+#include "qoc/decoherence.h"
+#include "circuit/unitary.h"
+#include "linalg/phase.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace epoc::core {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using linalg::Matrix;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+bool is_identity_unitary(const Matrix& u) {
+    return linalg::hs_fidelity(u, Matrix::identity(u.rows())) > 1.0 - 1e-10;
+}
+
+} // namespace
+
+EpocCompiler::EpocCompiler(EpocOptions opt)
+    : opt_(std::move(opt)), library_(opt_.phase_aware_library) {}
+
+const qoc::BlockHamiltonian& EpocCompiler::hamiltonian(int num_qubits) {
+    auto it = hams_.find(num_qubits);
+    if (it == hams_.end())
+        it = hams_.emplace(num_qubits, qoc::make_block_hamiltonian(num_qubits, opt_.device))
+                 .first;
+    return it->second;
+}
+
+Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBlock>& blocks,
+                                        int num_qubits, double& synth_ms) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Circuit flat(num_qubits);
+    for (const partition::CircuitBlock& blk : blocks) {
+        // Bridging CNOTs pass through untouched.
+        if (blk.bridge && blk.body.size() == 1 && blk.body.gate(0).kind == GateKind::CX) {
+            flat.append_mapped(blk.body, blk.qubits);
+            continue;
+        }
+        const Matrix u = partition::block_unitary(blk);
+        if (is_identity_unitary(u)) continue;
+
+        if (blk.qubits.size() == 1) {
+            // Single-qubit blocks synthesize exactly via ZYZ: one VUG.
+            const circuit::Zyz e = circuit::zyz_decompose(u);
+            Circuit local(1);
+            local.u3(e.theta, e.phi, e.lambda, 0);
+            flat.append_mapped(local, blk.qubits);
+            continue;
+        }
+
+        if (opt_.use_kak && blk.qubits.size() == 2) {
+            // Analytic fast path: exact, so the keep-original heuristic below
+            // compares on entangling content via the peepholed KAK circuit.
+            const circuit::Circuit kc =
+                circuit::peephole_optimize(synthesis::kak_synthesize(u));
+            if (kc.two_qubit_count() <= blk.body.two_qubit_count())
+                flat.append_mapped(kc, blk.qubits);
+            else
+                flat.append_mapped(blk.body, blk.qubits);
+            continue;
+        }
+
+        const std::string key = linalg::phase_canonical_key(u, 6);
+        auto it = synth_cache_.find(key);
+        if (it == synth_cache_.end()) {
+            synthesis::SynthesisResult sr = synthesis::qsearch_synthesize(u, opt_.qsearch);
+            if (!sr.converged && opt_.leap_fallback) {
+                synthesis::LeapOptions lo;
+                lo.threshold = opt_.qsearch.threshold;
+                lo.instantiate = opt_.qsearch.instantiate;
+                synthesis::SynthesisResult leap = synthesis::leap_synthesize(u, lo);
+                if (leap.distance < sr.distance) sr = std::move(leap);
+            }
+            it = synth_cache_.emplace(key, std::move(sr)).first;
+        }
+        // Synthesis is an optimization, not an obligation: if the searched
+        // circuit carries no fewer entangling gates than the original block
+        // (or missed the accuracy target), keep the original gates -- they
+        // may be better parallelized.
+        const synthesis::SynthesisResult& sr = it->second;
+        const bool synth_wins =
+            sr.converged &&
+            (static_cast<std::size_t>(sr.cnot_count) < blk.body.two_qubit_count() ||
+             (static_cast<std::size_t>(sr.cnot_count) == blk.body.two_qubit_count() &&
+              sr.circuit.depth() <= blk.body.depth()));
+        if (synth_wins)
+            flat.append_mapped(sr.circuit, blk.qubits);
+        else
+            flat.append_mapped(blk.body, blk.qubits);
+    }
+    synth_ms += ms_since(t0);
+    return flat;
+}
+
+EpocResult EpocCompiler::compile(const Circuit& c) {
+    EpocResult res;
+    res.depth_original = c.depth();
+    res.gates_original = c.size();
+    const auto t_start = std::chrono::steady_clock::now();
+
+    // 1. Graph-based depth optimization.
+    Circuit current = c;
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (opt_.use_zx) {
+            zx::ZxOptimizeResult zr = zx::zx_optimize(c);
+            current = std::move(zr.circuit);
+        }
+        res.zx_ms = ms_since(t0);
+    }
+    res.depth_after_zx = current.depth();
+
+    // 2+3. Partition and synthesize.
+    if (opt_.use_synthesis) {
+        const std::vector<partition::CircuitBlock> blocks =
+            partition::greedy_partition(current, opt_.partition);
+        res.num_blocks = blocks.size();
+        current = synthesize_blocks(blocks, current.num_qubits(), res.synthesis_ms);
+    }
+    res.synthesized = current;
+    res.synthesized_gates = current.size();
+
+    // 4+5. Regroup (or not) and generate pulses.
+    //
+    // The fine-grained arm (one pulse per synthesized gate) is always
+    // evaluated -- it is cheap thanks to the pulse library. With regrouping
+    // enabled the grouped schedule is evaluated too and the shorter of the
+    // two wins: on wide, shallow circuits a wide block pulse can blockade
+    // qubit lines and lose to well-packed per-gate pulses.
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+
+        std::vector<PulseJob> fine_jobs;
+        for (const Gate& g : current.gates()) {
+            const Matrix u = g.unitary();
+            if (is_identity_unitary(u)) continue;
+            const qoc::LatencyResult& lr = library_.get_or_generate(
+                hamiltonian(g.arity()), u, opt_.latency);
+            fine_jobs.push_back(
+                {g.qubits, lr.pulse.duration(), lr.pulse.fidelity, kind_name(g.kind)});
+        }
+        const PulseSchedule fine = schedule_asap(fine_jobs, c.num_qubits());
+
+        if (opt_.regroup_enabled) {
+            std::vector<PulseJob> jobs;
+            const std::vector<partition::CircuitBlock> groups =
+                regroup(current, opt_.regroup_opt);
+            for (const partition::CircuitBlock& blk : groups) {
+                const Matrix u = partition::block_unitary(blk);
+                if (is_identity_unitary(u)) continue;
+                qoc::LatencySearchOptions lopt = opt_.latency;
+                // Coarser duration resolution for big blocks keeps the GRAPE
+                // budget bounded (dim-16 propagators are ~8x dim-8 cost).
+                if (blk.qubits.size() >= 4)
+                    lopt.slot_granularity = std::max(lopt.slot_granularity, 4);
+                else if (blk.qubits.size() == 3)
+                    lopt.slot_granularity = std::max(lopt.slot_granularity, 2);
+                const qoc::LatencyResult& lr = library_.get_or_generate(
+                    hamiltonian(static_cast<int>(blk.qubits.size())), u, lopt);
+                jobs.push_back({blk.qubits, lr.pulse.duration(), lr.pulse.fidelity,
+                                "block" + std::to_string(jobs.size())});
+            }
+            const PulseSchedule grouped = schedule_asap(jobs, c.num_qubits());
+            res.schedule = (grouped.latency <= fine.latency) ? grouped : fine;
+        } else {
+            res.schedule = fine;
+        }
+        res.qoc_ms = ms_since(t0);
+    }
+    res.num_pulses = res.schedule.pulses.size();
+    res.latency_ns = res.schedule.latency;
+    res.esp = res.schedule.esp;
+    res.esp_decoherent = qoc::esp_with_decoherence(res.schedule);
+    res.compile_ms = ms_since(t_start);
+    res.library_stats = library_.stats();
+    return res;
+}
+
+} // namespace epoc::core

@@ -1,0 +1,24 @@
+// Regrouping (paper Section 3.3): aggregate the fine-grained VUG + CNOT gates
+// produced by synthesis into slightly larger unitary blocks that are worth
+// running quantum optimal control on. Without this step each tiny VUG gets
+// its own pulse and the pulse sequence serializes; with it, a whole block
+// becomes a single time-optimal pulse.
+#pragma once
+
+#include "partition/partition.h"
+
+namespace epoc::core {
+
+struct RegroupOptions {
+    /// Qubits per regrouped unitary (the paper's "suitable size" knob; QOC
+    /// cost grows exponentially here).
+    int max_qubits = 2;
+    /// Gates folded into one block before a vertical cut.
+    int max_gates = 32;
+};
+
+/// Aggregate a synthesized circuit into pulse-sized blocks.
+std::vector<partition::CircuitBlock> regroup(const circuit::Circuit& synthesized,
+                                             const RegroupOptions& opt);
+
+} // namespace epoc::core

@@ -1,0 +1,36 @@
+#include "epoc/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace epoc::core {
+
+double PulseSchedule::utilization() const {
+    if (latency <= 0.0 || num_qubits == 0) return 0.0;
+    double busy = 0.0;
+    for (const ScheduledPulse& p : pulses)
+        busy += p.job.duration * static_cast<double>(p.job.qubits.size());
+    return busy / (latency * static_cast<double>(num_qubits));
+}
+
+PulseSchedule schedule_asap(const std::vector<PulseJob>& jobs, int num_qubits) {
+    PulseSchedule s;
+    s.num_qubits = num_qubits;
+    std::vector<double> free_at(static_cast<std::size_t>(num_qubits), 0.0);
+    for (const PulseJob& job : jobs) {
+        double start = 0.0;
+        for (const int q : job.qubits) {
+            if (q < 0 || q >= num_qubits)
+                throw std::out_of_range("schedule_asap: qubit out of range");
+            start = std::max(start, free_at[static_cast<std::size_t>(q)]);
+        }
+        const double end = start + job.duration;
+        for (const int q : job.qubits) free_at[static_cast<std::size_t>(q)] = end;
+        s.latency = std::max(s.latency, end);
+        s.esp *= job.fidelity;
+        s.pulses.push_back({job, start, end});
+    }
+    return s;
+}
+
+} // namespace epoc::core

@@ -1,0 +1,41 @@
+// ASAP pulse scheduling onto qubit lines.
+//
+// Each pulse occupies its qubits for its duration; a pulse starts as soon as
+// all of its qubits are free. Circuit latency is the last pulse's end time;
+// the estimated success probability (ESP, paper Eq. 3) is the product of the
+// pulse fidelities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace epoc::core {
+
+struct PulseJob {
+    std::vector<int> qubits; ///< global qubit ids
+    double duration = 0.0;   ///< ns (0 for virtual gates like RZ)
+    double fidelity = 1.0;
+    std::string label;
+};
+
+struct ScheduledPulse {
+    PulseJob job;
+    double start = 0.0;
+    double end = 0.0;
+};
+
+struct PulseSchedule {
+    std::vector<ScheduledPulse> pulses;
+    double latency = 0.0; ///< ns
+    double esp = 1.0;     ///< product of pulse fidelities
+    int num_qubits = 0;
+
+    /// Fraction of (latency * num_qubits) covered by pulses: the qubit-line
+    /// utilization the paper's parallelism argument is about.
+    double utilization() const;
+};
+
+/// Schedule jobs in order (ASAP semantics).
+PulseSchedule schedule_asap(const std::vector<PulseJob>& jobs, int num_qubits);
+
+} // namespace epoc::core

@@ -1,0 +1,68 @@
+#include "linalg/expm.h"
+
+#include "linalg/lu.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace epoc::linalg {
+
+namespace {
+
+// Pade coefficients for the degree-13 approximant (Higham 2005, Table 2.3).
+constexpr std::array<double, 14> kB13 = {
+    64764752532480000.0, 32382376266240000.0, 7771770303897600.0, 1187353796428800.0,
+    129060195264000.0,   10559470521600.0,    670442572800.0,     33522128640.0,
+    1323241920.0,        40840800.0,          960960.0,           16380.0,
+    182.0,               1.0};
+
+// theta_13: the largest 1-norm for which the degree-13 approximant meets
+// double-precision accuracy without scaling.
+constexpr double kTheta13 = 5.371920351148152;
+
+} // namespace
+
+Matrix expm(const Matrix& a) {
+    if (!a.is_square()) throw std::invalid_argument("expm: matrix not square");
+    const std::size_t n = a.rows();
+    if (n == 0) return a;
+    if (n == 1) {
+        Matrix out(1, 1);
+        out(0, 0) = std::exp(a(0, 0));
+        return out;
+    }
+
+    const double norm = a.one_norm();
+    int s = 0;
+    if (norm > kTheta13) s = static_cast<int>(std::ceil(std::log2(norm / kTheta13)));
+
+    Matrix as = a;
+    if (s > 0) as *= cplx{std::ldexp(1.0, -s), 0.0};
+
+    const Matrix i = Matrix::identity(n);
+    const Matrix a2 = as * as;
+    const Matrix a4 = a2 * a2;
+    const Matrix a6 = a2 * a4;
+
+    // U = A * (A6*(b13*A6 + b11*A4 + b9*A2) + b7*A6 + b5*A4 + b3*A2 + b1*I)
+    Matrix u = a6 * (kB13[13] * a6 + kB13[11] * a4 + kB13[9] * a2) + kB13[7] * a6 +
+               kB13[5] * a4 + kB13[3] * a2 + kB13[1] * i;
+    u = as * u;
+    // V = A6*(b12*A6 + b10*A4 + b8*A2) + b6*A6 + b4*A4 + b2*A2 + b0*I
+    const Matrix v = a6 * (kB13[12] * a6 + kB13[10] * a4 + kB13[8] * a2) + kB13[6] * a6 +
+                     kB13[4] * a4 + kB13[2] * a2 + kB13[0] * i;
+
+    // r = (V - U)^{-1} (V + U)
+    Matrix r = solve(v - u, v + u);
+    for (int k = 0; k < s; ++k) r = r * r;
+    return r;
+}
+
+Matrix exp_i(const Matrix& h, double t) {
+    Matrix a = h;
+    a *= cplx{0.0, -t};
+    return expm(a);
+}
+
+} // namespace epoc::linalg

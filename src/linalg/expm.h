@@ -1,0 +1,18 @@
+// Matrix exponential via Pade approximation with scaling and squaring
+// (Higham 2005, "The Scaling and Squaring Method for the Matrix Exponential
+// Revisited"). This is the workhorse of the GRAPE propagator: every time slot
+// exponentiates -i*H*dt for a small (<= 2^4 dimensional in our benches)
+// Hamiltonian.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace epoc::linalg {
+
+/// exp(A) for a square complex matrix.
+Matrix expm(const Matrix& a);
+
+/// Convenience for quantum propagators: exp(-i * H * t).
+Matrix exp_i(const Matrix& h, double t);
+
+} // namespace epoc::linalg

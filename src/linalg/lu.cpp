@@ -1,0 +1,96 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace epoc::linalg {
+
+LuDecomposition lu_decompose(const Matrix& a) {
+    if (!a.is_square()) throw std::invalid_argument("lu_decompose: matrix not square");
+    const std::size_t n = a.rows();
+    LuDecomposition f;
+    f.lu = a;
+    f.perm.resize(n);
+    std::iota(f.perm.begin(), f.perm.end(), std::size_t{0});
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot: pick the row with the largest magnitude in this column.
+        std::size_t pivot = col;
+        double best = std::abs(f.lu(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double v = std::abs(f.lu(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best == 0.0) {
+            f.singular = true;
+            continue;
+        }
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(f.lu(col, c), f.lu(pivot, c));
+            std::swap(f.perm[col], f.perm[pivot]);
+            ++f.num_swaps;
+        }
+        const cplx d = f.lu(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const cplx factor = f.lu(r, col) / d;
+            f.lu(r, col) = factor;
+            if (factor == cplx{0.0, 0.0}) continue;
+            for (std::size_t c = col + 1; c < n; ++c) f.lu(r, c) -= factor * f.lu(col, c);
+        }
+    }
+    return f;
+}
+
+std::vector<cplx> lu_solve(const LuDecomposition& f, const std::vector<cplx>& b) {
+    const std::size_t n = f.lu.rows();
+    if (b.size() != n) throw std::invalid_argument("lu_solve: rhs size mismatch");
+    std::vector<cplx> x(n);
+    // Forward substitution with permuted rhs (L has implicit unit diagonal).
+    for (std::size_t r = 0; r < n; ++r) {
+        cplx acc = b[f.perm[r]];
+        for (std::size_t c = 0; c < r; ++c) acc -= f.lu(r, c) * x[c];
+        x[r] = acc;
+    }
+    // Back substitution.
+    for (std::size_t ri = n; ri-- > 0;) {
+        cplx acc = x[ri];
+        for (std::size_t c = ri + 1; c < n; ++c) acc -= f.lu(ri, c) * x[c];
+        x[ri] = acc / f.lu(ri, ri);
+    }
+    return x;
+}
+
+Matrix lu_solve(const LuDecomposition& f, const Matrix& b) {
+    const std::size_t n = f.lu.rows();
+    if (b.rows() != n) throw std::invalid_argument("lu_solve: rhs rows mismatch");
+    Matrix x(n, b.cols());
+    std::vector<cplx> col(n);
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t r = 0; r < n; ++r) col[r] = b(r, c);
+        const std::vector<cplx> sol = lu_solve(f, col);
+        for (std::size_t r = 0; r < n; ++r) x(r, c) = sol[r];
+    }
+    return x;
+}
+
+Matrix solve(const Matrix& a, const Matrix& b) {
+    const LuDecomposition f = lu_decompose(a);
+    if (f.singular) throw std::domain_error("solve: singular matrix");
+    return lu_solve(f, b);
+}
+
+Matrix inverse(const Matrix& a) { return solve(a, Matrix::identity(a.rows())); }
+
+cplx determinant(const Matrix& a) {
+    const LuDecomposition f = lu_decompose(a);
+    if (f.singular) return cplx{0.0, 0.0};
+    cplx d = (f.num_swaps % 2 == 0) ? cplx{1.0, 0.0} : cplx{-1.0, 0.0};
+    for (std::size_t i = 0; i < a.rows(); ++i) d *= f.lu(i, i);
+    return d;
+}
+
+} // namespace epoc::linalg

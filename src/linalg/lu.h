@@ -1,0 +1,40 @@
+// LU decomposition with partial pivoting for complex matrices, plus linear
+// solves. Used by the Pade approximant in expm() and available as a general
+// substrate (e.g. computing inverses of small unitaries in tests).
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace epoc::linalg {
+
+/// LU factorization with partial pivoting: P*A = L*U.
+/// L and U are packed into `lu` (unit diagonal of L implied); `perm[i]` is the
+/// source row of row i after pivoting; `num_swaps` tracks parity for det().
+struct LuDecomposition {
+    Matrix lu;
+    std::vector<std::size_t> perm;
+    int num_swaps = 0;
+
+    /// True if the matrix was numerically singular (a zero pivot was hit).
+    bool singular = false;
+};
+
+/// Factor a square matrix. Never throws on singular input; check `.singular`.
+LuDecomposition lu_decompose(const Matrix& a);
+
+/// Solve A*x = b for a single right-hand side using a precomputed factorization.
+std::vector<cplx> lu_solve(const LuDecomposition& f, const std::vector<cplx>& b);
+
+/// Solve A*X = B (matrix right-hand side).
+Matrix lu_solve(const LuDecomposition& f, const Matrix& b);
+
+/// Convenience: solve A*X = B directly. Throws std::domain_error if A is singular.
+Matrix solve(const Matrix& a, const Matrix& b);
+
+/// Matrix inverse via LU. Throws std::domain_error if singular.
+Matrix inverse(const Matrix& a);
+
+/// Determinant via LU.
+cplx determinant(const Matrix& a);
+
+} // namespace epoc::linalg

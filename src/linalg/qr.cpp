@@ -1,0 +1,54 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+namespace epoc::linalg {
+
+QrDecomposition qr_decompose(const Matrix& a) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    Matrix r = a;
+    Matrix q = Matrix::identity(m);
+
+    const std::size_t steps = std::min(m == 0 ? 0 : m - 1, n);
+    std::vector<cplx> v(m);
+    for (std::size_t k = 0; k < steps; ++k) {
+        // Build the Householder vector for column k below the diagonal.
+        double xnorm2 = 0.0;
+        for (std::size_t i = k; i < m; ++i) xnorm2 += std::norm(r(i, k));
+        const double xnorm = std::sqrt(xnorm2);
+        if (xnorm == 0.0) continue;
+
+        const cplx x0 = r(k, k);
+        // alpha = -e^{i*arg(x0)} * ||x||, so the reflected pivot is nonzero.
+        const cplx phase = (std::abs(x0) == 0.0) ? cplx{1.0, 0.0} : x0 / std::abs(x0);
+        const cplx alpha = -phase * xnorm;
+
+        double vnorm2 = 0.0;
+        for (std::size_t i = k; i < m; ++i) {
+            v[i] = r(i, k);
+            if (i == k) v[i] -= alpha;
+            vnorm2 += std::norm(v[i]);
+        }
+        if (vnorm2 == 0.0) continue;
+
+        // Apply H = I - 2 v v^dagger / ||v||^2 to R (left) and accumulate into Q.
+        for (std::size_t c = k; c < n; ++c) {
+            cplx dot{0.0, 0.0};
+            for (std::size_t i = k; i < m; ++i) dot += std::conj(v[i]) * r(i, c);
+            const cplx f = 2.0 * dot / vnorm2;
+            for (std::size_t i = k; i < m; ++i) r(i, c) -= f * v[i];
+        }
+        for (std::size_t c = 0; c < m; ++c) {
+            // Q accumulates reflections on the right: Q <- Q * H.
+            cplx dot{0.0, 0.0};
+            for (std::size_t i = k; i < m; ++i) dot += q(c, i) * v[i];
+            const cplx f = 2.0 * dot / vnorm2;
+            for (std::size_t i = k; i < m; ++i) q(c, i) -= f * std::conj(v[i]);
+        }
+    }
+    return {std::move(q), std::move(r)};
+}
+
+} // namespace epoc::linalg

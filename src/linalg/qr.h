@@ -1,0 +1,18 @@
+// Householder QR decomposition for complex matrices. Primary consumer is the
+// Haar-random unitary sampler (QR of a Ginibre matrix), but it is exposed as a
+// general substrate.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace epoc::linalg {
+
+struct QrDecomposition {
+    Matrix q; ///< unitary (rows x rows)
+    Matrix r; ///< upper triangular (rows x cols)
+};
+
+/// Full QR factorization A = Q*R via Householder reflections.
+QrDecomposition qr_decompose(const Matrix& a);
+
+} // namespace epoc::linalg

@@ -1,0 +1,41 @@
+#include "linalg/random_unitary.h"
+
+#include "linalg/lu.h"
+#include "linalg/qr.h"
+
+#include <cmath>
+
+namespace epoc::linalg {
+
+Matrix random_unitary(std::size_t n, std::mt19937_64& rng) {
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    Matrix g(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) g(r, c) = cplx{gauss(rng), gauss(rng)};
+
+    QrDecomposition f = qr_decompose(g);
+    // Fix the gauge: multiply each column of Q by the phase of the matching R
+    // diagonal so the distribution is exactly Haar.
+    for (std::size_t c = 0; c < n; ++c) {
+        const cplx d = f.r(c, c);
+        const cplx phase = (std::abs(d) == 0.0) ? cplx{1.0, 0.0} : d / std::abs(d);
+        for (std::size_t r2 = 0; r2 < n; ++r2) f.q(r2, c) *= phase;
+    }
+    return f.q;
+}
+
+Matrix random_unitary(std::size_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    return random_unitary(n, rng);
+}
+
+Matrix random_special_unitary(std::size_t n, std::mt19937_64& rng) {
+    Matrix u = random_unitary(n, rng);
+    const cplx det = determinant(u);
+    // Divide one global phase out: multiply by det^{-1/n}.
+    const double ang = std::arg(det) / static_cast<double>(n);
+    u *= std::polar(1.0, -ang);
+    return u;
+}
+
+} // namespace epoc::linalg

@@ -1,0 +1,22 @@
+// Haar-random unitary sampling (Mezzadri 2007: QR of a complex Ginibre matrix
+// with phase-corrected R diagonal). Used by property tests and by synthesis
+// stress benchmarks.
+#pragma once
+
+#include "linalg/matrix.h"
+
+#include <cstdint>
+#include <random>
+
+namespace epoc::linalg {
+
+/// Sample an n x n Haar-distributed unitary.
+Matrix random_unitary(std::size_t n, std::mt19937_64& rng);
+
+/// Deterministic convenience overload.
+Matrix random_unitary(std::size_t n, std::uint64_t seed);
+
+/// A random special-unitary (det = 1) matrix.
+Matrix random_special_unitary(std::size_t n, std::mt19937_64& rng);
+
+} // namespace epoc::linalg

@@ -1,0 +1,47 @@
+#include "opt/adam.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace epoc::opt {
+
+OptimizeResult adam_minimize(const Objective& f, std::vector<double> x0,
+                             const AdamOptions& opt) {
+    OptimizeResult res;
+    res.x = std::move(x0);
+    const std::size_t n = res.x.size();
+    std::vector<double> m(n, 0.0), v(n, 0.0), grad(n, 0.0);
+
+    std::vector<double> best_x = res.x;
+    double best_f = f(res.x, grad);
+
+    for (int it = 1; it <= opt.max_iterations; ++it) {
+        res.iterations = it;
+        double gmax = 0.0;
+        for (const double g : grad) gmax = std::max(gmax, std::abs(g));
+        if (best_f <= opt.target_value || gmax <= opt.gradient_tolerance) {
+            res.converged = true;
+            break;
+        }
+        const double b1t = 1.0 - std::pow(opt.beta1, it);
+        const double b2t = 1.0 - std::pow(opt.beta2, it);
+        for (std::size_t i = 0; i < n; ++i) {
+            m[i] = opt.beta1 * m[i] + (1 - opt.beta1) * grad[i];
+            v[i] = opt.beta2 * v[i] + (1 - opt.beta2) * grad[i] * grad[i];
+            const double mhat = m[i] / b1t;
+            const double vhat = v[i] / b2t;
+            res.x[i] -= opt.learning_rate * mhat / (std::sqrt(vhat) + opt.epsilon);
+        }
+        const double fv = f(res.x, grad);
+        if (fv < best_f) {
+            best_f = fv;
+            best_x = res.x;
+        }
+    }
+    res.x = std::move(best_x);
+    res.value = best_f;
+    if (best_f <= opt.target_value) res.converged = true;
+    return res;
+}
+
+} // namespace epoc::opt

@@ -1,0 +1,24 @@
+// Adam first-order optimizer (Kingma & Ba 2015). Used by GRAPE, where the
+// landscape is noisy and curvature estimates are unreliable.
+#pragma once
+
+#include "opt/objective.h"
+
+namespace epoc::opt {
+
+struct AdamOptions {
+    double learning_rate = 0.05;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    int max_iterations = 300;
+    /// Stop when f drops below this value (useful when f is an infidelity).
+    double target_value = -1e300;
+    /// Stop when the gradient inf-norm falls below this.
+    double gradient_tolerance = 1e-10;
+};
+
+OptimizeResult adam_minimize(const Objective& f, std::vector<double> x0,
+                             const AdamOptions& opt = {});
+
+} // namespace epoc::opt

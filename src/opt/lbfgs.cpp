@@ -1,0 +1,127 @@
+#include "opt/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace epoc::opt {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+double inf_norm(const std::vector<double>& a) {
+    double s = 0.0;
+    for (const double v : a) s = std::max(s, std::abs(v));
+    return s;
+}
+
+} // namespace
+
+OptimizeResult lbfgs_minimize(const Objective& f, std::vector<double> x0,
+                              const LbfgsOptions& opt) {
+    OptimizeResult res;
+    res.x = std::move(x0);
+    const std::size_t n = res.x.size();
+    std::vector<double> grad(n, 0.0);
+    double fx = f(res.x, grad);
+
+    struct Pair {
+        std::vector<double> s, y;
+        double rho;
+    };
+    std::deque<Pair> hist;
+
+    for (int it = 0; it < opt.max_iterations; ++it) {
+        res.iterations = it + 1;
+        if (fx <= opt.target_value || inf_norm(grad) <= opt.gradient_tolerance) {
+            res.converged = true;
+            break;
+        }
+
+        // Two-loop recursion for the search direction d = -H * grad.
+        std::vector<double> d = grad;
+        std::vector<double> alpha(hist.size());
+        for (std::size_t i = hist.size(); i-- > 0;) {
+            alpha[i] = hist[i].rho * dot(hist[i].s, d);
+            for (std::size_t k = 0; k < n; ++k) d[k] -= alpha[i] * hist[i].y[k];
+        }
+        if (!hist.empty()) {
+            const Pair& last = hist.back();
+            const double gamma = dot(last.s, last.y) / dot(last.y, last.y);
+            for (double& v : d) v *= gamma;
+        }
+        for (std::size_t i = 0; i < hist.size(); ++i) {
+            const double beta = hist[i].rho * dot(hist[i].y, d);
+            for (std::size_t k = 0; k < n; ++k) d[k] += (alpha[i] - beta) * hist[i].s[k];
+        }
+        for (double& v : d) v = -v;
+
+        double dg = dot(d, grad);
+        if (dg >= 0.0) {
+            // Not a descent direction (stale curvature): reset to steepest.
+            hist.clear();
+            for (std::size_t k = 0; k < n; ++k) d[k] = -grad[k];
+            dg = -dot(grad, grad);
+            if (dg == 0.0) {
+                res.converged = true;
+                break;
+            }
+        }
+
+        // Backtracking line search: accept on the Armijo condition, falling
+        // back to the best merely-improving step seen (sufficient for the
+        // smooth trigonometric objectives this library optimizes; the strong
+        // Wolfe curvature check is advisory because sy > 0 is guarded below).
+        double step = 1.0;
+        std::vector<double> x_new(n), g_new(n, 0.0);
+        double f_new = fx;
+        bool ok = false;
+        double best_step = 0.0, best_f = fx;
+        for (int ls = 0; ls < opt.max_line_search_steps; ++ls) {
+            for (std::size_t k = 0; k < n; ++k) x_new[k] = res.x[k] + step * d[k];
+            f_new = f(x_new, g_new);
+            if (f_new <= fx + opt.wolfe_c1 * step * dg) {
+                ok = true;
+                break;
+            }
+            if (f_new < best_f) {
+                best_f = f_new;
+                best_step = step;
+            }
+            step *= 0.5;
+        }
+        if (!ok && best_step > 0.0) {
+            // No Armijo step within budget; take the best improvement.
+            step = best_step;
+            for (std::size_t k = 0; k < n; ++k) x_new[k] = res.x[k] + step * d[k];
+            f_new = f(x_new, g_new);
+            ok = true;
+        }
+        if (!ok || f_new >= fx) break; // no progress
+
+        std::vector<double> s(n), y(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            s[k] = x_new[k] - res.x[k];
+            y[k] = g_new[k] - grad[k];
+        }
+        const double sy = dot(s, y);
+        if (sy > 1e-12) {
+            hist.push_back({std::move(s), std::move(y), 1.0 / sy});
+            if (static_cast<int>(hist.size()) > opt.history) hist.pop_front();
+        }
+        res.x = std::move(x_new);
+        x_new.assign(n, 0.0);
+        grad = g_new;
+        fx = f_new;
+    }
+    res.value = fx;
+    if (fx <= opt.target_value) res.converged = true;
+    return res;
+}
+
+} // namespace epoc::opt

@@ -1,0 +1,24 @@
+// Limited-memory BFGS with a strong-Wolfe line search (Nocedal & Wright,
+// Numerical Optimization, Alg. 7.4/3.5). Used to instantiate synthesis
+// circuit parameters, where the objective is smooth and few hundred
+// dimensional at most.
+#pragma once
+
+#include "opt/objective.h"
+
+namespace epoc::opt {
+
+struct LbfgsOptions {
+    int max_iterations = 200;
+    int history = 8;
+    double gradient_tolerance = 1e-9;
+    double target_value = -1e300;
+    double wolfe_c1 = 1e-4;
+    double wolfe_c2 = 0.9;
+    int max_line_search_steps = 30;
+};
+
+OptimizeResult lbfgs_minimize(const Objective& f, std::vector<double> x0,
+                              const LbfgsOptions& opt = {});
+
+} // namespace epoc::opt

@@ -1,0 +1,133 @@
+#include "partition/partition.h"
+
+#include "circuit/unitary.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace epoc::partition {
+
+using circuit::Circuit;
+using circuit::Gate;
+
+std::vector<std::vector<int>> group_qubits(const Circuit& c, int max_qubits) {
+    if (max_qubits < 1) throw std::invalid_argument("group_qubits: max_qubits < 1");
+    const int nq = c.num_qubits();
+    // Interaction weights: how often two qubits share a gate.
+    std::map<std::pair<int, int>, int> weight;
+    for (const Gate& g : c.gates())
+        for (std::size_t i = 0; i < g.qubits.size(); ++i)
+            for (std::size_t j = i + 1; j < g.qubits.size(); ++j) {
+                const int a = std::min(g.qubits[i], g.qubits[j]);
+                const int b = std::max(g.qubits[i], g.qubits[j]);
+                ++weight[{a, b}];
+            }
+
+    std::vector<bool> taken(static_cast<std::size_t>(nq), false);
+    std::vector<std::vector<int>> groups;
+    for (int q = 0; q < nq; ++q) {
+        if (taken[static_cast<std::size_t>(q)]) continue;
+        std::vector<int> group{q};
+        taken[static_cast<std::size_t>(q)] = true;
+        // Grow by the heaviest edges into the current group.
+        while (static_cast<int>(group.size()) < max_qubits) {
+            int best = -1, best_w = 0;
+            for (int cand = 0; cand < nq; ++cand) {
+                if (taken[static_cast<std::size_t>(cand)]) continue;
+                int w = 0;
+                for (const int m : group) {
+                    const auto it = weight.find({std::min(m, cand), std::max(m, cand)});
+                    if (it != weight.end()) w += it->second;
+                }
+                if (w > best_w) {
+                    best_w = w;
+                    best = cand;
+                }
+            }
+            if (best < 0) break;
+            group.push_back(best);
+            taken[static_cast<std::size_t>(best)] = true;
+        }
+        std::sort(group.begin(), group.end());
+        groups.push_back(std::move(group));
+    }
+    return groups;
+}
+
+namespace {
+
+/// Open block under construction for one qubit group.
+struct OpenBlock {
+    std::vector<int> qubits; ///< sorted global ids
+    std::vector<Gate> gates; ///< global qubit indices (localized at close)
+};
+
+CircuitBlock close_block(OpenBlock&& ob, bool bridge) {
+    CircuitBlock blk;
+    blk.qubits = ob.qubits;
+    blk.bridge = bridge;
+    blk.body = Circuit(static_cast<int>(ob.qubits.size()));
+    std::map<int, int> local;
+    for (std::size_t i = 0; i < ob.qubits.size(); ++i)
+        local[ob.qubits[i]] = static_cast<int>(i);
+    for (Gate g : ob.gates) {
+        for (int& q : g.qubits) q = local.at(q);
+        blk.body.add(std::move(g));
+    }
+    return blk;
+}
+
+} // namespace
+
+std::vector<CircuitBlock> greedy_partition(const Circuit& c, const PartitionOptions& opt) {
+    const auto groups = group_qubits(c, opt.max_qubits);
+    const int nq = c.num_qubits();
+    std::vector<int> group_of(static_cast<std::size_t>(nq), -1);
+    for (std::size_t gi = 0; gi < groups.size(); ++gi)
+        for (const int q : groups[gi]) group_of[static_cast<std::size_t>(q)] = static_cast<int>(gi);
+
+    std::vector<OpenBlock> open(groups.size());
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) open[gi].qubits = groups[gi];
+
+    std::vector<CircuitBlock> out;
+    const auto flush = [&](std::size_t gi) {
+        if (open[gi].gates.empty()) return;
+        out.push_back(close_block(std::move(open[gi]), false));
+        open[gi] = OpenBlock{};
+        open[gi].qubits = groups[gi];
+    };
+
+    for (const Gate& g : c.gates()) {
+        std::set<int> gate_groups;
+        for (const int q : g.qubits) gate_groups.insert(group_of[static_cast<std::size_t>(q)]);
+        if (gate_groups.size() == 1) {
+            const std::size_t gi = static_cast<std::size_t>(*gate_groups.begin());
+            if (static_cast<int>(open[gi].gates.size()) >= opt.max_gates) flush(gi);
+            open[gi].gates.push_back(g);
+        } else {
+            // Bridging gate: close every involved group to preserve order,
+            // then emit the gate as its own block.
+            for (const int gi : gate_groups) flush(static_cast<std::size_t>(gi));
+            OpenBlock bridge;
+            bridge.qubits = g.qubits;
+            std::sort(bridge.qubits.begin(), bridge.qubits.end());
+            bridge.gates.push_back(g);
+            out.push_back(close_block(std::move(bridge), true));
+        }
+    }
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) flush(gi);
+    return out;
+}
+
+linalg::Matrix block_unitary(const CircuitBlock& b) { return circuit::circuit_unitary(b.body); }
+
+Circuit blocks_to_circuit(const std::vector<CircuitBlock>& blocks, int num_qubits) {
+    Circuit c(num_qubits);
+    for (const CircuitBlock& b : blocks) c.append_mapped(b.body, b.qubits);
+    return c;
+}
+
+} // namespace epoc::partition

@@ -1,0 +1,50 @@
+// Greedy circuit partitioning (paper Algorithm 1).
+//
+// Horizontal cut: qubits are grouped by interaction-graph connectivity up to
+// a group-size limit. Vertical cut: gates are filled into the open block of
+// their group, in program order, until a gate-count limit is reached. A gate
+// spanning two groups closes both groups' open blocks and is emitted as its
+// own bridging block, preserving execution order exactly: replaying the block
+// list in order reproduces the original circuit.
+#pragma once
+
+#include "circuit/circuit.h"
+
+#include <vector>
+
+namespace epoc::partition {
+
+struct PartitionOptions {
+    /// Maximum number of qubits per group (paper uses up to 8; our QOC-bound
+    /// benches use 2-4 so GRAPE matrices stay small on one core).
+    int max_qubits = 3;
+    /// Maximum number of gates per block before a vertical cut.
+    int max_gates = 24;
+};
+
+struct CircuitBlock {
+    /// Global qubit ids, sorted ascending; local qubit i of `body` is
+    /// qubits[i].
+    std::vector<int> qubits;
+    /// The block's gates over local qubit indices.
+    circuit::Circuit body;
+    /// True if this block is a single cross-group bridging gate.
+    bool bridge = false;
+};
+
+/// Partition `c`. Blocks come back in a valid execution order.
+std::vector<CircuitBlock> greedy_partition(const circuit::Circuit& c,
+                                           const PartitionOptions& opt = {});
+
+/// The horizontal cut on its own (paper Algorithm 1, GroupQubits).
+std::vector<std::vector<int>> group_qubits(const circuit::Circuit& c, int max_qubits);
+
+/// Unitary of one block (dimension 2^|qubits|).
+linalg::Matrix block_unitary(const CircuitBlock& b);
+
+/// Reassemble the block list into a flat circuit over `num_qubits` qubits
+/// (used by tests to prove the partition preserves the program).
+circuit::Circuit blocks_to_circuit(const std::vector<CircuitBlock>& blocks,
+                                   int num_qubits);
+
+} // namespace epoc::partition

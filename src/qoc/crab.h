@@ -1,0 +1,37 @@
+// CRAB: Chopped RAndom Basis quantum optimal control (Caneva, Calarco &
+// Montangero 2011), the second optimizer the paper names next to GRAPE.
+//
+// Instead of optimizing every time slot independently, each control line is
+// expanded in a small randomized Fourier basis
+//     u_j(t) = bound_j * tanh( sum_k  a_jk sin(w_k t) + b_jk cos(w_k t) )
+// and the (few) coefficients are optimized directly. The tanh squashing
+// enforces the amplitude bounds smoothly. Gradients are obtained by the
+// chain rule through the same first-order propagator derivatives GRAPE uses,
+// so both optimizers share the Hamiltonian model and the latency search.
+#pragma once
+
+#include "qoc/hamiltonian.h"
+#include "qoc/pulse.h"
+
+#include <cstdint>
+
+namespace epoc::qoc {
+
+struct CrabOptions {
+    int num_modes = 5;          ///< Fourier modes per control line
+    int max_iterations = 300;
+    double learning_rate = 0.08;
+    double target_fidelity = 0.999;
+    std::uint64_t seed = 1;
+    /// Randomization half-width of the mode frequencies around the principal
+    /// harmonics (the "chopped random" part of CRAB).
+    double frequency_jitter = 0.25;
+};
+
+/// Optimize a CRAB pulse of `num_slots` slots toward `target`; returns the
+/// discretized piecewise-constant pulse (same representation as GRAPE, so the
+/// pulse library and scheduler are agnostic to the optimizer).
+Pulse crab_optimize(const BlockHamiltonian& h, const Matrix& target, int num_slots,
+                    const CrabOptions& opt = {});
+
+} // namespace epoc::qoc

@@ -1,0 +1,23 @@
+#include "qoc/decoherence.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epoc::qoc {
+
+double coherence_factor(double duration_ns, const DecoherenceParams& p) {
+    if (p.t1_ns <= 0.0 || p.t2_ns <= 0.0)
+        throw std::invalid_argument("coherence_factor: T1/T2 must be positive");
+    const double inv_tphi = std::max(0.0, 1.0 / p.t2_ns - 0.5 / p.t1_ns);
+    return std::exp(-duration_ns / p.t1_ns) * std::exp(-duration_ns * inv_tphi);
+}
+
+double esp_with_decoherence(const core::PulseSchedule& schedule,
+                            const DecoherenceParams& p) {
+    double esp = schedule.esp;
+    const double per_qubit = coherence_factor(schedule.latency, p);
+    for (int q = 0; q < schedule.num_qubits; ++q) esp *= per_qubit;
+    return esp;
+}
+
+} // namespace epoc::qoc

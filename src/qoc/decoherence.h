@@ -1,0 +1,29 @@
+// Decoherence model: converts schedule latency into a fidelity penalty.
+//
+// The paper's motivation (Section 1) is that coherence time bounds the
+// executable circuit duration; shorter pulse schedules therefore survive
+// better on hardware. This model applies the standard exponential envelope:
+// a qubit idling or driven for time t retains coherence
+//     exp(-t / T1) * exp(-t / Tphi),  1/Tphi = 1/T2 - 1/(2 T1),
+// approximated per qubit over the full schedule latency. Combined with the
+// per-pulse control error (ESP, Eq. 3) this gives an end-to-end success
+// estimate that rewards the latency reductions EPOC achieves.
+#pragma once
+
+#include "epoc/scheduler.h"
+
+namespace epoc::qoc {
+
+struct DecoherenceParams {
+    double t1_ns = 120000.0; ///< amplitude damping time (120 us, IBM-class)
+    double t2_ns = 90000.0;  ///< dephasing time
+};
+
+/// Coherence retention of one qubit over `duration_ns`.
+double coherence_factor(double duration_ns, const DecoherenceParams& p = {});
+
+/// ESP including decoherence: schedule.esp * prod_q coherence(latency).
+double esp_with_decoherence(const core::PulseSchedule& schedule,
+                            const DecoherenceParams& p = {});
+
+} // namespace epoc::qoc

@@ -1,0 +1,38 @@
+// GRAPE: GRadient Ascent Pulse Engineering (Khaneja et al. 2005).
+//
+// Optimizes piecewise-constant control amplitudes so the time-ordered product
+// of slot propagators exp(-i*(H0 + sum_j u_jk H_j)*dt) matches a target
+// unitary. First-order gradients with forward/backward propagator caching;
+// Adam-style updates projected onto the amplitude bounds.
+#pragma once
+
+#include "qoc/hamiltonian.h"
+#include "qoc/pulse.h"
+
+#include <cstdint>
+
+namespace epoc::qoc {
+
+struct GrapeOptions {
+    int max_iterations = 200;
+    double learning_rate = 0.003;
+    /// Stop when fidelity reaches this.
+    double target_fidelity = 0.999;
+    std::uint64_t seed = 1;
+    /// Initial amplitude scale relative to each line's bound.
+    double init_scale = 0.3;
+    /// Warm start (AccQOC's MST technique): amplitudes of a similar unitary's
+    /// pulse, resampled to the requested slot count when lengths differ.
+    /// Empty disables warm starting.
+    std::vector<std::vector<double>> warm_amplitudes;
+};
+
+/// Optimize a pulse of `num_slots` slots toward `target`. The target's
+/// dimension must match the Hamiltonian's.
+Pulse grape_optimize(const BlockHamiltonian& h, const Matrix& target, int num_slots,
+                     const GrapeOptions& opt = {});
+
+/// Propagate a pulse through the Hamiltonian: the realised unitary.
+Matrix pulse_unitary(const BlockHamiltonian& h, const Pulse& p);
+
+} // namespace epoc::qoc

@@ -1,0 +1,48 @@
+#include "qoc/hamiltonian.h"
+
+#include "circuit/gate.h"
+#include "circuit/unitary.h"
+
+#include <stdexcept>
+
+namespace epoc::qoc {
+
+BlockHamiltonian make_block_hamiltonian(int num_qubits, const DeviceParams& dev) {
+    if (num_qubits < 1) throw std::invalid_argument("make_block_hamiltonian: nq < 1");
+    BlockHamiltonian h;
+    h.num_qubits = num_qubits;
+    h.dt = dev.dt;
+    const std::size_t dim = std::size_t{1} << num_qubits;
+
+    const Matrix sx = circuit::pauli_x();
+    const Matrix sy = circuit::pauli_y();
+    const Matrix sz = circuit::pauli_z();
+
+    // Drift: weak always-on ZZ between every pair in the block.
+    h.drift = Matrix(dim, dim);
+    for (int a = 0; a < num_qubits; ++a) {
+        for (int b = a + 1; b < num_qubits; ++b) {
+            Matrix zz = circuit::embed_gate(sz, {a}, num_qubits) *
+                        circuit::embed_gate(sz, {b}, num_qubits);
+            zz *= linalg::cplx{dev.zz_drift, 0.0};
+            h.drift += zz;
+        }
+    }
+
+    for (int q = 0; q < num_qubits; ++q) {
+        h.controls.push_back({"x" + std::to_string(q),
+                              circuit::embed_gate(sx, {q}, num_qubits), dev.drive_bound});
+        h.controls.push_back({"y" + std::to_string(q),
+                              circuit::embed_gate(sy, {q}, num_qubits), dev.drive_bound});
+    }
+    for (int a = 0; a < num_qubits; ++a)
+        for (int b = a + 1; b < num_qubits; ++b)
+            h.controls.push_back(
+                {"xx" + std::to_string(a) + "_" + std::to_string(b),
+                 circuit::embed_gate(sx, {a}, num_qubits) *
+                     circuit::embed_gate(sx, {b}, num_qubits),
+                 dev.coupling_bound});
+    return h;
+}
+
+} // namespace epoc::qoc

@@ -1,0 +1,51 @@
+// Control Hamiltonian model for a block of transmon-style qubits.
+//
+// Works in the rotating frame: each qubit has X and Y drive lines and every
+// qubit pair inside a block shares an XX entangling line (tunable coupler).
+// A weak always-on ZZ drift models residual coupling. Amplitude bounds set
+// the physical speed limit that the minimal-latency search (latency_search.h)
+// discovers. Units: time in ns, amplitudes in rad/ns.
+#pragma once
+
+#include "linalg/matrix.h"
+
+#include <string>
+#include <vector>
+
+namespace epoc::qoc {
+
+using linalg::Matrix;
+
+struct DeviceParams {
+    /// Max |amplitude| of single-qubit X/Y drives [rad/ns]. 0.157 rad/ns
+    /// (2*pi*25 MHz) gives a ~20 ns pi-pulse, typical of IBM backends.
+    double drive_bound = 0.157;
+    /// Max |amplitude| of the two-qubit XX coupler [rad/ns]; weaker than the
+    /// drive, making entangling pulses the latency bottleneck, as on hardware.
+    double coupling_bound = 0.020;
+    /// Always-on ZZ drift strength [rad/ns].
+    double zz_drift = 0.002;
+    /// GRAPE time-slot width [ns].
+    double dt = 2.0;
+};
+
+/// One control line: a label, its Hamiltonian term, and its amplitude bound.
+struct ControlLine {
+    std::string label;
+    Matrix h;
+    double bound;
+};
+
+/// The block Hamiltonian: drift + control lines for `num_qubits` qubits.
+struct BlockHamiltonian {
+    int num_qubits = 1;
+    Matrix drift;
+    std::vector<ControlLine> controls;
+    /// GRAPE slot width copied from DeviceParams [ns].
+    double dt = 2.0;
+};
+
+/// Build the model for a block of n qubits (n >= 1).
+BlockHamiltonian make_block_hamiltonian(int num_qubits, const DeviceParams& dev = {});
+
+} // namespace epoc::qoc

@@ -1,0 +1,54 @@
+#include "qoc/latency_search.h"
+
+namespace epoc::qoc {
+
+LatencyResult find_minimal_latency_pulse(const BlockHamiltonian& h, const Matrix& target,
+                                         const LatencySearchOptions& opt) {
+    LatencyResult res;
+    const int gran = std::max(1, opt.slot_granularity);
+    const auto round_up = [gran](int slots) { return ((slots + gran - 1) / gran) * gran; };
+
+    const auto attempt = [&](int slots) {
+        ++res.grape_runs;
+        GrapeOptions g = opt.grape;
+        // Decorrelate restarts across durations while staying deterministic.
+        g.seed = opt.grape.seed * 1315423911u + static_cast<std::uint64_t>(slots);
+        g.target_fidelity = opt.fidelity_threshold;
+        return grape_optimize(h, target, slots, g);
+    };
+
+    // Doubling phase: bracket the feasible region. All probed slot counts are
+    // multiples of the granularity.
+    int lo = round_up(std::max(1, opt.min_slots));
+    int hi = lo;
+    Pulse hi_pulse = attempt(hi);
+    while (hi_pulse.fidelity < opt.fidelity_threshold && hi < opt.max_slots) {
+        lo = hi + gran;
+        hi = std::min(round_up(opt.max_slots), hi * 2);
+        hi_pulse = attempt(hi);
+    }
+    if (hi_pulse.fidelity < opt.fidelity_threshold) {
+        res.pulse = hi_pulse;
+        res.feasible = false;
+        return res;
+    }
+
+    // Binary search over granularity units in [lo, hi].
+    Pulse best = hi_pulse;
+    int klo = (lo + gran - 1) / gran;
+    int khi = hi / gran;
+    while (klo < khi) {
+        const int kmid = klo + (khi - klo) / 2;
+        const Pulse p = attempt(kmid * gran);
+        if (p.fidelity >= opt.fidelity_threshold) {
+            best = p;
+            khi = kmid;
+        } else {
+            klo = kmid + 1;
+        }
+    }
+    res.pulse = best;
+    return res;
+}
+
+} // namespace epoc::qoc

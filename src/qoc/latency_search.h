@@ -1,0 +1,31 @@
+// Minimal-latency pulse search (the AccQOC binary-search technique the paper
+// builds on): find the smallest number of GRAPE time slots whose optimized
+// pulse reaches a fidelity threshold. Doubling phase to bracket, then binary
+// search inside the bracket.
+#pragma once
+
+#include "qoc/grape.h"
+
+namespace epoc::qoc {
+
+struct LatencySearchOptions {
+    double fidelity_threshold = 0.995;
+    int min_slots = 1;
+    int max_slots = 512;
+    /// Slot-count resolution of the search. Coarser granularity (e.g. 4 for
+    /// 4-qubit blocks) trades a few ns of pulse length for far fewer GRAPE
+    /// runs.
+    int slot_granularity = 1;
+    GrapeOptions grape;
+};
+
+struct LatencyResult {
+    Pulse pulse;          ///< the shortest pulse meeting the threshold
+    int grape_runs = 0;   ///< how many GRAPE optimizations the search used
+    bool feasible = true; ///< false if even max_slots failed the threshold
+};
+
+LatencyResult find_minimal_latency_pulse(const BlockHamiltonian& h, const Matrix& target,
+                                         const LatencySearchOptions& opt = {});
+
+} // namespace epoc::qoc

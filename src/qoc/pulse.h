@@ -1,0 +1,23 @@
+// Piecewise-constant pulse representation produced by GRAPE.
+#pragma once
+
+#include "linalg/matrix.h"
+
+#include <vector>
+
+namespace epoc::qoc {
+
+struct Pulse {
+    /// amplitudes[j][k]: control line j, time slot k [rad/ns].
+    std::vector<std::vector<double>> amplitudes;
+    double dt = 2.0;          ///< slot width [ns]
+    double fidelity = 0.0;    ///< |tr(U_target^dag U_pulse)| / d
+    int grape_iterations = 0;
+
+    int num_slots() const {
+        return amplitudes.empty() ? 0 : static_cast<int>(amplitudes.front().size());
+    }
+    double duration() const { return num_slots() * dt; }
+};
+
+} // namespace epoc::qoc

@@ -1,0 +1,50 @@
+// Pulse library: the lookup table of Section 3.4.
+//
+// Keys are unitary matrices; entries store the optimized pulse. EPOC's
+// refinement over AccQOC/PAQOC is *global-phase-aware* lookup: two unitaries
+// differing only by e^{i*phi} share one entry, raising the hit rate. The
+// phase-oblivious mode exists for the ablation benchmark.
+#pragma once
+
+#include "qoc/latency_search.h"
+
+#include <unordered_map>
+
+namespace epoc::qoc {
+
+struct PulseLibraryStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    double hit_rate() const {
+        const std::size_t total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+class PulseLibrary {
+public:
+    /// `phase_aware` selects the EPOC behaviour; false reproduces the
+    /// AccQOC/PAQOC exact-matrix lookup (ablation).
+    explicit PulseLibrary(bool phase_aware = true) : phase_aware_(phase_aware) {}
+
+    /// Fetch the pulse for `target`, generating it with a minimal-latency
+    /// search on a miss. `h` must match the target dimension.
+    const LatencyResult& get_or_generate(const BlockHamiltonian& h, const Matrix& target,
+                                         const LatencySearchOptions& opt);
+
+    /// Lookup only; nullptr on miss. Does not touch the statistics.
+    const LatencyResult* peek(const Matrix& target) const;
+
+    std::size_t size() const { return table_.size(); }
+    const PulseLibraryStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+private:
+    std::string key_of(const Matrix& m) const;
+
+    bool phase_aware_;
+    std::unordered_map<std::string, LatencyResult> table_;
+    PulseLibraryStats stats_;
+};
+
+} // namespace epoc::qoc

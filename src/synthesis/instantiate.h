@@ -1,0 +1,31 @@
+// Parameter instantiation for synthesis structures: minimize the
+// phase-invariant Hilbert-Schmidt distance to a target unitary with L-BFGS
+// over analytic gradients, with multi-start restarts.
+#pragma once
+
+#include "synthesis/vug.h"
+
+#include <cstdint>
+
+namespace epoc::synthesis {
+
+struct InstantiateOptions {
+    int restarts = 3;
+    int max_iterations = 150;
+    double target_distance = 1e-8;
+    std::uint64_t seed = 0x5eed;
+};
+
+struct InstantiateResult {
+    std::vector<double> params;
+    double distance = 1.0; ///< sqrt(1 - |tr(U^dag C)| / d)
+    bool converged = false;
+};
+
+/// Fit the structure's parameters to `target`. `warm_start` (if non-empty and
+/// of matching size) is used as the first starting point.
+InstantiateResult instantiate(const SynthStructure& s, const Matrix& target,
+                              const InstantiateOptions& opt = {},
+                              const std::vector<double>& warm_start = {});
+
+} // namespace epoc::synthesis

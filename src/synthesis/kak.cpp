@@ -1,0 +1,205 @@
+#include "synthesis/kak.h"
+
+#include "circuit/decompose.h"
+#include "circuit/gate.h"
+#include "circuit/unitary.h"
+#include "linalg/eigen.h"
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace epoc::synthesis {
+
+namespace {
+
+using linalg::cplx;
+using linalg::Matrix;
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+/// The magic (Bell) basis change.
+Matrix magic_basis() {
+    Matrix m(4, 4);
+    m(0, 0) = cplx{kInvSqrt2, 0};
+    m(0, 3) = cplx{0, kInvSqrt2};
+    m(1, 1) = cplx{0, kInvSqrt2};
+    m(1, 2) = cplx{kInvSqrt2, 0};
+    m(2, 1) = cplx{0, kInvSqrt2};
+    m(2, 2) = cplx{-kInvSqrt2, 0};
+    m(3, 0) = cplx{kInvSqrt2, 0};
+    m(3, 3) = cplx{0, -kInvSqrt2};
+    return m;
+}
+
+/// Simultaneously diagonalize the commuting real symmetric parts of the
+/// unitary symmetric matrix p: returns real orthogonal o with o^T p o
+/// diagonal.
+Matrix simultaneous_diagonalizer(const Matrix& p) {
+    Matrix x(4, 4), y(4, 4);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c) {
+            x(r, c) = cplx{p(r, c).real(), 0.0};
+            y(r, c) = cplx{p(r, c).imag(), 0.0};
+        }
+    const linalg::SymmetricEigen ex = linalg::jacobi_symmetric(x, 1e-11);
+    Matrix o = ex.vectors;
+
+    // Within each degenerate eigenspace of X, diagonalize the restriction of
+    // Y (X and Y commute, so this completes the joint diagonalization).
+    constexpr double kGroupTol = 1e-6;
+    const Matrix b = o.transpose() * y * o;
+    std::size_t start = 0;
+    while (start < 4) {
+        std::size_t end = start + 1;
+        while (end < 4 && std::abs(ex.values[end] - ex.values[start]) < kGroupTol) ++end;
+        const std::size_t len = end - start;
+        if (len > 1) {
+            Matrix sub(len, len);
+            for (std::size_t r = 0; r < len; ++r)
+                for (std::size_t c = 0; c < len; ++c)
+                    sub(r, c) = cplx{b(start + r, start + c).real(), 0.0};
+            const linalg::SymmetricEigen ey = linalg::jacobi_symmetric(sub, 1e-11);
+            // Rotate the affected columns of o.
+            Matrix rotated(4, len);
+            for (std::size_t r = 0; r < 4; ++r)
+                for (std::size_t c = 0; c < len; ++c) {
+                    cplx acc{0, 0};
+                    for (std::size_t k = 0; k < len; ++k)
+                        acc += o(r, start + k) * ey.vectors(k, c);
+                    rotated(r, c) = acc;
+                }
+            for (std::size_t r = 0; r < 4; ++r)
+                for (std::size_t c = 0; c < len; ++c) o(r, start + c) = rotated(r, c);
+        }
+        start = end;
+    }
+
+    // Force det(o) = +1 so the back-transformed factors stay in SU(2)xSU(2).
+    if (linalg::determinant(o).real() < 0.0)
+        for (std::size_t r = 0; r < 4; ++r) o(r, 0) = -o(r, 0);
+    return o;
+}
+
+/// Diagonal (in the magic basis) signatures of XX, YY, ZZ.
+void pauli_signatures(const Matrix& m, double sx[4], double sy[4], double sz[4]) {
+    const Matrix xx = kron(circuit::pauli_x(), circuit::pauli_x());
+    const Matrix yy = kron(circuit::pauli_y(), circuit::pauli_y());
+    const Matrix zz = kron(circuit::pauli_z(), circuit::pauli_z());
+    const Matrix mdag = m.dagger();
+    const Matrix dx = mdag * xx * m;
+    const Matrix dy = mdag * yy * m;
+    const Matrix dz = mdag * zz * m;
+    for (std::size_t j = 0; j < 4; ++j) {
+        sx[j] = dx(j, j).real();
+        sy[j] = dy(j, j).real();
+        sz[j] = dz(j, j).real();
+    }
+}
+
+Matrix factor_or_throw(const Matrix& k, const char* what, Matrix& other) {
+    const auto f = linalg::kron_factor_2x2(k, /*require_exact=*/true, 1e-6);
+    if (!f) throw std::logic_error(std::string("kak_decompose: ") + what +
+                                   " is not a product operator");
+    other = f->second;
+    return f->first;
+}
+
+} // namespace
+
+KakDecomposition kak_decompose(const Matrix& u) {
+    if (u.rows() != 4 || u.cols() != 4)
+        throw std::invalid_argument("kak_decompose: expected a 4x4 matrix");
+    if (!u.is_unitary(1e-8))
+        throw std::invalid_argument("kak_decompose: matrix is not unitary");
+
+    // Normalize to SU(4) (global phase is irrelevant downstream).
+    Matrix su = u;
+    const cplx det = linalg::determinant(su);
+    su *= std::polar(1.0, -std::arg(det) / 4.0);
+
+    const Matrix m = magic_basis();
+    const Matrix mdag = m.dagger();
+    const Matrix v = mdag * su * m;
+    const Matrix p = v.transpose() * v;
+
+    const Matrix o2 = simultaneous_diagonalizer(p);
+    const Matrix d = o2.transpose() * p * o2;
+
+    // Eigenphases theta_j with d_jj = exp(2 i theta_j).
+    double theta[4];
+    for (std::size_t j = 0; j < 4; ++j) theta[j] = 0.5 * std::arg(d(j, j));
+
+    // Branch fixing: det(Q1) = exp(-i sum theta) must be +1.
+    double sum = theta[0] + theta[1] + theta[2] + theta[3];
+    const double rem = std::remainder(sum, 2.0 * std::numbers::pi);
+    if (std::abs(std::abs(rem) - std::numbers::pi) < 0.5) {
+        theta[0] += std::numbers::pi; // flips det(D^{1/2}) sign
+    }
+
+    Matrix dhalf(4, 4), dhalf_inv(4, 4);
+    for (std::size_t j = 0; j < 4; ++j) {
+        dhalf(j, j) = std::polar(1.0, theta[j]);
+        dhalf_inv(j, j) = std::polar(1.0, -theta[j]);
+    }
+
+    // V = Q1 * D^{1/2} * Q2 with Q1 = V * O * D^{-1/2} and Q2 = O^T.
+    const Matrix q1 = v * o2 * dhalf_inv;
+    const Matrix q2 = o2.transpose();
+
+    // Canonical coefficients from the eigenphases: theta_j = theta_bar +
+    // cx*sx_j + cy*sy_j + cz*sz_j (signature vectors are orthogonal).
+    double sx[4], sy[4], sz[4];
+    pauli_signatures(m, sx, sy, sz);
+    KakDecomposition k;
+    for (std::size_t j = 0; j < 4; ++j) {
+        k.cx += theta[j] * sx[j] / 4.0;
+        k.cy += theta[j] * sy[j] / 4.0;
+        k.cz += theta[j] * sz[j] / 4.0;
+    }
+
+    Matrix k1 = m * q1 * mdag;
+    Matrix k2 = m * q2 * mdag;
+    k.a1 = factor_or_throw(k1, "outer local factor", k.b1);
+    k.a2 = factor_or_throw(k2, "inner local factor", k.b2);
+
+    // Fold each coefficient into (-pi/4, pi/4]: exp(i(c -/+ pi/2) PP) equals
+    // exp(i c PP) * (-/+i P(x)P), and the Pauli pair is absorbed into the
+    // inner local factors (global phase dropped).
+    const auto fold = [&k](double& c, const Matrix& pauli) {
+        while (c > std::numbers::pi / 4 + 1e-12 || c <= -std::numbers::pi / 4 - 1e-12) {
+            c += (c > 0) ? -std::numbers::pi / 2 : std::numbers::pi / 2;
+            k.a2 = pauli * k.a2;
+            k.b2 = pauli * k.b2;
+        }
+    };
+    fold(k.cx, circuit::pauli_x());
+    fold(k.cy, circuit::pauli_y());
+    fold(k.cz, circuit::pauli_z());
+    return k;
+}
+
+circuit::Circuit kak_to_circuit(const KakDecomposition& k) {
+    circuit::Circuit c(2);
+    const auto emit_local = [&c](const Matrix& g, int qubit) {
+        const circuit::Zyz e = circuit::zyz_decompose(g);
+        if (std::abs(e.theta) < 1e-12 && std::abs(e.phi + e.lambda) < 1e-12) return;
+        c.u3(e.theta, e.phi, e.lambda, qubit);
+    };
+    // Inner locals first (kron convention: the first factor acts on qubit 1).
+    emit_local(k.a2, 1);
+    emit_local(k.b2, 0);
+    // exp(i c PP) == Rpp(-2c); the three terms commute.
+    if (std::abs(k.cx) > 1e-12) c.rxx(-2.0 * k.cx, 0, 1);
+    if (std::abs(k.cy) > 1e-12)
+        c.add(circuit::Gate(circuit::GateKind::RYY, {0, 1}, {-2.0 * k.cy}));
+    if (std::abs(k.cz) > 1e-12) c.rzz(-2.0 * k.cz, 0, 1);
+    emit_local(k.a1, 1);
+    emit_local(k.b1, 0);
+    return c;
+}
+
+circuit::Circuit kak_synthesize(const Matrix& u) { return kak_to_circuit(kak_decompose(u)); }
+
+} // namespace epoc::synthesis

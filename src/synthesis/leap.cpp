@@ -1,0 +1,63 @@
+#include "synthesis/leap.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epoc::synthesis {
+
+namespace {
+
+int qubits_for_dim(std::size_t dim) {
+    int n = 0;
+    while ((std::size_t{1} << n) < dim) ++n;
+    if ((std::size_t{1} << n) != dim || n < 1)
+        throw std::invalid_argument("leap: target dimension is not a power of two");
+    return n;
+}
+
+} // namespace
+
+SynthesisResult leap_synthesize(const Matrix& target, const LeapOptions& opt) {
+    const int nq = qubits_for_dim(target.rows());
+
+    SynthStructure cur = SynthStructure::seed(nq);
+    InstantiateResult cur_fit = instantiate(cur, target, opt.instantiate, {});
+    int stalls = 0;
+
+    while (cur_fit.distance > opt.threshold && cur.cnot_count() < opt.max_cnots &&
+           stalls < opt.stall_rounds) {
+        SynthStructure best_s = cur;
+        InstantiateResult best_fit = cur_fit;
+        bool improved = false;
+        for (int a = 0; a < nq; ++a) {
+            for (int b = 0; b < nq; ++b) {
+                if (a == b) continue;
+                SynthStructure cand = cur.expanded(a, b);
+                std::vector<double> warm = cur_fit.params;
+                warm.resize(static_cast<std::size_t>(cand.num_params()), 0.0);
+                const InstantiateResult fit = instantiate(cand, target, opt.instantiate, warm);
+                if (fit.distance < best_fit.distance) {
+                    best_s = std::move(cand);
+                    best_fit = fit;
+                    improved = true;
+                }
+            }
+        }
+        if (!improved) break;
+        if (cur_fit.distance - best_fit.distance < opt.min_progress)
+            ++stalls;
+        else
+            stalls = 0;
+        cur = std::move(best_s);
+        cur_fit = std::move(best_fit);
+    }
+
+    SynthesisResult res;
+    res.circuit = structure_to_circuit(cur, cur_fit.params);
+    res.distance = cur_fit.distance;
+    res.cnot_count = cur.cnot_count();
+    res.converged = cur_fit.distance <= opt.threshold;
+    return res;
+}
+
+} // namespace epoc::synthesis

@@ -1,0 +1,23 @@
+// LEAP-style incremental synthesis (Smith et al. 2023): instead of a full
+// best-first search, greedily commit to the best single-layer expansion and
+// re-seed the search from there. Scales to deeper targets than QSearch at a
+// small optimality cost; EPOC uses it for blocks whose QSearch budget is
+// exhausted.
+#pragma once
+
+#include "synthesis/qsearch.h"
+
+namespace epoc::synthesis {
+
+struct LeapOptions {
+    double threshold = 1e-6;
+    int max_cnots = 40;
+    /// Abort when an expansion round improves the distance by less than this.
+    double min_progress = 1e-4;
+    int stall_rounds = 6;
+    InstantiateOptions instantiate;
+};
+
+SynthesisResult leap_synthesize(const Matrix& target, const LeapOptions& opt = {});
+
+} // namespace epoc::synthesis

@@ -1,0 +1,97 @@
+#include "synthesis/qsearch.h"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace epoc::synthesis {
+
+namespace {
+
+int qubits_for_dim(std::size_t dim) {
+    int n = 0;
+    while ((std::size_t{1} << n) < dim) ++n;
+    if ((std::size_t{1} << n) != dim || n < 1)
+        throw std::invalid_argument("qsearch: target dimension is not a power of two");
+    return n;
+}
+
+struct Node {
+    SynthStructure structure;
+    std::vector<double> params;
+    double distance = 1.0;
+    double f = 0.0;
+
+    bool operator<(const Node& other) const { return f > other.f; } // min-heap
+};
+
+} // namespace
+
+SynthesisResult qsearch_synthesize(const Matrix& target, const QSearchOptions& opt) {
+    if (!target.is_square()) throw std::invalid_argument("qsearch: target not square");
+    const int nq = qubits_for_dim(target.rows());
+
+    SynthesisResult result;
+
+    // 1-qubit targets need no search: a single VUG is exact.
+    const auto evaluate = [&](const SynthStructure& s,
+                              const std::vector<double>& warm) {
+        return instantiate(s, target, opt.instantiate, warm);
+    };
+
+    std::priority_queue<Node> frontier;
+    {
+        Node root;
+        root.structure = SynthStructure::seed(nq);
+        const InstantiateResult ir = evaluate(root.structure, {});
+        root.params = ir.params;
+        root.distance = ir.distance;
+        root.f = ir.distance;
+        frontier.push(std::move(root));
+    }
+
+    Node best = frontier.top();
+    int expanded = 0;
+    while (!frontier.empty() && expanded < opt.max_nodes) {
+        Node cur = frontier.top();
+        frontier.pop();
+        if (cur.distance < best.distance) best = cur;
+        if (cur.distance <= opt.threshold) {
+            best = cur;
+            break;
+        }
+        if (cur.structure.cnot_count() >= opt.max_cnots) continue;
+        ++expanded;
+        for (int a = 0; a < nq; ++a) {
+            for (int b = 0; b < nq; ++b) {
+                if (a == b) continue;
+                Node next;
+                next.structure = cur.structure.expanded(a, b);
+                // Warm start: reuse parent parameters, zero-init the new VUGs.
+                std::vector<double> warm = cur.params;
+                warm.resize(static_cast<std::size_t>(next.structure.num_params()), 0.0);
+                const InstantiateResult ir = evaluate(next.structure, warm);
+                next.params = ir.params;
+                next.distance = ir.distance;
+                next.f = ir.distance +
+                         opt.cnot_weight * next.structure.cnot_count();
+                if (ir.distance <= opt.threshold) {
+                    best = next;
+                    expanded = opt.max_nodes; // force exit
+                    break;
+                }
+                frontier.push(std::move(next));
+            }
+            if (expanded >= opt.max_nodes) break;
+        }
+    }
+
+    result.circuit = structure_to_circuit(best.structure, best.params);
+    result.distance = best.distance;
+    result.cnot_count = best.structure.cnot_count();
+    result.nodes_expanded = expanded;
+    result.converged = best.distance <= opt.threshold;
+    return result;
+}
+
+} // namespace epoc::synthesis

@@ -1,0 +1,32 @@
+// QSearch-style best-first synthesis (Davis et al. 2020; paper Algorithm 2).
+//
+// Nodes are circuit structures (VUG layers + CNOT placements). Each expansion
+// appends one CNOT followed by fresh VUGs on the touched qubits; nodes are
+// scored f = instantiated-distance + weight * cnot_count and explored
+// best-first until a node instantiates within the accuracy threshold.
+#pragma once
+
+#include "synthesis/instantiate.h"
+
+namespace epoc::synthesis {
+
+struct QSearchOptions {
+    double threshold = 1e-6;   ///< accept when distance <= threshold
+    double cnot_weight = 0.02; ///< A* path-cost weight per CNOT
+    int max_cnots = 14;        ///< structure depth cap
+    int max_nodes = 120;       ///< expansion budget
+    InstantiateOptions instantiate;
+};
+
+struct SynthesisResult {
+    circuit::Circuit circuit;  ///< U3 + CX realisation
+    double distance = 1.0;
+    int cnot_count = 0;
+    int nodes_expanded = 0;
+    bool converged = false;
+};
+
+/// Synthesize `target` (dimension must be a power of two, >= 2).
+SynthesisResult qsearch_synthesize(const Matrix& target, const QSearchOptions& opt = {});
+
+} // namespace epoc::synthesis

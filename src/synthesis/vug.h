@@ -1,0 +1,52 @@
+// Parameterized circuit structures for numerical synthesis.
+//
+// A structure is a sequence of ops over a small register: single-qubit
+// variable unitary gates (VUGs, realised as U3 with 3 parameters -- exactly
+// BQSKit's single-qubit variable gate) and fixed CNOTs. QSearch explores the
+// space of structures; the instantiater (instantiate.h) fits the parameters
+// to a target unitary.
+#pragma once
+
+#include "circuit/circuit.h"
+#include "linalg/matrix.h"
+
+#include <vector>
+
+namespace epoc::synthesis {
+
+using linalg::Matrix;
+
+struct SynthOp {
+    enum class Kind { Vug, Cnot } kind = Kind::Vug;
+    int a = 0; ///< VUG qubit, or CNOT control
+    int b = 0; ///< CNOT target (unused for VUG)
+
+    static SynthOp vug(int q) { return {Kind::Vug, q, 0}; }
+    static SynthOp cnot(int c, int t) { return {Kind::Cnot, c, t}; }
+};
+
+struct SynthStructure {
+    int num_qubits = 1;
+    std::vector<SynthOp> ops;
+
+    int num_params() const;
+    int cnot_count() const;
+
+    /// Initial QSearch node: one VUG per qubit.
+    static SynthStructure seed(int num_qubits);
+
+    /// Successor: append CNOT(a,b) followed by fresh VUGs on a and b.
+    SynthStructure expanded(int a, int b) const;
+};
+
+/// Unitary of the structure at the given parameter vector.
+Matrix structure_unitary(const SynthStructure& s, const std::vector<double>& params);
+
+/// Lower the instantiated structure to a circuit of U3 + CX gates.
+circuit::Circuit structure_to_circuit(const SynthStructure& s,
+                                      const std::vector<double>& params);
+
+/// d(u3)/d(theta|phi|lambda): analytic 2x2 derivative matrices.
+Matrix u3_derivative(double theta, double phi, double lambda, int which);
+
+} // namespace epoc::synthesis

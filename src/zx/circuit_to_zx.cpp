@@ -1,0 +1,145 @@
+#include "zx/circuit_to_zx.h"
+
+#include "circuit/decompose.h"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace epoc::zx {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+using circuit::Gate;
+using circuit::GateKind;
+
+class Converter {
+public:
+    explicit Converter(int num_qubits) {
+        last_.reserve(static_cast<std::size_t>(num_qubits));
+        for (int q = 0; q < num_qubits; ++q) {
+            const int in = g_.add_vertex(VertexType::Boundary, 0.0, q);
+            inputs_.push_back(in);
+            last_.push_back(in);
+        }
+    }
+
+    void z_spider(int q, double phase) {
+        const int v = g_.add_vertex(VertexType::Z, phase, q);
+        g_.add_edge(last_[static_cast<std::size_t>(q)], v, EdgeType::Simple);
+        last_[static_cast<std::size_t>(q)] = v;
+    }
+
+    void x_spider(int q, double phase) {
+        const int v = g_.add_vertex(VertexType::X, phase, q);
+        g_.add_edge(last_[static_cast<std::size_t>(q)], v, EdgeType::Simple);
+        last_[static_cast<std::size_t>(q)] = v;
+    }
+
+    void hadamard(int q) {
+        // Phase-free spider reached through a Hadamard edge == an H gate.
+        const int v = g_.add_vertex(VertexType::Z, 0.0, q);
+        g_.add_edge(last_[static_cast<std::size_t>(q)], v, EdgeType::Hadamard);
+        last_[static_cast<std::size_t>(q)] = v;
+    }
+
+    void cz(int a, int b) {
+        const int va = g_.add_vertex(VertexType::Z, 0.0, a);
+        const int vb = g_.add_vertex(VertexType::Z, 0.0, b);
+        g_.add_edge(last_[static_cast<std::size_t>(a)], va, EdgeType::Simple);
+        g_.add_edge(last_[static_cast<std::size_t>(b)], vb, EdgeType::Simple);
+        g_.add_edge(va, vb, EdgeType::Hadamard);
+        last_[static_cast<std::size_t>(a)] = va;
+        last_[static_cast<std::size_t>(b)] = vb;
+    }
+
+    void cx(int c, int t) {
+        const int vc = g_.add_vertex(VertexType::Z, 0.0, c);
+        const int vt = g_.add_vertex(VertexType::X, 0.0, t);
+        g_.add_edge(last_[static_cast<std::size_t>(c)], vc, EdgeType::Simple);
+        g_.add_edge(last_[static_cast<std::size_t>(t)], vt, EdgeType::Simple);
+        g_.add_edge(vc, vt, EdgeType::Simple);
+        last_[static_cast<std::size_t>(c)] = vc;
+        last_[static_cast<std::size_t>(t)] = vt;
+    }
+
+    void gate(const Gate& gt, int num_qubits) {
+        const auto& q = gt.qubits;
+        switch (gt.kind) {
+        case GateKind::I:
+            return;
+        case GateKind::Z: z_spider(q[0], kPi); return;
+        case GateKind::S: z_spider(q[0], kPi / 2); return;
+        case GateKind::Sdg: z_spider(q[0], -kPi / 2); return;
+        case GateKind::T: z_spider(q[0], kPi / 4); return;
+        case GateKind::Tdg: z_spider(q[0], -kPi / 4); return;
+        case GateKind::RZ:
+        case GateKind::P: z_spider(q[0], gt.params[0]); return;
+        case GateKind::X: x_spider(q[0], kPi); return;
+        case GateKind::SX: x_spider(q[0], kPi / 2); return;
+        case GateKind::SXdg: x_spider(q[0], -kPi / 2); return;
+        case GateKind::RX: x_spider(q[0], gt.params[0]); return;
+        case GateKind::Y:
+            // Y = i * X * Z; global phase dropped.
+            z_spider(q[0], kPi);
+            x_spider(q[0], kPi);
+            return;
+        case GateKind::RY:
+            // RY(t) = S * RX(t) * Sdg (time order: sdg, rx, s).
+            z_spider(q[0], -kPi / 2);
+            x_spider(q[0], gt.params[0]);
+            z_spider(q[0], kPi / 2);
+            return;
+        case GateKind::U3:
+            // U3(t,p,l) = RZ(p) RY(t) RZ(l); with RY = S RX Sdg this folds to
+            // rz(l - pi/2), rx(t), rz(p + pi/2).
+            z_spider(q[0], gt.params[2] - kPi / 2);
+            x_spider(q[0], gt.params[0]);
+            z_spider(q[0], gt.params[1] + kPi / 2);
+            return;
+        case GateKind::H: hadamard(q[0]); return;
+        case GateKind::CZ: cz(q[0], q[1]); return;
+        case GateKind::CX: cx(q[0], q[1]); return;
+        case GateKind::VUG:
+        case GateKind::UNITARY:
+            throw std::invalid_argument(
+                "circuit_to_zx: explicit-unitary gates cannot be converted; run "
+                "the ZX pass before synthesis");
+        default: {
+            // Lower everything else to {U3, CX} and recurse.
+            const circuit::Circuit sub =
+                circuit::decompose_gate(gt, circuit::Basis::U3_CX, num_qubits);
+            for (const Gate& inner : sub.gates()) gate(inner, num_qubits);
+            return;
+        }
+        }
+    }
+
+    ZxGraph finish() {
+        std::vector<int> outputs;
+        for (std::size_t q = 0; q < last_.size(); ++q) {
+            const int out = g_.add_vertex(VertexType::Boundary, 0.0, static_cast<int>(q));
+            g_.add_edge(last_[q], out, EdgeType::Simple);
+            outputs.push_back(out);
+        }
+        g_.set_inputs(inputs_);
+        g_.set_outputs(std::move(outputs));
+        return std::move(g_);
+    }
+
+private:
+    ZxGraph g_;
+    std::vector<int> inputs_;
+    std::vector<int> last_;
+};
+
+} // namespace
+
+ZxGraph circuit_to_zx(const circuit::Circuit& c) {
+    Converter conv(c.num_qubits());
+    for (const Gate& g : c.gates()) conv.gate(g, c.num_qubits());
+    return conv.finish();
+}
+
+} // namespace epoc::zx

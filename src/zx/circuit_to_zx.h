@@ -1,0 +1,19 @@
+// Circuit -> ZX-diagram conversion.
+//
+// Gates are lowered onto spiders in the standard way: Z-axis rotations become
+// Z spiders, X-axis rotations X spiders, H becomes a phase-free spider behind
+// a Hadamard edge, CZ a Hadamard edge between two fresh Z spiders, CX a simple
+// edge between a Z (control) and an X (target) spider. Everything else is
+// decomposed to {U3, CX} first. Every gate allocates fresh spiders, so the
+// raw diagram never contains parallel edges.
+#pragma once
+
+#include "circuit/circuit.h"
+#include "zx/graph.h"
+
+namespace epoc::zx {
+
+/// Build the ZX-diagram of a circuit (global phase dropped).
+ZxGraph circuit_to_zx(const circuit::Circuit& c);
+
+} // namespace epoc::zx

@@ -1,0 +1,242 @@
+#include "zx/extract.h"
+
+#include "zx/gf2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace epoc::zx {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+constexpr double kTol = 1e-9;
+
+class Extractor {
+public:
+    explicit Extractor(ZxGraph g) : g_(std::move(g)), nq_(g_.outputs().size()) {}
+
+    Circuit run() {
+        input_qubit_.clear();
+        for (std::size_t q = 0; q < g_.inputs().size(); ++q)
+            input_qubit_[g_.inputs()[q]] = static_cast<int>(q);
+
+        for (int round = 0;; ++round) {
+            if (round > 10000) throw ExtractError("extraction did not terminate");
+            refresh_frontier();
+            normalize_input_edges();
+            emit_frontier_phases();
+            emit_frontier_czs();
+            if (!advance_frontier()) break; // no interior neighbours left
+        }
+        finalize_permutation();
+
+        // `gates_` was collected output-side-first; reverse into time order and
+        // place the input-side compensation gates first.
+        Circuit c(static_cast<int>(nq_));
+        for (const Gate& g : prefix_) c.add(g);
+        for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) c.add(*it);
+        return c;
+    }
+
+private:
+    /// The unique neighbour of a boundary vertex.
+    std::pair<int, EdgeCount> boundary_neighbour(int b) const {
+        const auto& adj = g_.adjacency(b);
+        if (adj.size() != 1 || adj.begin()->second.total() != 1)
+            throw ExtractError("boundary vertex without a unique edge");
+        return {adj.begin()->first, adj.begin()->second};
+    }
+
+    bool is_input(int v) const { return input_qubit_.count(v) > 0; }
+
+    /// Recompute frontier[q] for every output, absorbing Hadamard edges on
+    /// output wires as H gates and splitting off identity spiders where an
+    /// output touches an input directly.
+    void refresh_frontier() {
+        frontier_.assign(nq_, -1);
+        std::unordered_set<int> used;
+        for (std::size_t q = 0; q < nq_; ++q) {
+            const int out = g_.outputs()[q];
+            auto [w, cnt] = boundary_neighbour(out);
+            if (is_input(w)) {
+                // Bare wire to an input: insert an identity spider so the
+                // frontier is always a proper spider. in -H- v -S- out equals
+                // the original Hadamard edge; if the edge was simple we must
+                // compensate with an H gate at the circuit end.
+                const int v = g_.add_vertex(VertexType::Z, 0.0, static_cast<int>(q));
+                g_.remove_edge(w, out);
+                g_.add_edge(w, v, EdgeType::Hadamard);
+                g_.add_edge(v, out, EdgeType::Simple);
+                if (cnt.simple == 1) emit(Gate(GateKind::H, {static_cast<int>(q)}));
+                w = v;
+            } else if (cnt.hadamard == 1) {
+                // Absorb the Hadamard on the output wire as a gate.
+                emit(Gate(GateKind::H, {static_cast<int>(q)}));
+                g_.remove_edge(w, out);
+                g_.add_edge(w, out, EdgeType::Simple);
+            }
+            if (!used.insert(w).second)
+                throw ExtractError("spider adjacent to two outputs (diagram not unitary)");
+            frontier_[q] = w;
+        }
+    }
+
+    /// Keep every input edge a Hadamard edge: a simple input edge becomes a
+    /// Hadamard edge plus an explicit H gate at the very start of the circuit.
+    void normalize_input_edges() {
+        for (std::size_t q = 0; q < g_.inputs().size(); ++q) {
+            const int in = g_.inputs()[q];
+            // Mid-extraction an input may touch several frontier spiders (row
+            // operations fan its Hadamard edge out); only the initial single
+            // simple wire ever needs conversion.
+            const auto adj = g_.adjacency(in); // copy: we may edit below
+            for (const auto& [w, cnt] : adj) {
+                if (cnt.simple == 0) continue;
+                if (cnt.simple != 1 || cnt.hadamard != 0 || adj.size() != 1)
+                    throw ExtractError("unexpected simple edge on an input");
+                g_.remove_edge(in, w);
+                g_.add_edge(in, w, EdgeType::Hadamard);
+                prefix_.push_back(Gate(GateKind::H, {static_cast<int>(q)}));
+            }
+        }
+    }
+
+    void emit_frontier_phases() {
+        for (std::size_t q = 0; q < nq_; ++q) {
+            const int v = frontier_[q];
+            const double p = g_.phase(v);
+            if (std::abs(p) > kTol) {
+                emit(Gate(GateKind::P, {static_cast<int>(q)}, {p}));
+                g_.set_phase(v, 0.0);
+            }
+        }
+    }
+
+    void emit_frontier_czs() {
+        for (std::size_t q1 = 0; q1 < nq_; ++q1) {
+            for (std::size_t q2 = q1 + 1; q2 < nq_; ++q2) {
+                const EdgeCount cnt = g_.edge(frontier_[q1], frontier_[q2]);
+                if (cnt.simple != 0)
+                    throw ExtractError("simple edge between frontier spiders");
+                if (cnt.hadamard == 1) {
+                    emit(Gate(GateKind::CZ, {static_cast<int>(q1), static_cast<int>(q2)}));
+                    g_.remove_edge(frontier_[q1], frontier_[q2]);
+                }
+            }
+        }
+    }
+
+    /// One frontier-advancement step. Returns false when no interior
+    /// neighbours remain (extraction is down to the final permutation).
+    bool advance_frontier() {
+        // Columns: all non-output neighbours of the frontier, interior first.
+        std::vector<int> cols;
+        std::unordered_map<int, std::size_t> col_index;
+        std::unordered_set<int> frontier_set(frontier_.begin(), frontier_.end());
+        bool has_interior = false;
+        for (int pass = 0; pass < 2; ++pass) {
+            for (std::size_t q = 0; q < nq_; ++q) {
+                for (const auto& [w, cnt] : g_.adjacency(frontier_[q])) {
+                    if (g_.is_boundary(w) && !is_input(w)) continue; // output wire
+                    if (frontier_set.count(w)) throw ExtractError("frontier edge leaked");
+                    const bool interior_col = !is_input(w);
+                    if ((pass == 0) != interior_col) continue;
+                    if (cnt.hadamard != 1 || cnt.simple != 0)
+                        throw ExtractError("non-Hadamard edge at frontier");
+                    if (col_index.emplace(w, cols.size()).second) {
+                        cols.push_back(w);
+                        if (interior_col) has_interior = true;
+                    }
+                }
+            }
+        }
+        if (!has_interior) return false;
+        const std::size_t num_interior = [&] {
+            std::size_t n = 0;
+            for (const int w : cols)
+                if (!is_input(w)) ++n;
+            return n;
+        }();
+
+        Mat2 m(nq_, cols.size());
+        for (std::size_t q = 0; q < nq_; ++q)
+            for (const auto& [w, cnt] : g_.adjacency(frontier_[q]))
+                if (col_index.count(w)) m(q, col_index[w]) = 1;
+
+        // Every row addition is a CNOT: adding row src to row dst XORs the
+        // H-neighbourhood of frontier[dst] with that of frontier[src], which
+        // is exactly what CNOT(control=dst, target=src) at the circuit end
+        // does to the diagram (verified against tensor semantics in tests).
+        m.gauss([&](std::size_t src, std::size_t dst) {
+            emit(Gate(GateKind::CX, {static_cast<int>(dst), static_cast<int>(src)}));
+        });
+
+        // Rewrite the graph's frontier connectivity from the eliminated matrix.
+        for (std::size_t q = 0; q < nq_; ++q) {
+            for (const int w : cols)
+                if (g_.connected(frontier_[q], w)) g_.remove_edge(frontier_[q], w);
+            for (std::size_t j = 0; j < cols.size(); ++j)
+                if (m(q, j)) g_.add_edge(frontier_[q], cols[j], EdgeType::Hadamard);
+        }
+
+        // Advance through every row whose single neighbour is interior.
+        int extracted = 0;
+        for (std::size_t q = 0; q < nq_; ++q) {
+            if (m.row_weight(q) != 1) continue;
+            std::size_t j = 0;
+            while (m(q, j) == 0) ++j;
+            if (j >= num_interior) continue; // the single neighbour is an input
+            const int n = cols[j];
+            const int out = g_.outputs()[q];
+            g_.remove_vertex(frontier_[q]);
+            g_.add_edge(n, out, EdgeType::Hadamard);
+            ++extracted;
+        }
+        if (extracted == 0)
+            throw ExtractError("no extractable frontier row (diagram lacks gflow)");
+        return true;
+    }
+
+    /// Final stage: frontier connects only to inputs. Eliminate the
+    /// frontier-input biadjacency to the identity with CNOTs, then peel the
+    /// remaining per-wire Hadamard boxes.
+    void finalize_permutation() {
+        if (nq_ == 0) return;
+        Mat2 m(nq_, nq_);
+        for (std::size_t q = 0; q < nq_; ++q) {
+            for (const auto& [w, cnt] : g_.adjacency(frontier_[q])) {
+                if (g_.is_boundary(w) && !is_input(w)) continue;
+                if (!is_input(w)) throw ExtractError("interior vertex in final stage");
+                m(q, static_cast<std::size_t>(input_qubit_.at(w))) = 1;
+            }
+        }
+        const std::size_t rank = m.gauss([&](std::size_t src, std::size_t dst) {
+            emit(Gate(GateKind::CX, {static_cast<int>(dst), static_cast<int>(src)}));
+        });
+        if (rank != nq_) throw ExtractError("final biadjacency is singular");
+        // m is now the identity: wire q is input -H- frontier -S- output,
+        // i.e. one H gate per qubit.
+        for (std::size_t q = 0; q < nq_; ++q) emit(Gate(GateKind::H, {static_cast<int>(q)}));
+    }
+
+    void emit(Gate g) { gates_.push_back(std::move(g)); }
+
+    ZxGraph g_;
+    std::size_t nq_;
+    std::vector<int> frontier_;
+    std::unordered_map<int, int> input_qubit_;
+    std::vector<Gate> gates_;  ///< collected last-gate-first
+    std::vector<Gate> prefix_; ///< H gates sitting directly on inputs
+};
+
+} // namespace
+
+Circuit extract_circuit(ZxGraph g) { return Extractor(std::move(g)).run(); }
+
+} // namespace epoc::zx

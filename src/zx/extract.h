@@ -1,0 +1,27 @@
+// Circuit extraction from graph-like ZX-diagrams.
+//
+// Implements the gflow-based frontier extraction of Backens et al. / PyZX:
+// peel phases (RZ) and Hadamard-edge pairs (CZ) off the output frontier,
+// Gauss-eliminate the frontier biadjacency over GF(2) (each row addition is a
+// CNOT), and advance the frontier through rows that reduce to a single
+// interior neighbour. Diagrams produced by zx::full_reduce on circuit inputs
+// always extract; a diagram without gflow raises ExtractError.
+#pragma once
+
+#include "circuit/circuit.h"
+#include "zx/graph.h"
+
+#include <stdexcept>
+
+namespace epoc::zx {
+
+class ExtractError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Extract a circuit over {P(=RZ), H, CZ, CX} from a graph-like diagram.
+/// The graph is consumed (mutated to empty).
+circuit::Circuit extract_circuit(ZxGraph g);
+
+} // namespace epoc::zx

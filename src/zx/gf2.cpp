@@ -1,0 +1,54 @@
+#include "zx/gf2.h"
+
+#include <algorithm>
+
+namespace epoc::zx {
+
+void Mat2::row_add(std::size_t src, std::size_t dst) {
+    for (std::size_t c = 0; c < cols_; ++c) d_[dst][c] ^= d_[src][c];
+}
+
+std::size_t Mat2::gauss(const RowOpCallback& on_row_add) {
+    const auto add = [&](std::size_t src, std::size_t dst) {
+        row_add(src, dst);
+        if (on_row_add) on_row_add(src, dst);
+    };
+
+    std::size_t pivot_row = 0;
+    std::vector<std::size_t> pivot_rows;
+    std::vector<std::size_t> pivot_cols;
+    for (std::size_t col = 0; col < cols_ && pivot_row < rows_; ++col) {
+        // Find a row at or below pivot_row with a 1 in this column.
+        std::size_t sel = rows_;
+        for (std::size_t r = pivot_row; r < rows_; ++r)
+            if (d_[r][col]) {
+                sel = r;
+                break;
+            }
+        if (sel == rows_) continue;
+        // Swap-free pivoting: bring the 1 into pivot_row via row additions.
+        if (sel != pivot_row) {
+            add(sel, pivot_row);      // pivot_row now has the 1
+            add(pivot_row, sel);      // sel becomes the old pivot_row
+        }
+        for (std::size_t r = pivot_row + 1; r < rows_; ++r)
+            if (d_[r][col]) add(pivot_row, r);
+        pivot_rows.push_back(pivot_row);
+        pivot_cols.push_back(col);
+        ++pivot_row;
+    }
+    // Back-substitution: clear above each pivot.
+    for (std::size_t i = pivot_rows.size(); i-- > 0;) {
+        const std::size_t pr = pivot_rows[i];
+        const std::size_t pc = pivot_cols[i];
+        for (std::size_t r = 0; r < pr; ++r)
+            if (d_[r][pc]) add(pr, r);
+    }
+    return pivot_rows.size();
+}
+
+std::size_t Mat2::row_weight(std::size_t r) const {
+    return static_cast<std::size_t>(std::count(d_[r].begin(), d_[r].end(), 1));
+}
+
+} // namespace epoc::zx

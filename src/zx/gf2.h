@@ -1,0 +1,43 @@
+// Dense GF(2) matrices with row-operation tracking, used by the ZX circuit
+// extractor (biadjacency elimination -> CNOT emission).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace epoc::zx {
+
+class Mat2 {
+public:
+    Mat2() = default;
+    Mat2(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), d_(rows, std::vector<std::uint8_t>(cols, 0)) {}
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+
+    std::uint8_t& operator()(std::size_t r, std::size_t c) { return d_[r][c]; }
+    std::uint8_t operator()(std::size_t r, std::size_t c) const { return d_[r][c]; }
+
+    /// row dst ^= row src.
+    void row_add(std::size_t src, std::size_t dst);
+
+    /// Called as op(src, dst) for every row_add performed by gauss().
+    using RowOpCallback = std::function<void(std::size_t, std::size_t)>;
+
+    /// In-place Gauss-Jordan elimination to reduced row echelon form using
+    /// only row additions (no swaps; pivot rows are selected in place).
+    /// Returns the rank.
+    std::size_t gauss(const RowOpCallback& on_row_add = nullptr);
+
+    /// Number of ones in a row.
+    std::size_t row_weight(std::size_t r) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::vector<std::uint8_t>> d_;
+};
+
+} // namespace epoc::zx

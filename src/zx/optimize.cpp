@@ -1,0 +1,40 @@
+#include "zx/optimize.h"
+
+#include "circuit/peephole.h"
+#include "zx/circuit_to_zx.h"
+#include "zx/extract.h"
+
+namespace epoc::zx {
+
+ZxOptimizeResult zx_optimize(const circuit::Circuit& c) {
+    ZxOptimizeResult res;
+    res.depth_before = c.depth();
+
+    const circuit::Circuit baseline = circuit::peephole_optimize(c);
+    res.circuit = baseline;
+
+    // Pulse-aware cost: entangling gates dominate pulse latency, depth breaks
+    // ties; a shallower circuit with many more CNOTs is not an improvement.
+    const auto cost = [](const circuit::Circuit& circ) {
+        return 3 * circ.two_qubit_count() + static_cast<std::size_t>(circ.depth());
+    };
+    try {
+        ZxGraph g = circuit_to_zx(c);
+        res.stats = full_reduce(g);
+        const circuit::Circuit extracted =
+            circuit::peephole_optimize(extract_circuit(std::move(g)));
+        if (cost(extracted) < cost(baseline)) {
+            res.circuit = extracted;
+            res.used_extraction = true;
+        }
+    } catch (const ExtractError&) {
+        // Diagram lost gflow (should not happen with interior-only rules);
+        // the peepholed original is still a valid, optimized result.
+    } catch (const std::invalid_argument&) {
+        // Circuit contains gates the ZX converter cannot express (VUGs).
+    }
+    res.depth_after = res.circuit.depth();
+    return res;
+}
+
+} // namespace epoc::zx

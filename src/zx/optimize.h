@@ -1,0 +1,23 @@
+// The graph-based depth optimization stage of EPOC (paper Section 3.1):
+// circuit -> ZX diagram -> full_reduce -> extraction -> commutation-aware
+// peephole; keeps whichever of {peepholed original, peepholed extraction} is
+// shallower. Never fails: diagrams the extractor rejects fall back to the
+// peepholed original.
+#pragma once
+
+#include "circuit/circuit.h"
+#include "zx/simplify.h"
+
+namespace epoc::zx {
+
+struct ZxOptimizeResult {
+    circuit::Circuit circuit;
+    SimplifyStats stats;
+    int depth_before = 0;
+    int depth_after = 0;
+    bool used_extraction = false; ///< false if the fallback won
+};
+
+ZxOptimizeResult zx_optimize(const circuit::Circuit& c);
+
+} // namespace epoc::zx

@@ -1,0 +1,192 @@
+#include "zx/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace epoc::zx {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kTol = 1e-9;
+
+bool phase_is_zero(const ZxGraph& g, int v) { return std::abs(g.phase(v)) < kTol; }
+
+/// True if every incident edge of v is a single Hadamard edge to an interior
+/// vertex (the precondition of local complementation / pivoting).
+bool interior_hadamard_neighbourhood(const ZxGraph& g, int v) {
+    for (const auto& [w, cnt] : g.adjacency(v)) {
+        if (!g.is_interior(w)) return false;
+        if (cnt.simple != 0 || cnt.hadamard != 1) return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int spider_simp(ZxGraph& g) {
+    int fusions = 0;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (const int u : g.vertices()) {
+            if (!g.is_interior(u)) continue;
+            // Re-check aliveness: earlier fusions this sweep may have eaten u.
+            if (!g.alive(u)) continue;
+            bool fused_here = true;
+            while (fused_here) {
+                fused_here = false;
+                for (const auto& [w, cnt] : g.adjacency(u)) {
+                    if (cnt.simple >= 1 && g.is_interior(w) && g.type(w) == g.type(u)) {
+                        g.fuse(u, w);
+                        ++fusions;
+                        progress = true;
+                        fused_here = true;
+                        break; // adjacency changed; restart scan of u
+                    }
+                }
+            }
+        }
+    }
+    return fusions;
+}
+
+void to_graph_like(ZxGraph& g, SimplifyStats* stats) {
+    for (const int v : g.vertices())
+        if (g.alive(v) && g.type(v) == VertexType::X) g.color_change(v);
+    const int fusions = spider_simp(g);
+    if (stats != nullptr) stats->spider_fusions += fusions;
+}
+
+int id_simp(ZxGraph& g) {
+    int removed = 0;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (const int v : g.vertices()) {
+            if (!g.is_interior(v) || !g.alive(v) || !phase_is_zero(g, v)) continue;
+            const auto& adj = g.adjacency(v);
+            if (adj.size() != 2) continue;
+            const auto first = adj.begin();
+            const auto second = std::next(first);
+            if (first->second.total() != 1 || second->second.total() != 1) continue;
+            const int w1 = first->first;
+            const int w2 = second->first;
+            const bool h1 = first->second.hadamard == 1;
+            const bool h2 = second->second.hadamard == 1;
+            g.remove_vertex(v);
+            g.add_edge(w1, w2, h1 == h2 ? EdgeType::Simple : EdgeType::Hadamard);
+            ++removed;
+            progress = true;
+        }
+    }
+    return removed;
+}
+
+int lcomp_simp(ZxGraph& g) {
+    int applied = 0;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (const int v : g.vertices()) {
+            if (!g.alive(v) || !g.is_interior(v)) continue;
+            if (g.type(v) != VertexType::Z) continue;
+            if (!g.is_proper_clifford_phase(v)) continue;
+            if (!interior_hadamard_neighbourhood(g, v)) continue;
+
+            std::vector<int> nbrs;
+            nbrs.reserve(g.adjacency(v).size());
+            for (const auto& [w, cnt] : g.adjacency(v)) nbrs.push_back(w);
+
+            const double vp = g.phase(v);
+            for (const int w : nbrs) g.add_phase(w, -vp);
+            for (std::size_t i = 0; i < nbrs.size(); ++i)
+                for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+                    g.toggle_hadamard_edge(nbrs[i], nbrs[j]);
+            g.remove_vertex(v);
+            ++applied;
+            progress = true;
+        }
+    }
+    return applied;
+}
+
+int pivot_simp(ZxGraph& g) {
+    int applied = 0;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (const int u : g.vertices()) {
+            if (!g.alive(u) || !g.is_interior(u) || g.type(u) != VertexType::Z) continue;
+            if (!g.is_pauli_phase(u)) continue;
+            if (!interior_hadamard_neighbourhood(g, u)) continue;
+
+            int v = -1;
+            for (const auto& [w, cnt] : g.adjacency(u)) {
+                if (cnt.hadamard == 1 && g.type(w) == VertexType::Z && g.is_pauli_phase(w) &&
+                    interior_hadamard_neighbourhood(g, w)) {
+                    v = w;
+                    break;
+                }
+            }
+            if (v < 0) continue;
+
+            // Partition the joint neighbourhood.
+            std::vector<int> a, b, c;
+            for (const auto& [w, cnt] : g.adjacency(u)) {
+                if (w == v) continue;
+                (g.connected(v, w) ? c : a).push_back(w);
+            }
+            for (const auto& [w, cnt] : g.adjacency(v)) {
+                if (w == u || g.connected(u, w)) continue;
+                b.push_back(w);
+            }
+
+            const double pu = g.phase(u);
+            const double pv = g.phase(v);
+            for (const int w : a) g.add_phase(w, pv);
+            for (const int w : b) g.add_phase(w, pu);
+            for (const int w : c) g.add_phase(w, pu + pv + kPi);
+
+            for (const int wa : a)
+                for (const int wb : b) g.toggle_hadamard_edge(wa, wb);
+            for (const int wa : a)
+                for (const int wc : c) g.toggle_hadamard_edge(wa, wc);
+            for (const int wb : b)
+                for (const int wc : c) g.toggle_hadamard_edge(wb, wc);
+
+            g.remove_vertex(u);
+            g.remove_vertex(v);
+            ++applied;
+            progress = true;
+            break; // vertex list invalidated; rescan
+        }
+    }
+    return applied;
+}
+
+SimplifyStats full_reduce(ZxGraph& g) {
+    SimplifyStats stats;
+    to_graph_like(g, &stats);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        ++stats.rounds;
+        const int ids = id_simp(g);
+        const int fus1 = spider_simp(g);
+        const int lcs = lcomp_simp(g);
+        const int fus2 = spider_simp(g);
+        const int pvs = pivot_simp(g);
+        const int fus3 = spider_simp(g);
+        stats.identities_removed += ids;
+        stats.spider_fusions += fus1 + fus2 + fus3;
+        stats.local_complementations += lcs;
+        stats.pivots += pvs;
+        if (ids + lcs + pvs + fus1 + fus2 + fus3 > 0) progress = true;
+    }
+    return stats;
+}
+
+} // namespace epoc::zx

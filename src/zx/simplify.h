@@ -1,0 +1,50 @@
+// Graph-like simplification of ZX-diagrams.
+//
+// The pass structure mirrors PyZX (Kissinger & van de Wetering 2020) and the
+// graph-theoretic simplification of Duncan, Kissinger, Perdrix & van de
+// Wetering (2020):
+//   to_graph_like  -- colour-change all X spiders to Z and fuse, after which
+//                     every interior vertex is a Z spider and all
+//                     interior-interior edges are Hadamard edges;
+//   id_simp        -- remove phase-free arity-2 spiders;
+//   lcomp_simp     -- local complementation removing interior +-pi/2 spiders;
+//   pivot_simp     -- pivoting removing pairs of interior Pauli spiders;
+//   full_reduce    -- all of the above to a fixpoint.
+// Only interior matches are used (no boundary pivots), which keeps the
+// diagram extractable by the gflow-based extractor in zx/extract.h.
+#pragma once
+
+#include "zx/graph.h"
+
+namespace epoc::zx {
+
+/// Match/apply counters for one simplification run.
+struct SimplifyStats {
+    int spider_fusions = 0;
+    int identities_removed = 0;
+    int local_complementations = 0;
+    int pivots = 0;
+    int rounds = 0;
+};
+
+/// Colour-change + fuse to graph-like form. Always safe to call first.
+void to_graph_like(ZxGraph& g, SimplifyStats* stats = nullptr);
+
+/// Fuse all same-colour spiders joined by simple edges. Returns #fusions.
+int spider_simp(ZxGraph& g);
+
+/// Remove phase-free arity-2 interior spiders. Returns #removed.
+int id_simp(ZxGraph& g);
+
+/// Local complementation on interior spiders with phase +-pi/2 whose
+/// neighbourhood is interior and fully Hadamard-connected. Returns #applied.
+int lcomp_simp(ZxGraph& g);
+
+/// Pivot on Hadamard edges joining two interior Pauli spiders with interior
+/// neighbourhoods. Returns #applied.
+int pivot_simp(ZxGraph& g);
+
+/// Run to_graph_like then iterate {id, lcomp, pivot, spider} to a fixpoint.
+SimplifyStats full_reduce(ZxGraph& g);
+
+} // namespace epoc::zx

@@ -1,0 +1,93 @@
+#include "zx/tensor.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace epoc::zx {
+
+namespace {
+constexpr double kSqrt2Inv = 0.70710678118654752440;
+}
+
+linalg::Matrix zx_to_matrix(const ZxGraph& g_in) {
+    ZxGraph g = g_in;
+    for (const int v : g.vertices())
+        if (g.alive(v) && g.type(v) == VertexType::X) g.color_change(v);
+
+    const std::vector<int>& ins = g.inputs();
+    const std::vector<int>& outs = g.outputs();
+    std::vector<int> interior;
+    for (const int v : g.vertices())
+        if (g.is_interior(v)) interior.push_back(v);
+    if (interior.size() > 24)
+        throw std::invalid_argument("zx_to_matrix: too many interior spiders");
+
+    // Edge list with endpoint vertices and type (expanded by multiplicity).
+    struct E {
+        int u, v;
+        bool had;
+    };
+    std::vector<E> edges;
+    for (const int v : g.vertices()) {
+        for (const auto& [w, cnt] : g.adjacency(v)) {
+            if (w < v) continue;
+            for (int i = 0; i < cnt.simple; ++i) edges.push_back({v, w, false});
+            for (int i = 0; i < cnt.hadamard; ++i) edges.push_back({v, w, true});
+        }
+    }
+
+    std::unordered_map<int, std::size_t> interior_index;
+    for (std::size_t i = 0; i < interior.size(); ++i) interior_index[interior[i]] = i;
+    std::unordered_map<int, std::size_t> in_index, out_index;
+    for (std::size_t i = 0; i < ins.size(); ++i) in_index[ins[i]] = i;
+    for (std::size_t i = 0; i < outs.size(); ++i) out_index[outs[i]] = i;
+
+    const std::size_t rows = std::size_t{1} << outs.size();
+    const std::size_t cols = std::size_t{1} << ins.size();
+    linalg::Matrix m(rows, cols);
+
+    std::vector<int> bit(static_cast<std::size_t>(g.vertex_bound()), 0);
+    const auto vertex_bit = [&](int v) { return bit[static_cast<std::size_t>(v)]; };
+
+    for (std::size_t col = 0; col < cols; ++col) {
+        for (std::size_t i = 0; i < ins.size(); ++i)
+            bit[static_cast<std::size_t>(ins[i])] = static_cast<int>((col >> i) & 1);
+        for (std::size_t row = 0; row < rows; ++row) {
+            for (std::size_t i = 0; i < outs.size(); ++i)
+                bit[static_cast<std::size_t>(outs[i])] = static_cast<int>((row >> i) & 1);
+            linalg::cplx total{0.0, 0.0};
+            const std::size_t combos = std::size_t{1} << interior.size();
+            for (std::size_t a = 0; a < combos; ++a) {
+                for (std::size_t i = 0; i < interior.size(); ++i)
+                    bit[static_cast<std::size_t>(interior[i])] =
+                        static_cast<int>((a >> i) & 1);
+                linalg::cplx term{1.0, 0.0};
+                for (const E& e : edges) {
+                    const int x = vertex_bit(e.u);
+                    const int y = vertex_bit(e.v);
+                    if (e.had) {
+                        term *= kSqrt2Inv;
+                        if (x == 1 && y == 1) term = -term;
+                    } else if (x != y) {
+                        term = linalg::cplx{0.0, 0.0};
+                        break;
+                    }
+                }
+                if (term == linalg::cplx{0.0, 0.0}) continue;
+                for (std::size_t i = 0; i < interior.size(); ++i) {
+                    if (vertex_bit(interior[i]) == 1)
+                        term *= std::polar(1.0, g.phase(interior[i]));
+                }
+                total += term;
+            }
+            m(row, col) = total;
+        }
+    }
+    return m;
+}
+
+} // namespace epoc::zx

@@ -1,0 +1,20 @@
+// Brute-force tensor semantics of small ZX-diagrams.
+//
+// Evaluates the linear map of a diagram by summing over basis assignments of
+// the interior spiders (Z spiders force all incident edge ends to one bit, so
+// one bit per spider suffices). Exponential in the number of interior
+// vertices -- intended for tests and debugging, not for the compiler path.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "zx/graph.h"
+
+namespace epoc::zx {
+
+/// The 2^|outputs| x 2^|inputs| matrix of the diagram, up to a global scalar
+/// (the result is normalized so its largest entry has unit magnitude is NOT
+/// done -- entries keep their raw value including sqrt(2) factors from
+/// Hadamard edges). X spiders are handled by an internal colour change.
+linalg::Matrix zx_to_matrix(const ZxGraph& g);
+
+} // namespace epoc::zx

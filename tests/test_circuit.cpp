@@ -1,0 +1,404 @@
+#include "circuit/circuit.h"
+#include "circuit/decompose.h"
+#include "circuit/gate.h"
+#include "circuit/qasm.h"
+#include "circuit/unitary.h"
+#include "linalg/phase.h"
+#include "linalg/random_unitary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace {
+
+using namespace epoc::circuit;
+using epoc::linalg::equal_up_to_global_phase;
+using epoc::linalg::random_unitary;
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Gate, ArityAndParamTables) {
+    EXPECT_EQ(kind_arity(GateKind::H), 1);
+    EXPECT_EQ(kind_arity(GateKind::CX), 2);
+    EXPECT_EQ(kind_arity(GateKind::CCX), 3);
+    EXPECT_EQ(kind_num_params(GateKind::RZ), 1);
+    EXPECT_EQ(kind_num_params(GateKind::U3), 3);
+    EXPECT_EQ(kind_num_params(GateKind::H), 0);
+}
+
+TEST(Gate, NameRoundTrip) {
+    for (const GateKind k :
+         {GateKind::X, GateKind::H, GateKind::Sdg, GateKind::RZ, GateKind::CX,
+          GateKind::SWAP, GateKind::RZZ, GateKind::CCX, GateKind::CSWAP}) {
+        EXPECT_EQ(kind_from_name(kind_name(k)), k);
+    }
+    EXPECT_THROW(kind_from_name("notagate"), std::invalid_argument);
+}
+
+TEST(Gate, AllFixedKindsAreUnitary) {
+    for (const GateKind k :
+         {GateKind::I, GateKind::X, GateKind::Y, GateKind::Z, GateKind::H, GateKind::S,
+          GateKind::Sdg, GateKind::T, GateKind::Tdg, GateKind::SX, GateKind::SXdg,
+          GateKind::CX, GateKind::CY, GateKind::CZ, GateKind::CH, GateKind::SWAP,
+          GateKind::ISWAP, GateKind::CCX, GateKind::CCZ, GateKind::CSWAP}) {
+        EXPECT_TRUE(kind_matrix(k, {}).is_unitary(1e-12)) << kind_name(k);
+    }
+}
+
+TEST(Gate, ParameterizedKindsAreUnitary) {
+    for (const GateKind k : {GateKind::RX, GateKind::RY, GateKind::RZ, GateKind::P,
+                             GateKind::CP, GateKind::CRX, GateKind::CRY, GateKind::CRZ,
+                             GateKind::RXX, GateKind::RYY, GateKind::RZZ}) {
+        EXPECT_TRUE(kind_matrix(k, {0.37}).is_unitary(1e-12)) << kind_name(k);
+    }
+    EXPECT_TRUE(kind_matrix(GateKind::U3, {0.3, 0.5, 0.7}).is_unitary(1e-12));
+    EXPECT_TRUE(kind_matrix(GateKind::CU3, {0.3, 0.5, 0.7}).is_unitary(1e-12));
+}
+
+TEST(Gate, SxSquaredIsX) {
+    const Matrix sx = kind_matrix(GateKind::SX, {});
+    EXPECT_TRUE(equal_up_to_global_phase(sx * sx, pauli_x(), 1e-9));
+}
+
+TEST(Gate, SSquaredIsZ) {
+    const Matrix s = kind_matrix(GateKind::S, {});
+    EXPECT_TRUE(s.approx_equal((s * s) * kind_matrix(GateKind::Sdg, {}), 1e-12));
+    EXPECT_TRUE((s * s).approx_equal(pauli_z(), 1e-12));
+}
+
+TEST(Gate, TSquaredIsS) {
+    const Matrix t = kind_matrix(GateKind::T, {});
+    EXPECT_TRUE((t * t).approx_equal(kind_matrix(GateKind::S, {}), 1e-12));
+}
+
+TEST(Gate, HadamardConjugatesXToZ) {
+    const Matrix h = hadamard();
+    EXPECT_TRUE((h * pauli_x() * h).approx_equal(pauli_z(), 1e-12));
+}
+
+TEST(Gate, RotationsMatchExponentials) {
+    const double th = 1.1;
+    EXPECT_TRUE(rx_matrix(th).is_unitary());
+    EXPECT_NEAR(std::abs(rx_matrix(th)(0, 0) - std::complex(std::cos(th / 2), 0.0)), 0.0,
+                1e-12);
+    EXPECT_TRUE(equal_up_to_global_phase(rz_matrix(th),
+                                         kind_matrix(GateKind::P, {th}), 1e-9));
+}
+
+TEST(Gate, InverseComposesToIdentity) {
+    std::mt19937_64 rng(4);
+    std::uniform_real_distribution<double> ang(-kPi, kPi);
+    for (const GateKind k : {GateKind::S, GateKind::T, GateKind::SX, GateKind::RX,
+                             GateKind::RZ, GateKind::U3, GateKind::CP, GateKind::RZZ,
+                             GateKind::CU3, GateKind::ISWAP}) {
+        std::vector<double> params;
+        for (int i = 0; i < kind_num_params(k); ++i) params.push_back(ang(rng));
+        std::vector<int> qs(static_cast<std::size_t>(kind_arity(k)));
+        for (std::size_t i = 0; i < qs.size(); ++i) qs[i] = static_cast<int>(i);
+        const Gate g(k, qs, params);
+        const Matrix prod = g.inverse().unitary() * g.unitary();
+        EXPECT_TRUE(equal_up_to_global_phase(prod, Matrix::identity(prod.rows()), 1e-9))
+            << kind_name(k);
+    }
+}
+
+TEST(Gate, VugCarriesMatrixAndValidatesDimension) {
+    const Matrix u = random_unitary(4, std::uint64_t{5});
+    const Gate g = Gate::make_unitary({0, 2}, u, GateKind::VUG);
+    EXPECT_TRUE(g.unitary().approx_equal(u, 1e-12));
+    EXPECT_THROW(Gate::make_unitary({0}, u), std::invalid_argument);
+    EXPECT_THROW(Gate::make_unitary({0, 1}, u, GateKind::H), std::invalid_argument);
+}
+
+TEST(Circuit, AddValidatesOperands) {
+    Circuit c(2);
+    EXPECT_THROW(c.add(Gate(GateKind::H, {5})), std::out_of_range);
+    EXPECT_THROW(c.add(Gate(GateKind::CX, {0})), std::invalid_argument);
+    EXPECT_THROW(c.add(Gate(GateKind::CX, {1, 1})), std::invalid_argument);
+    EXPECT_THROW(c.add(Gate(GateKind::RZ, {0})), std::invalid_argument);
+    EXPECT_THROW(c.add(Gate(GateKind::H, {})), std::invalid_argument);
+}
+
+TEST(Circuit, DepthOfParallelAndSerialGates) {
+    Circuit c(3);
+    c.h(0).h(1).h(2);
+    EXPECT_EQ(c.depth(), 1);
+    c.cx(0, 1);
+    EXPECT_EQ(c.depth(), 2);
+    c.cx(1, 2);
+    EXPECT_EQ(c.depth(), 3);
+    c.x(0);
+    EXPECT_EQ(c.depth(), 3); // fits beside cx(1,2)
+}
+
+TEST(Circuit, MomentsPartitionAllGates) {
+    Circuit c(3);
+    c.h(0).cx(0, 1).h(2).cx(1, 2).x(0);
+    const auto ms = c.moments();
+    std::size_t total = 0;
+    for (const auto& m : ms) total += m.size();
+    EXPECT_EQ(total, c.size());
+    EXPECT_EQ(static_cast<int>(ms.size()), c.depth());
+}
+
+TEST(Circuit, CountsAndTCount) {
+    Circuit c(2);
+    c.t(0).tdg(1).t(0).cx(0, 1).h(0);
+    EXPECT_EQ(c.t_count(), 3u);
+    EXPECT_EQ(c.two_qubit_count(), 1u);
+    EXPECT_EQ(c.count_kind(GateKind::H), 1u);
+}
+
+TEST(Circuit, InverseGivesIdentityUnitary) {
+    Circuit c(3);
+    c.h(0).cx(0, 1).t(1).rz(0.3, 2).cx(1, 2).s(0);
+    Circuit both = c;
+    both.append(c.inverse());
+    EXPECT_TRUE(equal_up_to_global_phase(circuit_unitary(both), Matrix::identity(8), 1e-7));
+}
+
+TEST(Circuit, AppendMappedRelabelsQubits) {
+    Circuit inner(2);
+    inner.cx(0, 1);
+    Circuit outer(4);
+    outer.append_mapped(inner, {3, 1});
+    EXPECT_EQ(outer.gate(0).qubits, (std::vector<int>{3, 1}));
+}
+
+TEST(Unitary, BellStateAmplitudes) {
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    const auto psi = run_statevector(c);
+    EXPECT_NEAR(std::abs(psi[0]), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(psi[3]), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(psi[1]), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(psi[2]), 0.0, 1e-12);
+}
+
+TEST(Unitary, CxOrientationLittleEndian) {
+    // Control qubit 0, target qubit 1: |01> (q0=1) -> |11> (index 3).
+    Circuit c(2);
+    c.cx(0, 1);
+    const Matrix u = circuit_unitary(c);
+    EXPECT_NEAR(std::abs(u(3, 1) - std::complex(1.0, 0.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(u(1, 1)), 0.0, 1e-12);
+}
+
+TEST(Unitary, EmbedMatchesApply) {
+    std::mt19937_64 rng(77);
+    const Matrix g = random_unitary(4, rng);
+    const std::vector<int> qubits{2, 0};
+    const Matrix full = embed_gate(g, qubits, 3);
+    EXPECT_TRUE(full.is_unitary(1e-9));
+    Matrix acc = Matrix::identity(8);
+    apply_gate(acc, g, qubits, 3);
+    EXPECT_LT(acc.max_abs_diff(full), 1e-9);
+}
+
+TEST(Unitary, NonAdjacentQubitsAndOrdering) {
+    // X on qubit 2 of 3 flips the high bit.
+    Circuit c(3);
+    c.x(2);
+    const auto psi = run_statevector(c);
+    EXPECT_NEAR(std::abs(psi[4]), 1.0, 1e-12);
+}
+
+TEST(Unitary, GhzCircuit) {
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    const auto psi = run_statevector(c);
+    EXPECT_NEAR(std::abs(psi[0]), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(psi[7]), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Unitary, CircuitUnitaryIsUnitary) {
+    std::mt19937_64 rng(31);
+    Circuit c(4);
+    c.h(0).cx(0, 1).rz(0.4, 1).ccx(0, 1, 2).swap(2, 3).t(3).cz(0, 3);
+    EXPECT_TRUE(circuit_unitary(c).is_unitary(1e-9));
+}
+
+// --- ZYZ / transpilation ---------------------------------------------------
+
+TEST(Decompose, ZyzRecoversRandomSingleQubitUnitaries) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const Matrix u = random_unitary(2, seed);
+        const Zyz e = zyz_decompose(u);
+        const Matrix rebuilt =
+            std::polar(1.0, e.phase) * u3_matrix(e.theta, e.phi, e.lambda);
+        EXPECT_LT(rebuilt.max_abs_diff(u), 1e-9) << "seed " << seed;
+    }
+}
+
+TEST(Decompose, ZyzHandlesDiagonalAndAntiDiagonal) {
+    const Matrix z = pauli_z();
+    const Zyz ez = zyz_decompose(z);
+    EXPECT_LT((std::polar(1.0, ez.phase) * u3_matrix(ez.theta, ez.phi, ez.lambda))
+                  .max_abs_diff(z),
+              1e-9);
+    const Matrix x = pauli_x();
+    const Zyz ex = zyz_decompose(x);
+    EXPECT_LT((std::polar(1.0, ex.phase) * u3_matrix(ex.theta, ex.phi, ex.lambda))
+                  .max_abs_diff(x),
+              1e-9);
+}
+
+class TranspileKinds : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(TranspileKinds, ExpansionPreservesUnitary) {
+    const GateKind k = GetParam();
+    std::mt19937_64 rng(1234);
+    std::uniform_real_distribution<double> ang(-kPi, kPi);
+    std::vector<double> params;
+    for (int i = 0; i < kind_num_params(k); ++i) params.push_back(ang(rng));
+    const int arity = kind_arity(k);
+    std::vector<int> qs(static_cast<std::size_t>(arity));
+    for (int i = 0; i < arity; ++i) qs[static_cast<std::size_t>(i)] = i;
+
+    Circuit original(arity);
+    original.add(Gate(k, qs, params));
+
+    for (const Basis basis : {Basis::U3_CX, Basis::RZ_SX_CX}) {
+        const Circuit lowered = transpile(original, basis);
+        EXPECT_TRUE(equal_up_to_global_phase(circuit_unitary(lowered),
+                                             circuit_unitary(original), 1e-7))
+            << kind_name(k);
+        for (const Gate& g : lowered.gates()) {
+            if (basis == Basis::U3_CX)
+                EXPECT_TRUE(g.kind == GateKind::U3 || g.kind == GateKind::CX);
+            else
+                EXPECT_TRUE(g.kind == GateKind::RZ || g.kind == GateKind::SX ||
+                            g.kind == GateKind::CX);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, TranspileKinds,
+    ::testing::Values(GateKind::X, GateKind::Y, GateKind::Z, GateKind::H, GateKind::S,
+                      GateKind::Sdg, GateKind::T, GateKind::Tdg, GateKind::SX,
+                      GateKind::SXdg, GateKind::RX, GateKind::RY, GateKind::RZ,
+                      GateKind::P, GateKind::U3, GateKind::CX, GateKind::CY, GateKind::CZ,
+                      GateKind::CH, GateKind::SWAP, GateKind::ISWAP, GateKind::CP,
+                      GateKind::CRX, GateKind::CRY, GateKind::CRZ, GateKind::RXX,
+                      GateKind::RYY, GateKind::RZZ, GateKind::CU3, GateKind::CCX,
+                      GateKind::CCZ, GateKind::CSWAP));
+
+TEST(Decompose, RandomSingleQubitVugLowers) {
+    const Matrix u = random_unitary(2, std::uint64_t{99});
+    const Gate g = Gate::make_unitary({0}, u, GateKind::VUG);
+    const Circuit lowered = decompose_gate(g, Basis::RZ_SX_CX, 1);
+    EXPECT_TRUE(equal_up_to_global_phase(circuit_unitary(lowered), u, 1e-8));
+}
+
+TEST(Decompose, MultiQubitVugRejected) {
+    const Matrix u = random_unitary(4, std::uint64_t{98});
+    const Gate g = Gate::make_unitary({0, 1}, u, GateKind::VUG);
+    EXPECT_THROW(decompose_gate(g, Basis::U3_CX, 2), std::invalid_argument);
+}
+
+TEST(Decompose, WholeCircuitTranspiles) {
+    Circuit c(4);
+    c.h(0).cx(0, 1).ccx(0, 1, 2).rzz(0.7, 2, 3).swap(0, 3).crz(0.3, 1, 2);
+    const Circuit lowered = transpile(c, Basis::RZ_SX_CX);
+    EXPECT_TRUE(equal_up_to_global_phase(circuit_unitary(lowered), circuit_unitary(c),
+                                         1e-7));
+}
+
+// --- QASM --------------------------------------------------------------------
+
+TEST(Qasm, ParsesSimpleProgram) {
+    const std::string src = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2];
+measure q -> c;
+)";
+    const Circuit c = parse_qasm(src);
+    EXPECT_EQ(c.num_qubits(), 3);
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.gate(0).kind, GateKind::H);
+    EXPECT_EQ(c.gate(2).kind, GateKind::RZ);
+    EXPECT_NEAR(c.gate(2).params[0], kPi / 4, 1e-12);
+}
+
+TEST(Qasm, ParsesExpressions) {
+    const Circuit c = parse_qasm("qreg q[1]; rz(-pi/2 + 0.5*2) q[0];");
+    EXPECT_NEAR(c.gate(0).params[0], -kPi / 2 + 1.0, 1e-12);
+}
+
+TEST(Qasm, BroadcastAppliesToWholeRegister) {
+    const Circuit c = parse_qasm("qreg q[4]; h q;");
+    EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(Qasm, CustomGateDefinitionExpands) {
+    const std::string src = R"(
+qreg q[2];
+gate bell a,b { h a; cx a,b; }
+bell q[0],q[1];
+)";
+    const Circuit c = parse_qasm(src);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.gate(0).kind, GateKind::H);
+    EXPECT_EQ(c.gate(1).kind, GateKind::CX);
+}
+
+TEST(Qasm, ParameterizedCustomGate) {
+    const std::string src = R"(
+qreg q[1];
+gate wiggle(a) x0 { rz(a/2) x0; rx(-a) x0; }
+wiggle(pi) q[0];
+)";
+    const Circuit c = parse_qasm(src);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_NEAR(c.gate(0).params[0], kPi / 2, 1e-12);
+    EXPECT_NEAR(c.gate(1).params[0], -kPi, 1e-12);
+}
+
+TEST(Qasm, U2ExpandsToU3) {
+    const Circuit c = parse_qasm("qreg q[1]; u2(0, pi) q[0];");
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.gate(0).kind, GateKind::U3);
+    EXPECT_NEAR(c.gate(0).params[0], kPi / 2, 1e-12);
+}
+
+TEST(Qasm, ErrorsCarryLineNumbers) {
+    try {
+        parse_qasm("qreg q[1];\nbadgate q[0];\n");
+        FAIL() << "expected QasmError";
+    } catch (const QasmError& e) {
+        EXPECT_GT(e.line(), 0);
+    }
+}
+
+TEST(Qasm, UnknownRegisterRejected) {
+    EXPECT_THROW(parse_qasm("qreg q[1]; h r[0];"), QasmError);
+}
+
+TEST(Qasm, OutOfRangeIndexRejected) {
+    EXPECT_THROW(parse_qasm("qreg q[2]; h q[5];"), QasmError);
+}
+
+TEST(Qasm, RoundTripPreservesUnitary) {
+    Circuit c(3);
+    c.h(0).cx(0, 1).rz(0.7, 1).ccx(0, 1, 2).swap(0, 2).t(2);
+    const Circuit reparsed = parse_qasm(to_qasm(c));
+    EXPECT_TRUE(equal_up_to_global_phase(circuit_unitary(reparsed), circuit_unitary(c),
+                                         1e-7));
+}
+
+TEST(Qasm, VugCannotSerialize) {
+    Circuit c(2);
+    c.add(Gate::make_unitary({0, 1}, random_unitary(4, std::uint64_t{1}), GateKind::VUG));
+    EXPECT_THROW(to_qasm(c), std::invalid_argument);
+}
+
+} // namespace

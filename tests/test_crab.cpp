@@ -1,0 +1,108 @@
+#include "qoc/crab.h"
+#include "qoc/decoherence.h"
+#include "qoc/grape.h"
+
+#include "circuit/gate.h"
+#include "linalg/phase.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace epoc::qoc;
+
+TEST(Crab, ReachesXGate) {
+    const auto h = make_block_hamiltonian(1);
+    CrabOptions opt;
+    opt.target_fidelity = 0.995;
+    const Pulse p = crab_optimize(h, epoc::circuit::pauli_x(), 8, opt);
+    EXPECT_GE(p.fidelity, 0.995);
+    // The claimed fidelity must match the realised propagator.
+    const auto u = pulse_unitary(h, p);
+    EXPECT_NEAR(epoc::linalg::hs_fidelity(u, epoc::circuit::pauli_x()), p.fidelity, 1e-6);
+}
+
+TEST(Crab, ReachesHadamard) {
+    const auto h = make_block_hamiltonian(1);
+    CrabOptions opt;
+    opt.target_fidelity = 0.995;
+    const Pulse p = crab_optimize(h, epoc::circuit::hadamard(), 8, opt);
+    EXPECT_GE(p.fidelity, 0.995);
+}
+
+TEST(Crab, ReachesCnotWithEnoughSlots) {
+    const auto h = make_block_hamiltonian(2);
+    CrabOptions opt;
+    opt.target_fidelity = 0.99;
+    opt.max_iterations = 500;
+    const Pulse p = crab_optimize(h, epoc::circuit::kind_matrix(epoc::circuit::GateKind::CX, {}),
+                                  28, opt);
+    EXPECT_GE(p.fidelity, 0.99);
+}
+
+TEST(Crab, RespectsAmplitudeBounds) {
+    // tanh squashing keeps every sample strictly inside the bounds.
+    const auto h = make_block_hamiltonian(1);
+    const Pulse p = crab_optimize(h, epoc::circuit::hadamard(), 12, {});
+    for (std::size_t j = 0; j < h.controls.size(); ++j)
+        for (const double a : p.amplitudes[j])
+            EXPECT_LE(std::abs(a), h.controls[j].bound + 1e-12);
+}
+
+TEST(Crab, PulseIsBandLimited) {
+    // CRAB's selling point: the waveform lives in a low-mode Fourier basis,
+    // so each control line has at most ~num_modes oscillations regardless of
+    // the slot count. Count local extrema as a band-limit proxy.
+    const auto h = make_block_hamiltonian(1);
+    CrabOptions opt;
+    opt.num_modes = 2;
+    opt.max_iterations = 150;
+    const Pulse p = crab_optimize(h, epoc::circuit::pauli_x(), 64, opt);
+    for (const auto& line : p.amplitudes) {
+        int extrema = 0;
+        for (std::size_t k = 1; k + 1 < line.size(); ++k) {
+            const double dl = line[k] - line[k - 1];
+            const double dr = line[k + 1] - line[k];
+            if (dl * dr < -1e-18) ++extrema;
+        }
+        // 2 modes + DC: at most ~2*modes+1 humps across the window; allow a
+        // small margin for the tanh squashing.
+        EXPECT_LE(extrema, 2 * opt.num_modes + 2);
+    }
+}
+
+TEST(Crab, InvalidArgumentsThrow) {
+    const auto h = make_block_hamiltonian(1);
+    EXPECT_THROW(crab_optimize(h, epoc::linalg::Matrix::identity(4), 8, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(crab_optimize(h, epoc::linalg::Matrix::identity(2), 0, {}),
+                 std::invalid_argument);
+}
+
+TEST(Decoherence, FactorDecaysWithDuration) {
+    EXPECT_NEAR(coherence_factor(0.0), 1.0, 1e-12);
+    EXPECT_LT(coherence_factor(1000.0), 1.0);
+    EXPECT_LT(coherence_factor(2000.0), coherence_factor(1000.0));
+}
+
+TEST(Decoherence, InvalidTimesThrow) {
+    DecoherenceParams p;
+    p.t1_ns = 0.0;
+    EXPECT_THROW(coherence_factor(10.0, p), std::invalid_argument);
+}
+
+TEST(Decoherence, EspPenalizesLatency) {
+    epoc::core::PulseSchedule s;
+    s.num_qubits = 2;
+    s.esp = 0.99;
+    s.latency = 500.0;
+    const double with = esp_with_decoherence(s);
+    EXPECT_LT(with, s.esp);
+    epoc::core::PulseSchedule longer = s;
+    longer.latency = 5000.0;
+    EXPECT_LT(esp_with_decoherence(longer), with);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+#include "circuit/dag.h"
+
+#include "bench_circuits/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace epoc::circuit;
+
+TEST(Dag, LinearChainDependencies) {
+    Circuit c(1);
+    c.h(0).sx(0).h(0);
+    const CircuitDag dag(c);
+    EXPECT_TRUE(dag.predecessors(0).empty());
+    EXPECT_EQ(dag.predecessors(1), std::vector<std::size_t>{0});
+    EXPECT_EQ(dag.successors(1), std::vector<std::size_t>{2});
+}
+
+TEST(Dag, ParallelGatesHaveNoEdges) {
+    Circuit c(2);
+    c.h(0).h(1);
+    const CircuitDag dag(c);
+    EXPECT_TRUE(dag.successors(0).empty());
+    EXPECT_TRUE(dag.predecessors(1).empty());
+}
+
+TEST(Dag, TwoQubitGateJoinsDependencies) {
+    Circuit c(2);
+    c.h(0).h(1).cx(0, 1);
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.predecessors(2).size(), 2u);
+}
+
+TEST(Dag, NoDuplicateEdgeForSharedQubits) {
+    Circuit c(2);
+    c.cx(0, 1).cx(0, 1);
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.successors(0).size(), 1u);
+}
+
+TEST(Dag, AsapRespectsWeights) {
+    Circuit c(2);
+    c.sx(0).cx(0, 1).sx(1);
+    const CircuitDag dag(c);
+    EXPECT_DOUBLE_EQ(dag.asap()[0], 0.0);
+    EXPECT_DOUBLE_EQ(dag.asap()[1], 10.0);        // after the sx
+    EXPECT_DOUBLE_EQ(dag.asap()[2], 50.0);        // after the cx
+    EXPECT_DOUBLE_EQ(dag.critical_path_length(), 60.0);
+}
+
+TEST(Dag, VirtualRzIsFree) {
+    Circuit c(1);
+    c.rz(0.3, 0).sx(0);
+    const CircuitDag dag(c);
+    EXPECT_DOUBLE_EQ(dag.asap()[1], 0.0);
+    EXPECT_DOUBLE_EQ(dag.critical_path_length(), 10.0);
+}
+
+TEST(Dag, CriticalGatesHaveZeroSlack) {
+    Circuit c(3);
+    c.sx(0).cx(0, 1).cx(1, 2).sx(2); // serial chain on the critical path
+    c.sx(1);                          // slack: fits beside cx(1,2)? no, shares q1
+    const CircuitDag dag(c);
+    for (const std::size_t g : dag.critical_gates()) EXPECT_NEAR(dag.slack(g), 0.0, 1e-9);
+    EXPECT_FALSE(dag.critical_gates().empty());
+}
+
+TEST(Dag, SlackGateOffCriticalPath) {
+    Circuit c(3);
+    c.cx(0, 1); // 40ns critical
+    c.sx(2);    // 10ns, slack 30
+    const CircuitDag dag(c);
+    EXPECT_DOUBLE_EQ(dag.slack(1), 30.0);
+    EXPECT_LT(dag.criticality(1), 1.0);
+    EXPECT_DOUBLE_EQ(dag.criticality(0), 1.0);
+}
+
+TEST(Dag, CriticalPathLowerBoundsDepthTimesWeight) {
+    const Circuit c = epoc::bench::ghz(5);
+    const CircuitDag dag(c);
+    // GHZ is a pure CX chain: critical path = sx-free: 10 (h) + 4*40.
+    EXPECT_DOUBLE_EQ(dag.critical_path_length(), 10.0 + 4 * 40.0);
+}
+
+TEST(Dag, EmptyCircuit) {
+    const Circuit c(2);
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.size(), 0u);
+    EXPECT_DOUBLE_EQ(dag.critical_path_length(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+#include "epoc/export.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace epoc::core;
+
+PulseSchedule sample_schedule() {
+    return schedule_asap(
+        {
+            {{0}, 10.0, 0.999, "sx"},
+            {{0, 1}, 40.0, 0.995, "cx"},
+            {{1}, 0.0, 1.0, "rz"},
+        },
+        2);
+}
+
+TEST(Export, JsonContainsTopLevelFields) {
+    const std::string j = schedule_to_json(sample_schedule());
+    EXPECT_NE(j.find("\"num_qubits\":2"), std::string::npos);
+    EXPECT_NE(j.find("\"latency_ns\":50"), std::string::npos);
+    EXPECT_NE(j.find("\"pulses\":["), std::string::npos);
+}
+
+TEST(Export, JsonListsEveryPulse) {
+    const std::string j = schedule_to_json(sample_schedule());
+    EXPECT_NE(j.find("\"label\":\"sx\""), std::string::npos);
+    EXPECT_NE(j.find("\"label\":\"cx\""), std::string::npos);
+    EXPECT_NE(j.find("\"qubits\":[0,1]"), std::string::npos);
+    EXPECT_NE(j.find("\"start_ns\":10"), std::string::npos);
+}
+
+TEST(Export, JsonEscapesLabels) {
+    PulseSchedule s = schedule_asap({{{0}, 1.0, 1.0, "we\"ird\\label"}}, 1);
+    const std::string j = schedule_to_json(s);
+    EXPECT_NE(j.find("we\\\"ird\\\\label"), std::string::npos);
+}
+
+TEST(Export, JsonBalancedBraces) {
+    const std::string j = schedule_to_json(sample_schedule());
+    int depth = 0;
+    for (const char c : j) {
+        if (c == '{' || c == '[') ++depth;
+        if (c == '}' || c == ']') --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Timeline, MarksBusySpans) {
+    const std::string t = ascii_timeline(sample_schedule(), 50);
+    EXPECT_NE(t.find('#'), std::string::npos);
+    EXPECT_NE(t.find("q0"), std::string::npos);
+    EXPECT_NE(t.find("q1"), std::string::npos);
+    EXPECT_NE(t.find("50 ns"), std::string::npos);
+}
+
+TEST(Timeline, IdleQubitStaysDotted) {
+    const PulseSchedule s = schedule_asap({{{0}, 10.0, 1.0, "sx"}}, 2);
+    const std::string t = ascii_timeline(s, 20);
+    // Second row (q1) is all dots.
+    const std::size_t q1 = t.find("q1");
+    ASSERT_NE(q1, std::string::npos);
+    const std::size_t bar = t.find('|', q1);
+    const std::size_t end = t.find('|', bar + 1);
+    EXPECT_EQ(t.substr(bar + 1, end - bar - 1).find('#'), std::string::npos);
+}
+
+TEST(Timeline, EmptyScheduleHandled) {
+    PulseSchedule s;
+    EXPECT_EQ(ascii_timeline(s), "(empty schedule)\n");
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+#include "bench_circuits/generators.h"
+#include "bench_circuits/random_circuits.h"
+
+#include "circuit/unitary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace {
+
+using namespace epoc::bench;
+using epoc::circuit::circuit_unitary;
+using epoc::circuit::run_statevector;
+
+TEST(Generators, GhzPreparesGhzState) {
+    const auto psi = run_statevector(ghz(4));
+    EXPECT_NEAR(std::abs(psi[0]), 1.0 / std::sqrt(2.0), 1e-10);
+    EXPECT_NEAR(std::abs(psi[15]), 1.0 / std::sqrt(2.0), 1e-10);
+}
+
+TEST(Generators, BvRecoversSecret) {
+    // After BV, measuring the data register yields the secret bits exactly.
+    const std::uint64_t secret = 0b1011;
+    const auto psi = run_statevector(bv(4, secret));
+    // Data register state index == secret, ancilla in (|0>-|1>)/sqrt(2) after
+    // final H => superposition over ancilla bit only.
+    double prob = 0.0;
+    for (int anc = 0; anc < 2; ++anc)
+        prob += std::norm(psi[secret + (static_cast<std::uint64_t>(anc) << 4)]);
+    EXPECT_NEAR(prob, 1.0, 1e-10);
+}
+
+TEST(Generators, WstateIsUniformOneHot) {
+    const int n = 4;
+    const auto psi = run_statevector(wstate(n));
+    double onehot = 0.0;
+    for (int q = 0; q < n; ++q) onehot += std::norm(psi[std::size_t{1} << q]);
+    EXPECT_NEAR(onehot, 1.0, 1e-8);
+    for (int q = 0; q < n; ++q)
+        EXPECT_NEAR(std::norm(psi[std::size_t{1} << q]), 1.0 / n, 1e-8);
+}
+
+TEST(Generators, QftOnBasisStateGivesUniformMagnitudes) {
+    const auto u = circuit_unitary(qft(3));
+    for (std::size_t r = 0; r < 8; ++r)
+        EXPECT_NEAR(std::abs(u(r, 0)), 1.0 / std::sqrt(8.0), 1e-10);
+    EXPECT_TRUE(u.is_unitary(1e-9));
+}
+
+TEST(Generators, AdderAddsBasisStates) {
+    // n=2: a=01, b=01 -> b should become 10 (a unchanged).
+    const int n = 2;
+    auto c = epoc::circuit::Circuit(2 * n + 2);
+    c.x(0);     // a = 1
+    c.x(n);     // b = 1
+    c.append(adder(n));
+    const auto psi = run_statevector(c);
+    // expected: a=01 (bit0), b=10 (bit n+1), carries 0.
+    const std::size_t expect = (std::size_t{1} << 0) | (std::size_t{1} << (n + 1));
+    EXPECT_NEAR(std::norm(psi[expect]), 1.0, 1e-8);
+}
+
+TEST(Generators, GroverAmplifiesMarkedState) {
+    const int n = 3;
+    const auto psi = run_statevector(grover(n, 1));
+    // Marked state |111>; one iteration on 3 qubits boosts it well above
+    // uniform probability 1/8.
+    EXPECT_GT(std::norm(psi[7]), 0.5);
+}
+
+TEST(Generators, QpeEstimatesPhase) {
+    const int bits = 3;
+    const auto psi = run_statevector(qpe(bits));
+    // theta = 1/5 => the most likely readout is round(0.2 * 8) = 2.
+    double best_prob = 0.0;
+    std::size_t best = 0;
+    for (std::size_t k = 0; k < (std::size_t{1} << bits); ++k) {
+        // System qubit is |1> throughout.
+        const double pr = std::norm(psi[k + (std::size_t{1} << bits)]);
+        if (pr > best_prob) {
+            best_prob = pr;
+            best = k;
+        }
+    }
+    EXPECT_EQ(best, 2u);
+}
+
+TEST(Generators, AllSuiteCircuitsAreValid) {
+    for (const auto& [name, c] : figure_suite()) {
+        EXPECT_GT(c.size(), 0u) << name;
+        EXPECT_GE(c.num_qubits(), 2) << name;
+        EXPECT_LE(c.num_qubits(), 8) << name;
+    }
+    EXPECT_EQ(figure_suite().size(), 17u);
+    EXPECT_EQ(table1_suite().size(), 7u);
+}
+
+TEST(Generators, SuiteNamesAreUnique) {
+    std::set<std::string> names;
+    for (const auto& [name, c] : figure_suite()) EXPECT_TRUE(names.insert(name).second);
+}
+
+TEST(Generators, Table1MatchesPaperRows) {
+    const auto t = table1_suite();
+    EXPECT_EQ(t[0].name, "simon");
+    EXPECT_EQ(t[1].name, "bb84");
+    EXPECT_EQ(t[2].name, "bv");
+    EXPECT_EQ(t[3].name, "qaoa");
+    EXPECT_EQ(t[4].name, "decod24");
+    EXPECT_EQ(t[5].name, "dnn");
+    EXPECT_EQ(t[6].name, "ham7");
+}
+
+TEST(Generators, QecCorrectsInjectedError) {
+    // With an X error injected on q1, the decoder must restore the logical
+    // state; syndrome ancillas (q3, q4) read (1,1).
+    const auto psi = run_statevector(qec_bit_flip(true));
+    const double a = std::cos(0.3), b = std::sin(0.3); // ry(0.6) amplitudes
+    const std::size_t anc = (1u << 3) | (1u << 4);
+    EXPECT_NEAR(std::abs(psi[anc + 0]), a, 1e-9);
+    EXPECT_NEAR(std::abs(psi[anc + 7]), b, 1e-9);
+}
+
+TEST(Generators, QecNoErrorLeavesCleanSyndrome) {
+    const auto psi = run_statevector(qec_bit_flip(false));
+    const double a = std::cos(0.3), b = std::sin(0.3);
+    EXPECT_NEAR(std::abs(psi[0]), a, 1e-9);
+    EXPECT_NEAR(std::abs(psi[7]), b, 1e-9);
+}
+
+TEST(Generators, DeutschJozsaBalancedOracleGivesAllOnes) {
+    // A balanced oracle must leave zero amplitude on the all-zero readout.
+    const int n = 4;
+    const auto psi = run_statevector(deutsch_jozsa(n));
+    double p_zero = 0.0;
+    for (int anc = 0; anc < 2; ++anc)
+        p_zero += std::norm(psi[static_cast<std::size_t>(anc) << n]);
+    EXPECT_NEAR(p_zero, 0.0, 1e-10);
+}
+
+TEST(Generators, HiddenShiftRecoversShift) {
+    const std::uint64_t shift = 0b0110;
+    const auto psi = run_statevector(hidden_shift(4, shift));
+    EXPECT_NEAR(std::norm(psi[shift]), 1.0, 1e-9);
+}
+
+TEST(Generators, HiddenShiftRequiresEvenWidth) {
+    EXPECT_THROW(hidden_shift(3), std::invalid_argument);
+}
+
+TEST(Generators, RandomCircuitRespectsSpec) {
+    RandomCircuitSpec spec;
+    spec.num_qubits = 5;
+    spec.num_gates = 33;
+    spec.seed = 9;
+    const auto c = random_circuit(spec);
+    EXPECT_EQ(c.num_qubits(), 5);
+    EXPECT_EQ(c.size(), 33u);
+}
+
+TEST(Generators, RandomCircuitDeterministicPerSeed) {
+    RandomCircuitSpec spec;
+    spec.seed = 4;
+    const auto a = random_circuit(spec);
+    const auto b = random_circuit(spec);
+    EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+TEST(Generators, CliffordOnlyRandomCircuitHasNoT) {
+    RandomCircuitSpec spec;
+    spec.non_clifford_fraction = 0.0;
+    spec.num_gates = 60;
+    const auto c = random_circuit(spec);
+    EXPECT_EQ(c.t_count(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+#include "synthesis/kak.h"
+
+#include "circuit/unitary.h"
+#include "linalg/phase.h"
+#include "linalg/random_unitary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace epoc::synthesis;
+using epoc::circuit::Circuit;
+using epoc::circuit::circuit_unitary;
+using epoc::circuit::GateKind;
+using epoc::linalg::equal_up_to_global_phase;
+using epoc::linalg::kron;
+using epoc::linalg::Matrix;
+using epoc::linalg::random_unitary;
+
+void expect_kak(const Matrix& u, const char* what) {
+    const Circuit c = kak_synthesize(u);
+    EXPECT_TRUE(equal_up_to_global_phase(circuit_unitary(c), u, 1e-6)) << what;
+}
+
+TEST(Kak, Identity) { expect_kak(Matrix::identity(4), "identity"); }
+
+TEST(Kak, ProductUnitary) {
+    const Matrix u = kron(random_unitary(2, std::uint64_t{1}),
+                          random_unitary(2, std::uint64_t{2}));
+    const KakDecomposition k = kak_decompose(u);
+    EXPECT_NEAR(k.cx, 0.0, 1e-7);
+    EXPECT_NEAR(k.cy, 0.0, 1e-7);
+    EXPECT_NEAR(k.cz, 0.0, 1e-7);
+    expect_kak(u, "product");
+}
+
+TEST(Kak, CnotHasQuarterPiInteraction) {
+    const Matrix cx = epoc::circuit::kind_matrix(GateKind::CX, {});
+    const KakDecomposition k = kak_decompose(cx);
+    // CNOT is locally equivalent to exp(i pi/4 XX): exactly one coefficient
+    // of magnitude pi/4 (up to Weyl-chamber symmetry).
+    const double mags[3] = {std::abs(k.cx), std::abs(k.cy), std::abs(k.cz)};
+    int quarter = 0, zero = 0;
+    for (const double m : mags) {
+        if (std::abs(m - 3.14159265358979312 / 4) < 1e-6) ++quarter;
+        if (m < 1e-6) ++zero;
+    }
+    EXPECT_EQ(quarter, 1);
+    EXPECT_EQ(zero, 2);
+    expect_kak(cx, "cnot");
+}
+
+TEST(Kak, FixedTwoQubitGates) {
+    for (const GateKind kind : {GateKind::CZ, GateKind::SWAP, GateKind::ISWAP,
+                                GateKind::CY, GateKind::CH}) {
+        expect_kak(epoc::circuit::kind_matrix(kind, {}), epoc::circuit::kind_name(kind).c_str());
+    }
+}
+
+TEST(Kak, ParameterizedTwoQubitGates) {
+    for (const double th : {0.3, -1.2, 2.9}) {
+        expect_kak(epoc::circuit::kind_matrix(GateKind::RZZ, {th}), "rzz");
+        expect_kak(epoc::circuit::kind_matrix(GateKind::RXX, {th}), "rxx");
+        expect_kak(epoc::circuit::kind_matrix(GateKind::CP, {th}), "cp");
+        expect_kak(epoc::circuit::kind_matrix(GateKind::CRY, {th}), "cry");
+    }
+}
+
+class KakRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KakRandom, HaarUnitaryRoundTrip) {
+    expect_kak(random_unitary(4, GetParam() * 97 + 13), "haar");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KakRandom,
+                         ::testing::Range(std::uint64_t{0}, std::uint64_t{40}));
+
+TEST(Kak, PhaseShiftedInputSameCanonicalClass) {
+    // The interaction content is a local invariant; compare via the
+    // Weyl-lattice-invariant magnitudes min(|c|, pi/2 - |c|), sorted
+    // (coefficients themselves are only unique up to chamber symmetries).
+    const auto invariants = [](const KakDecomposition& k) {
+        std::vector<double> v;
+        for (const double c : {k.cx, k.cy, k.cz}) {
+            const double a = std::abs(c);
+            v.push_back(std::min(a, 3.14159265358979312 / 2 - a));
+        }
+        std::sort(v.begin(), v.end());
+        return v;
+    };
+    const Matrix u = random_unitary(4, std::uint64_t{5});
+    Matrix shifted = u;
+    shifted *= std::polar(1.0, 0.777);
+    const auto a = invariants(kak_decompose(u));
+    const auto b = invariants(kak_decompose(shifted));
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+TEST(Kak, RejectsBadInput) {
+    EXPECT_THROW(kak_decompose(Matrix::identity(2)), std::invalid_argument);
+    Matrix not_unitary(4, 4);
+    not_unitary(0, 0) = epoc::linalg::cplx{2.0, 0.0};
+    EXPECT_THROW(kak_decompose(not_unitary), std::invalid_argument);
+}
+
+TEST(Kak, CircuitUsesOnlyLocalAndIsingGates) {
+    const Circuit c = kak_synthesize(random_unitary(4, std::uint64_t{31}));
+    for (const auto& g : c.gates()) {
+        EXPECT_TRUE(g.kind == GateKind::U3 || g.kind == GateKind::RXX ||
+                    g.kind == GateKind::RYY || g.kind == GateKind::RZZ)
+            << epoc::circuit::kind_name(g.kind);
+    }
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+#include "partition/partition.h"
+
+#include "bench_circuits/generators.h"
+#include "bench_circuits/random_circuits.h"
+#include "circuit/unitary.h"
+#include "linalg/phase.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace epoc::partition;
+using epoc::circuit::Circuit;
+using epoc::circuit::circuit_unitary;
+using epoc::linalg::equal_up_to_global_phase;
+
+TEST(GroupQubits, CoversAllQubitsDisjointly) {
+    const Circuit c = epoc::bench::ghz(6);
+    const auto groups = group_qubits(c, 3);
+    std::set<int> seen;
+    for (const auto& g : groups) {
+        EXPECT_LE(g.size(), 3u);
+        for (const int q : g) EXPECT_TRUE(seen.insert(q).second);
+    }
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(GroupQubits, ConnectedQubitsGroupTogether) {
+    Circuit c(4);
+    c.cx(0, 2).cx(0, 2).cx(1, 3);
+    const auto groups = group_qubits(c, 2);
+    for (const auto& g : groups) {
+        if (g.front() == 0) {
+            EXPECT_EQ(g, (std::vector<int>{0, 2}));
+        }
+        if (g.front() == 1) {
+            EXPECT_EQ(g, (std::vector<int>{1, 3}));
+        }
+    }
+}
+
+TEST(GroupQubits, RejectsNonPositiveLimit) {
+    const Circuit c = epoc::bench::ghz(3);
+    EXPECT_THROW(group_qubits(c, 0), std::invalid_argument);
+}
+
+TEST(Partition, BlocksRespectQubitLimit) {
+    const Circuit c = epoc::bench::qft(5);
+    PartitionOptions opt;
+    opt.max_qubits = 2;
+    for (const CircuitBlock& b : greedy_partition(c, opt))
+        EXPECT_LE(b.qubits.size(), 2u);
+}
+
+TEST(Partition, BlocksRespectGateLimitExceptBridges) {
+    const Circuit c = epoc::bench::vqe(4, 3);
+    PartitionOptions opt;
+    opt.max_qubits = 2;
+    opt.max_gates = 3;
+    for (const CircuitBlock& b : greedy_partition(c, opt)) {
+        if (!b.bridge) {
+            EXPECT_LE(b.body.size(), 3u);
+        }
+    }
+}
+
+TEST(Partition, AllGatesAccountedFor) {
+    const Circuit c = epoc::bench::dnn(5, 2);
+    std::size_t total = 0;
+    for (const CircuitBlock& b : greedy_partition(c, {})) total += b.body.size();
+    EXPECT_EQ(total, c.size());
+}
+
+TEST(Partition, ReassemblyPreservesUnitary) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        epoc::bench::RandomCircuitSpec spec;
+        spec.seed = seed;
+        spec.num_qubits = 3 + static_cast<int>(seed % 3);
+        spec.num_gates = 30;
+        const Circuit c = epoc::bench::random_circuit(spec);
+        for (const int maxq : {2, 3}) {
+            PartitionOptions opt;
+            opt.max_qubits = maxq;
+            const auto blocks = greedy_partition(c, opt);
+            const Circuit re = blocks_to_circuit(blocks, c.num_qubits());
+            EXPECT_TRUE(equal_up_to_global_phase(circuit_unitary(re), circuit_unitary(c),
+                                                 1e-7))
+                << "seed " << seed << " maxq " << maxq;
+        }
+    }
+}
+
+TEST(Partition, BridgingGateBecomesOwnBlock) {
+    Circuit c(4);
+    c.cx(0, 1).cx(0, 1).cx(2, 3).cx(1, 2); // last gate spans the two groups
+    PartitionOptions opt;
+    opt.max_qubits = 2;
+    const auto blocks = greedy_partition(c, opt);
+    bool found_bridge = false;
+    for (const CircuitBlock& b : blocks)
+        if (b.bridge) {
+            found_bridge = true;
+            EXPECT_EQ(b.body.size(), 1u);
+        }
+    EXPECT_TRUE(found_bridge);
+}
+
+TEST(Partition, BlockUnitaryMatchesLocalCircuit) {
+    const Circuit c = epoc::bench::ghz(4);
+    const auto blocks = greedy_partition(c, {});
+    for (const CircuitBlock& b : blocks) {
+        const auto u = block_unitary(b);
+        EXPECT_EQ(u.rows(), std::size_t{1} << b.qubits.size());
+        EXPECT_TRUE(u.is_unitary(1e-9));
+    }
+}
+
+TEST(Partition, SingleQubitCircuit) {
+    Circuit c(1);
+    c.h(0).t(0).h(0);
+    const auto blocks = greedy_partition(c, {});
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].body.size(), 3u);
+}
+
+TEST(Partition, EmptyCircuitYieldsNoBlocks) {
+    const Circuit c(3);
+    EXPECT_TRUE(greedy_partition(c, {}).empty());
+}
+
+} // namespace

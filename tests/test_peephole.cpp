@@ -1,0 +1,113 @@
+#include "circuit/peephole.h"
+#include "circuit/unitary.h"
+#include "linalg/phase.h"
+
+#include "bench_circuits/random_circuits.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace {
+
+using namespace epoc::circuit;
+using epoc::linalg::equal_up_to_global_phase;
+using epoc::linalg::Matrix;
+
+TEST(Peephole, CancelsAdjacentHadamards) {
+    Circuit c(1);
+    c.h(0).h(0);
+    EXPECT_EQ(peephole_optimize(c).size(), 0u);
+}
+
+TEST(Peephole, CancelsAdjacentCnots) {
+    Circuit c(2);
+    c.cx(0, 1).cx(0, 1);
+    EXPECT_EQ(peephole_optimize(c).size(), 0u);
+}
+
+TEST(Peephole, DoesNotCancelFlippedCnots) {
+    Circuit c(2);
+    c.cx(0, 1).cx(1, 0);
+    EXPECT_EQ(peephole_optimize(c).size(), 2u);
+}
+
+TEST(Peephole, MergesRotations) {
+    Circuit c(1);
+    c.t(0).t(0);
+    const Circuit out = peephole_optimize(c);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out.gate(0).params[0], std::numbers::pi / 2, 1e-12);
+}
+
+TEST(Peephole, MergesInverseRotationsToNothing) {
+    Circuit c(1);
+    c.rz(0.7, 0).rz(-0.7, 0);
+    EXPECT_EQ(peephole_optimize(c).size(), 0u);
+}
+
+TEST(Peephole, DropsZeroRotations) {
+    Circuit c(2);
+    c.rz(0.0, 0).rx(0.0, 1).ry(0.0, 0);
+    EXPECT_EQ(peephole_optimize(c).size(), 0u);
+}
+
+TEST(Peephole, CommutesRzThroughCnotControl) {
+    Circuit c(2);
+    c.rz(0.4, 0).cx(0, 1).rz(-0.4, 0);
+    const Circuit out = peephole_optimize(c);
+    EXPECT_EQ(out.size(), 1u); // only the cx remains
+    EXPECT_EQ(out.gate(0).kind, GateKind::CX);
+}
+
+TEST(Peephole, CommutesXThroughCnotTarget) {
+    Circuit c(2);
+    c.x(1).cx(0, 1).x(1);
+    const Circuit out = peephole_optimize(c);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Peephole, HDoesNotCommuteThroughCz) {
+    // h on a cz operand must block cancellation (paper Section 3.1 example).
+    Circuit c(2);
+    c.z(0).cz(0, 1).h(0).z(0);
+    const Circuit out = peephole_optimize(c);
+    // z+cz commute so first z could move, but h blocks the second z.
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Peephole, MergesCpAcrossCommutingLayer) {
+    Circuit c(3);
+    c.cp(0.3, 0, 1).cz(1, 2).cp(0.4, 0, 1);
+    const Circuit out = peephole_optimize(c);
+    ASSERT_EQ(out.size(), 2u);
+    double merged = 0.0;
+    for (const Gate& g : out.gates())
+        if (g.kind == GateKind::CP) merged = g.params[0];
+    EXPECT_NEAR(merged, 0.7, 1e-12);
+}
+
+TEST(Peephole, SwapPairCancelsUnordered) {
+    Circuit c(2);
+    c.swap(0, 1).swap(1, 0);
+    EXPECT_EQ(peephole_optimize(c).size(), 0u);
+}
+
+class PeepholeRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PeepholeRandom, PreservesUnitary) {
+    epoc::bench::RandomCircuitSpec spec;
+    spec.seed = GetParam();
+    spec.num_qubits = 2 + static_cast<int>(GetParam() % 4);
+    spec.num_gates = 25 + static_cast<int>(GetParam() % 30);
+    spec.non_clifford_fraction = 0.3;
+    const Circuit c = epoc::bench::random_circuit(spec);
+    const Circuit out = peephole_optimize(c);
+    EXPECT_LE(out.size(), c.size());
+    EXPECT_TRUE(equal_up_to_global_phase(circuit_unitary(out), circuit_unitary(c), 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeepholeRandom,
+                         ::testing::Range(std::uint64_t{0}, std::uint64_t{25}));
+
+} // namespace

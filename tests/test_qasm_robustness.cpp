@@ -1,0 +1,92 @@
+// Failure-injection tests for the OpenQASM parser: every malformed input must
+// raise QasmError (with a line number), never crash or silently mis-parse.
+#include "circuit/qasm.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace epoc::circuit;
+
+class QasmBadInput : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QasmBadInput, RaisesQasmError) {
+    EXPECT_THROW(parse_qasm(GetParam()), QasmError) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, QasmBadInput,
+    ::testing::Values(
+        "qreg q[2]; h q[0]",                      // missing semicolon at EOF
+        "qreg q[2]; cx q[0];",                    // wrong operand count
+        "qreg q[2]; rz() q[0];",                  // rz demands a parameter
+        "qreg q[2]; rz(pi q[0];",                 // unbalanced paren
+        "qreg q[2]; h r[0];",                     // unknown register
+        "qreg q[2]; h q[2];",                     // index out of range
+        "qreg q[2]; frobnicate q[0];",            // unknown gate
+        "qreg q[2]; rz(bogus) q[0];",             // unknown identifier in expr
+        "qreg q[2]; rz(sin(pi) q[0];",            // unbalanced function call
+        "gate broken a { h a;",                   // unterminated gate body
+        "qreg q[2]; if (c == 1) h q[0];",         // classical control unsupported
+        "qreg q[1]; include \"unterminated;",     // unterminated string
+        "qreg q[1]; h q[",                        // truncated index
+        "qreg q[2]; gate g a,b { h c; } g q[0],q[1];", // unknown body operand
+        "qreg q[2]; gate g(x) a { rz(x) a; } g q[0];", // missing param binding
+        "qreg q[2]; cx q[0],q[0];"));              // duplicate operand
+
+TEST(QasmRobustness, ErrorsIncludeUsefulText) {
+    try {
+        parse_qasm("qreg q[1];\nfrobnicate q[0];");
+        FAIL();
+    } catch (const QasmError& e) {
+        EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("qasm:"), std::string::npos);
+    }
+}
+
+TEST(QasmRobustness, EmptyProgramIsEmptyCircuit) {
+    const Circuit c = parse_qasm("");
+    EXPECT_EQ(c.num_qubits(), 0);
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(QasmRobustness, CommentsAndWhitespaceIgnored) {
+    const Circuit c = parse_qasm(
+        "// header comment\nqreg q[1];\n\n  // indented\n\th q[0]; // trailing\n");
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QasmRobustness, MultipleRegistersConcatenate) {
+    const Circuit c = parse_qasm("qreg a[2]; qreg b[3]; h a[1]; x b[0];");
+    EXPECT_EQ(c.num_qubits(), 5);
+    EXPECT_EQ(c.gate(0).qubits[0], 1);
+    EXPECT_EQ(c.gate(1).qubits[0], 2); // b starts after a
+}
+
+TEST(QasmRobustness, MeasureBarrierResetIgnored) {
+    const Circuit c = parse_qasm(
+        "qreg q[2]; creg c[2]; h q[0]; barrier q; measure q -> c; reset q[1];");
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QasmRobustness, ScientificNotationNumbers) {
+    const Circuit c = parse_qasm("qreg q[1]; rz(1.5e-1) q[0];");
+    EXPECT_NEAR(c.gate(0).params[0], 0.15, 1e-12);
+}
+
+TEST(QasmRobustness, NestedCustomGates) {
+    const std::string src = R"(
+qreg q[2];
+gate inner a { h a; }
+gate outer a,b { inner a; cx a,b; inner b; }
+outer q[0],q[1];
+)";
+    EXPECT_EQ(parse_qasm(src).size(), 3u);
+}
+
+TEST(QasmRobustness, DeepExpressionNesting) {
+    const Circuit c = parse_qasm("qreg q[1]; rz(-(((pi/2)+1)*2 - sqrt(4))) q[0];");
+    EXPECT_NEAR(c.gate(0).params[0], -((3.14159265358979312 / 2 + 1) * 2 - 2), 1e-9);
+}
+
+} // namespace

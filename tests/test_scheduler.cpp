@@ -1,0 +1,65 @@
+#include "epoc/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace epoc::core;
+
+TEST(Scheduler, EmptySchedule) {
+    const PulseSchedule s = schedule_asap({}, 3);
+    EXPECT_EQ(s.latency, 0.0);
+    EXPECT_EQ(s.esp, 1.0);
+}
+
+TEST(Scheduler, SerialOnSameQubit) {
+    const PulseSchedule s = schedule_asap(
+        {{{0}, 10.0, 1.0, "a"}, {{0}, 20.0, 1.0, "b"}}, 1);
+    EXPECT_EQ(s.latency, 30.0);
+    EXPECT_EQ(s.pulses[1].start, 10.0);
+}
+
+TEST(Scheduler, ParallelOnDisjointQubits) {
+    const PulseSchedule s = schedule_asap(
+        {{{0}, 10.0, 1.0, "a"}, {{1}, 25.0, 1.0, "b"}}, 2);
+    EXPECT_EQ(s.latency, 25.0);
+    EXPECT_EQ(s.pulses[1].start, 0.0);
+}
+
+TEST(Scheduler, TwoQubitPulseBlocksBothLines) {
+    const PulseSchedule s = schedule_asap(
+        {{{0, 1}, 40.0, 1.0, "cx"}, {{1}, 10.0, 1.0, "x"}, {{0}, 10.0, 1.0, "x"}}, 2);
+    EXPECT_EQ(s.pulses[1].start, 40.0);
+    EXPECT_EQ(s.pulses[2].start, 40.0);
+    EXPECT_EQ(s.latency, 50.0);
+}
+
+TEST(Scheduler, ZeroDurationVirtualGate) {
+    const PulseSchedule s = schedule_asap(
+        {{{0}, 0.0, 1.0, "rz"}, {{0}, 10.0, 1.0, "sx"}}, 1);
+    EXPECT_EQ(s.latency, 10.0);
+}
+
+TEST(Scheduler, EspIsProductOfFidelities) {
+    const PulseSchedule s = schedule_asap(
+        {{{0}, 10.0, 0.99, "a"}, {{1}, 10.0, 0.98, "b"}}, 2);
+    EXPECT_NEAR(s.esp, 0.99 * 0.98, 1e-12);
+}
+
+TEST(Scheduler, UtilizationFullWhenPacked) {
+    const PulseSchedule s = schedule_asap(
+        {{{0}, 10.0, 1.0, "a"}, {{1}, 10.0, 1.0, "b"}}, 2);
+    EXPECT_NEAR(s.utilization(), 1.0, 1e-12);
+}
+
+TEST(Scheduler, UtilizationHalfWhenSerialized) {
+    const PulseSchedule s = schedule_asap(
+        {{{0}, 10.0, 1.0, "a"}, {{0}, 10.0, 1.0, "b"}}, 2);
+    EXPECT_NEAR(s.utilization(), 0.5, 1e-12);
+}
+
+TEST(Scheduler, OutOfRangeQubitThrows) {
+    EXPECT_THROW(schedule_asap({{{5}, 1.0, 1.0, "bad"}}, 2), std::out_of_range);
+}
+
+} // namespace

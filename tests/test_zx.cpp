@@ -1,0 +1,348 @@
+#include "zx/circuit_to_zx.h"
+#include "zx/extract.h"
+#include "zx/gf2.h"
+#include "zx/graph.h"
+#include "zx/simplify.h"
+
+#include "circuit/unitary.h"
+#include "linalg/phase.h"
+#include "linalg/random_unitary.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <random>
+
+namespace {
+
+using namespace epoc::zx;
+using epoc::circuit::Circuit;
+using epoc::circuit::circuit_unitary;
+using epoc::circuit::GateKind;
+using epoc::linalg::equal_up_to_global_phase;
+using epoc::linalg::Matrix;
+
+constexpr double kPi = std::numbers::pi;
+
+// ---------- graph core -------------------------------------------------------
+
+TEST(ZxGraph, AddVertexAndEdge) {
+    ZxGraph g;
+    const int a = g.add_vertex(VertexType::Z, 0.5);
+    const int b = g.add_vertex(VertexType::Z);
+    g.add_edge(a, b, EdgeType::Hadamard);
+    EXPECT_TRUE(g.connected(a, b));
+    EXPECT_EQ(g.edge(a, b).hadamard, 1);
+    EXPECT_EQ(g.num_vertices(), 2);
+    EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(ZxGraph, ParallelHadamardEdgesCancelSameColour) {
+    ZxGraph g;
+    const int a = g.add_vertex(VertexType::Z);
+    const int b = g.add_vertex(VertexType::Z);
+    g.add_edge(a, b, EdgeType::Hadamard);
+    g.add_edge(a, b, EdgeType::Hadamard);
+    EXPECT_FALSE(g.connected(a, b));
+}
+
+TEST(ZxGraph, ParallelSimpleEdgesIdempotentSameColour) {
+    ZxGraph g;
+    const int a = g.add_vertex(VertexType::Z);
+    const int b = g.add_vertex(VertexType::Z);
+    g.add_edge(a, b, EdgeType::Simple);
+    g.add_edge(a, b, EdgeType::Simple);
+    EXPECT_EQ(g.edge(a, b).simple, 1);
+}
+
+TEST(ZxGraph, HopfLawDifferentColours) {
+    ZxGraph g;
+    const int a = g.add_vertex(VertexType::Z);
+    const int b = g.add_vertex(VertexType::X);
+    g.add_edge(a, b, EdgeType::Simple);
+    g.add_edge(a, b, EdgeType::Simple);
+    EXPECT_FALSE(g.connected(a, b));
+    g.add_edge(a, b, EdgeType::Hadamard);
+    g.add_edge(a, b, EdgeType::Hadamard);
+    EXPECT_EQ(g.edge(a, b).hadamard, 1);
+}
+
+TEST(ZxGraph, HadamardSelfLoopAddsPi) {
+    ZxGraph g;
+    const int a = g.add_vertex(VertexType::Z, 0.25);
+    g.add_edge(a, a, EdgeType::Hadamard);
+    EXPECT_NEAR(g.phase(a), 0.25 + kPi, 1e-12);
+    g.add_edge(a, a, EdgeType::Simple);
+    EXPECT_NEAR(g.phase(a), 0.25 + kPi, 1e-12);
+}
+
+TEST(ZxGraph, FuseAddsPhasesAndRewires) {
+    ZxGraph g;
+    const int a = g.add_vertex(VertexType::Z, 0.3);
+    const int b = g.add_vertex(VertexType::Z, 0.4);
+    const int c = g.add_vertex(VertexType::Z);
+    g.add_edge(a, b, EdgeType::Simple);
+    g.add_edge(b, c, EdgeType::Hadamard);
+    g.fuse(a, b);
+    EXPECT_FALSE(g.alive(b));
+    EXPECT_NEAR(g.phase(a), 0.7, 1e-12);
+    EXPECT_EQ(g.edge(a, c).hadamard, 1);
+}
+
+TEST(ZxGraph, FuseWithExtraParallelHadamardAddsPi) {
+    ZxGraph g;
+    const int a = g.add_vertex(VertexType::Z, 0.0);
+    const int b = g.add_vertex(VertexType::Z, 0.0);
+    g.add_edge(a, b, EdgeType::Simple);
+    g.add_edge(a, b, EdgeType::Hadamard);
+    g.fuse(a, b);
+    EXPECT_NEAR(g.phase(a), kPi, 1e-12);
+}
+
+TEST(ZxGraph, ColorChangeTogglesEdgeTypes) {
+    ZxGraph g;
+    const int x = g.add_vertex(VertexType::X, 0.7);
+    const int z = g.add_vertex(VertexType::Z);
+    g.add_edge(x, z, EdgeType::Simple);
+    g.color_change(x);
+    EXPECT_EQ(g.type(x), VertexType::Z);
+    EXPECT_EQ(g.edge(x, z).hadamard, 1);
+    EXPECT_EQ(g.edge(x, z).simple, 0);
+    EXPECT_NEAR(g.phase(x), 0.7, 1e-12);
+}
+
+TEST(ZxGraph, PhasePredicates) {
+    ZxGraph g;
+    const int a = g.add_vertex(VertexType::Z, 0.0);
+    const int b = g.add_vertex(VertexType::Z, kPi);
+    const int c = g.add_vertex(VertexType::Z, kPi / 2);
+    const int d = g.add_vertex(VertexType::Z, -kPi / 2);
+    const int e = g.add_vertex(VertexType::Z, kPi / 4);
+    EXPECT_TRUE(g.is_pauli_phase(a));
+    EXPECT_TRUE(g.is_pauli_phase(b));
+    EXPECT_FALSE(g.is_pauli_phase(c));
+    EXPECT_TRUE(g.is_proper_clifford_phase(c));
+    EXPECT_TRUE(g.is_proper_clifford_phase(d));
+    EXPECT_FALSE(g.is_proper_clifford_phase(e));
+}
+
+// ---------- GF(2) ------------------------------------------------------------
+
+TEST(Gf2, GaussReducesIdentityLikeMatrix) {
+    Mat2 m(3, 3);
+    m(0, 0) = m(0, 1) = 1;
+    m(1, 1) = 1;
+    m(2, 2) = 1;
+    const std::size_t rank = m.gauss();
+    EXPECT_EQ(rank, 3u);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), r == c ? 1 : 0);
+}
+
+TEST(Gf2, RowOpsReproduceElimination) {
+    std::mt19937_64 rng(3);
+    Mat2 m(4, 6);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 6; ++c) m(r, c) = rng() & 1;
+    Mat2 copy = m;
+    std::vector<std::pair<std::size_t, std::size_t>> ops;
+    m.gauss([&](std::size_t s, std::size_t d) { ops.emplace_back(s, d); });
+    for (const auto& [s, d] : ops) copy.row_add(s, d);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 6; ++c) EXPECT_EQ(copy(r, c), m(r, c));
+}
+
+TEST(Gf2, RankOfSingularMatrix) {
+    Mat2 m(2, 2);
+    m(0, 0) = m(0, 1) = m(1, 0) = m(1, 1) = 1;
+    EXPECT_EQ(m.gauss(), 1u);
+}
+
+// ---------- conversion / simplification --------------------------------------
+
+TEST(CircuitToZx, SpiderCountsForSimpleCircuit) {
+    Circuit c(2);
+    c.h(0).cx(0, 1).t(1);
+    const ZxGraph g = circuit_to_zx(c);
+    // 2 inputs + 2 outputs + h spider + 2 cx spiders + t spider
+    EXPECT_EQ(g.num_vertices(), 8);
+    EXPECT_EQ(g.inputs().size(), 2u);
+    EXPECT_EQ(g.outputs().size(), 2u);
+}
+
+TEST(CircuitToZx, RejectsVug) {
+    Circuit c(2);
+    c.add(epoc::circuit::Gate::make_unitary(
+        {0, 1}, epoc::linalg::random_unitary(4, std::uint64_t{3}),
+        epoc::circuit::GateKind::VUG));
+    EXPECT_THROW(circuit_to_zx(c), std::invalid_argument);
+}
+
+TEST(Simplify, ToGraphLikeLeavesOnlyZSpiders) {
+    Circuit c(3);
+    c.h(0).cx(0, 1).x(2).cx(1, 2).sx(1);
+    ZxGraph g = circuit_to_zx(c);
+    to_graph_like(g);
+    for (const int v : g.vertices())
+        EXPECT_NE(g.type(v), VertexType::X);
+    // Interior-interior edges are Hadamard only.
+    for (const int v : g.vertices()) {
+        if (!g.is_interior(v)) continue;
+        for (const auto& [w, cnt] : g.adjacency(v)) {
+            if (g.is_interior(w)) {
+                EXPECT_EQ(cnt.simple, 0);
+            }
+        }
+    }
+}
+
+TEST(Simplify, FullReduceShrinksTCircuit) {
+    Circuit c(2);
+    c.h(0).cx(0, 1).t(0).t(1).cx(0, 1).h(0);
+    ZxGraph g = circuit_to_zx(c);
+    const int before = g.num_vertices();
+    const SimplifyStats st = full_reduce(g);
+    EXPECT_LT(g.num_vertices(), before);
+    EXPECT_GT(st.spider_fusions, 0);
+}
+
+// ---------- extraction round-trips -------------------------------------------
+
+Circuit random_clifford_t_circuit(int nq, int ngates, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> qd(0, nq - 1);
+    std::uniform_int_distribution<int> gd(0, 8);
+    std::uniform_real_distribution<double> ang(-kPi, kPi);
+    Circuit c(nq);
+    for (int i = 0; i < ngates; ++i) {
+        const int q = qd(rng);
+        switch (gd(rng)) {
+        case 0: c.h(q); break;
+        case 1: c.s(q); break;
+        case 2: c.t(q); break;
+        case 3: c.z(q); break;
+        case 4: c.x(q); break;
+        case 5: c.rz(ang(rng), q); break;
+        case 6: c.sx(q); break;
+        default: {
+            if (nq < 2) {
+                c.h(q);
+                break;
+            }
+            int q2 = qd(rng);
+            while (q2 == q) q2 = qd(rng);
+            if (gd(rng) % 2 == 0)
+                c.cx(q, q2);
+            else
+                c.cz(q, q2);
+            break;
+        }
+        }
+    }
+    return c;
+}
+
+void expect_roundtrip(const Circuit& c, bool reduce) {
+    ZxGraph g = circuit_to_zx(c);
+    if (reduce)
+        full_reduce(g);
+    else
+        to_graph_like(g);
+    const Circuit out = extract_circuit(std::move(g));
+    ASSERT_EQ(out.num_qubits(), c.num_qubits());
+    EXPECT_TRUE(equal_up_to_global_phase(circuit_unitary(out), circuit_unitary(c), 1e-6))
+        << "reduce=" << reduce << "\n"
+        << c.to_string();
+}
+
+TEST(Extract, IdentityWire) {
+    Circuit c(1);
+    expect_roundtrip(c, true);
+}
+
+TEST(Extract, SingleHGate) {
+    Circuit c(1);
+    c.h(0);
+    expect_roundtrip(c, false);
+    Circuit c2(1);
+    c2.h(0);
+    expect_roundtrip(c2, true);
+}
+
+TEST(Extract, DoubleH) {
+    Circuit c(1);
+    c.h(0).h(0);
+    expect_roundtrip(c, true);
+}
+
+TEST(Extract, SingleRz) {
+    Circuit c(1);
+    c.rz(0.7, 0);
+    expect_roundtrip(c, true);
+}
+
+TEST(Extract, BellPair) {
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    expect_roundtrip(c, false);
+    Circuit c2(2);
+    c2.h(0).cx(0, 1);
+    expect_roundtrip(c2, true);
+}
+
+TEST(Extract, GhzThree) {
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    expect_roundtrip(c, true);
+}
+
+TEST(Extract, SwapViaCnots) {
+    Circuit c(2);
+    c.cx(0, 1).cx(1, 0).cx(0, 1);
+    expect_roundtrip(c, true);
+}
+
+TEST(Extract, CliffordHeavyCircuit) {
+    Circuit c(3);
+    c.h(0).s(1).cz(0, 1).h(1).cx(1, 2).s(2).h(2).cz(0, 2).sx(0);
+    expect_roundtrip(c, true);
+}
+
+class ExtractRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtractRandom, GraphLikeOnlyRoundTrip) {
+    const std::uint64_t seed = GetParam();
+    const int nq = 2 + static_cast<int>(seed % 3);
+    const Circuit c = random_clifford_t_circuit(nq, 14 + static_cast<int>(seed % 11), seed);
+    expect_roundtrip(c, false);
+}
+
+TEST_P(ExtractRandom, FullReduceRoundTrip) {
+    const std::uint64_t seed = GetParam();
+    const int nq = 2 + static_cast<int>(seed % 3);
+    const Circuit c = random_clifford_t_circuit(nq, 14 + static_cast<int>(seed % 11), seed);
+    expect_roundtrip(c, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractRandom,
+                         ::testing::Range(std::uint64_t{0}, std::uint64_t{30}));
+
+TEST(Extract, FourQubitDeepCircuit) {
+    const Circuit c = random_clifford_t_circuit(4, 40, 999);
+    expect_roundtrip(c, true);
+}
+
+TEST(Extract, FullReduceReducesCliffordDepth) {
+    // A Clifford-only circuit should collapse substantially under full_reduce.
+    Circuit c(3);
+    for (int rep = 0; rep < 4; ++rep) {
+        c.h(0).s(1).cz(0, 1).h(1).cx(1, 2).s(2).h(2).cz(0, 2);
+    }
+    ZxGraph g = circuit_to_zx(c);
+    full_reduce(g);
+    const Circuit out = extract_circuit(std::move(g));
+    EXPECT_TRUE(equal_up_to_global_phase(circuit_unitary(out), circuit_unitary(c), 1e-6));
+    EXPECT_LT(out.size(), c.size() * 2); // sanity: no blow-up
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+// Tensor-semantics tests: zx_to_matrix is the ground truth that pins down the
+// ZX rewrite system. Distances here are scale- AND phase-invariant because
+// diagram evaluation keeps sqrt(2) scalar factors.
+#include "zx/circuit_to_zx.h"
+#include "zx/simplify.h"
+#include "zx/tensor.h"
+
+#include "bench_circuits/random_circuits.h"
+#include "circuit/unitary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+namespace {
+
+using namespace epoc::zx;
+using epoc::circuit::Circuit;
+using epoc::circuit::circuit_unitary;
+using epoc::linalg::cplx;
+using epoc::linalg::Matrix;
+
+double scale_phase_distance(const Matrix& a, const Matrix& b) {
+    cplx ov{0.0, 0.0};
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j) ov += std::conj(a(i, j)) * b(i, j);
+    const double f = std::abs(ov) / (a.frobenius_norm() * b.frobenius_norm());
+    return std::sqrt(std::max(0.0, 1.0 - f));
+}
+
+void expect_semantics(const Circuit& c, bool reduce) {
+    ZxGraph g = circuit_to_zx(c);
+    if (reduce) full_reduce(g);
+    const Matrix m = zx_to_matrix(g);
+    EXPECT_LT(scale_phase_distance(m, circuit_unitary(c)), 1e-6) << c.to_string();
+}
+
+TEST(ZxTensor, HGate) {
+    Circuit c(1);
+    c.h(0);
+    expect_semantics(c, false);
+}
+
+TEST(ZxTensor, TGate) {
+    Circuit c(1);
+    c.t(0);
+    expect_semantics(c, false);
+}
+
+TEST(ZxTensor, U3Gate) {
+    Circuit c(1);
+    c.u3(0.3, 0.5, 0.7, 0);
+    expect_semantics(c, false);
+}
+
+TEST(ZxTensor, RyGate) {
+    Circuit c(1);
+    c.ry(1.1, 0);
+    expect_semantics(c, false);
+}
+
+TEST(ZxTensor, CxAndCz) {
+    Circuit c(2);
+    c.cx(0, 1).cz(1, 0);
+    expect_semantics(c, false);
+}
+
+TEST(ZxTensor, BellAndGhz) {
+    Circuit b(2);
+    b.h(0).cx(0, 1);
+    expect_semantics(b, false);
+    Circuit g(3);
+    g.h(0).cx(0, 1).cx(1, 2);
+    expect_semantics(g, false);
+}
+
+TEST(ZxTensor, ToffoliDecomposition) {
+    // The raw Toffoli expansion has too many spiders for brute-force
+    // evaluation; fuse to graph-like form first (itself verified by the
+    // random graph-like tests below).
+    Circuit c(3);
+    c.ccx(0, 1, 2);
+    ZxGraph g = circuit_to_zx(c);
+    full_reduce(g); // 45 raw spiders -> 19, within brute-force range
+    EXPECT_LT(scale_phase_distance(zx_to_matrix(g), circuit_unitary(c)), 1e-6);
+}
+
+TEST(ZxTensor, SwapAndControlledRotation) {
+    Circuit c(3);
+    c.swap(0, 2).crz(0.4, 1, 2);
+    expect_semantics(c, false);
+}
+
+class ZxTensorRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZxTensorRandom, RawDiagramMatchesCircuit) {
+    epoc::bench::RandomCircuitSpec spec;
+    spec.seed = GetParam() * 31 + 7;
+    spec.num_qubits = 2 + static_cast<int>(GetParam() % 2);
+    spec.num_gates = 10 + static_cast<int>(GetParam() % 8);
+    const Circuit c = epoc::bench::random_circuit(spec);
+    expect_semantics(c, false);
+}
+
+TEST_P(ZxTensorRandom, FullReducePreservesSemantics) {
+    epoc::bench::RandomCircuitSpec spec;
+    spec.seed = GetParam() * 17 + 3;
+    spec.num_qubits = 2 + static_cast<int>(GetParam() % 2);
+    spec.num_gates = 10 + static_cast<int>(GetParam() % 8);
+    const Circuit c = epoc::bench::random_circuit(spec);
+    expect_semantics(c, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZxTensorRandom,
+                         ::testing::Range(std::uint64_t{0}, std::uint64_t{12}));
+
+TEST(ZxTensor, RejectsHugeDiagrams) {
+    epoc::bench::RandomCircuitSpec spec;
+    spec.num_qubits = 4;
+    spec.num_gates = 120;
+    spec.seed = 5;
+    const Circuit c = epoc::bench::random_circuit(spec);
+    const ZxGraph g = circuit_to_zx(c);
+    EXPECT_THROW(zx_to_matrix(g), std::invalid_argument);
+}
+
+} // namespace
