@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_regroup.dir/bench_ablation_regroup.cpp.o"
+  "CMakeFiles/bench_ablation_regroup.dir/bench_ablation_regroup.cpp.o.d"
+  "bench_ablation_regroup"
+  "bench_ablation_regroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

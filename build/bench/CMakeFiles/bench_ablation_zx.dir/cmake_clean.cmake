@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zx.dir/bench_ablation_zx.cpp.o"
+  "CMakeFiles/bench_ablation_zx.dir/bench_ablation_zx.cpp.o.d"
+  "bench_ablation_zx"
+  "bench_ablation_zx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_paqoc.dir/bench_table1_paqoc.cpp.o"
+  "CMakeFiles/bench_table1_paqoc.dir/bench_table1_paqoc.cpp.o.d"
+  "bench_table1_paqoc"
+  "bench_table1_paqoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_paqoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_library_demo.dir/pulse_library_demo.cpp.o"
+  "CMakeFiles/pulse_library_demo.dir/pulse_library_demo.cpp.o.d"
+  "pulse_library_demo"
+  "pulse_library_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_library_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

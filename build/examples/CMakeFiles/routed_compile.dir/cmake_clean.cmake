@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routed_compile.dir/routed_compile.cpp.o"
+  "CMakeFiles/routed_compile.dir/routed_compile.cpp.o.d"
+  "routed_compile"
+  "routed_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routed_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

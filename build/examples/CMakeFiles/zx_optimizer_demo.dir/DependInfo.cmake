@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/zx_optimizer_demo.cpp" "examples/CMakeFiles/zx_optimizer_demo.dir/zx_optimizer_demo.cpp.o" "gcc" "examples/CMakeFiles/zx_optimizer_demo.dir/zx_optimizer_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/epoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_bench_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_zx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_synthesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_qoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

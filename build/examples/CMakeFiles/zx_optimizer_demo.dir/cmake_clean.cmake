@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zx_optimizer_demo.dir/zx_optimizer_demo.cpp.o"
+  "CMakeFiles/zx_optimizer_demo.dir/zx_optimizer_demo.cpp.o.d"
+  "zx_optimizer_demo"
+  "zx_optimizer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zx_optimizer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_circuits/generators.cpp" "src/CMakeFiles/epoc_bench_circuits.dir/bench_circuits/generators.cpp.o" "gcc" "src/CMakeFiles/epoc_bench_circuits.dir/bench_circuits/generators.cpp.o.d"
+  "/root/repo/src/bench_circuits/random_circuits.cpp" "src/CMakeFiles/epoc_bench_circuits.dir/bench_circuits/random_circuits.cpp.o" "gcc" "src/CMakeFiles/epoc_bench_circuits.dir/bench_circuits/random_circuits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/epoc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoc_bench_circuits.dir/bench_circuits/generators.cpp.o"
+  "CMakeFiles/epoc_bench_circuits.dir/bench_circuits/generators.cpp.o.d"
+  "CMakeFiles/epoc_bench_circuits.dir/bench_circuits/random_circuits.cpp.o"
+  "CMakeFiles/epoc_bench_circuits.dir/bench_circuits/random_circuits.cpp.o.d"
+  "libepoc_bench_circuits.a"
+  "libepoc_bench_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoc_bench_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/epoc_circuit.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/epoc_circuit.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/dag.cpp" "src/CMakeFiles/epoc_circuit.dir/circuit/dag.cpp.o" "gcc" "src/CMakeFiles/epoc_circuit.dir/circuit/dag.cpp.o.d"
+  "/root/repo/src/circuit/decompose.cpp" "src/CMakeFiles/epoc_circuit.dir/circuit/decompose.cpp.o" "gcc" "src/CMakeFiles/epoc_circuit.dir/circuit/decompose.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/CMakeFiles/epoc_circuit.dir/circuit/gate.cpp.o" "gcc" "src/CMakeFiles/epoc_circuit.dir/circuit/gate.cpp.o.d"
+  "/root/repo/src/circuit/peephole.cpp" "src/CMakeFiles/epoc_circuit.dir/circuit/peephole.cpp.o" "gcc" "src/CMakeFiles/epoc_circuit.dir/circuit/peephole.cpp.o.d"
+  "/root/repo/src/circuit/qasm.cpp" "src/CMakeFiles/epoc_circuit.dir/circuit/qasm.cpp.o" "gcc" "src/CMakeFiles/epoc_circuit.dir/circuit/qasm.cpp.o.d"
+  "/root/repo/src/circuit/routing.cpp" "src/CMakeFiles/epoc_circuit.dir/circuit/routing.cpp.o" "gcc" "src/CMakeFiles/epoc_circuit.dir/circuit/routing.cpp.o.d"
+  "/root/repo/src/circuit/unitary.cpp" "src/CMakeFiles/epoc_circuit.dir/circuit/unitary.cpp.o" "gcc" "src/CMakeFiles/epoc_circuit.dir/circuit/unitary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/epoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoc_circuit.dir/circuit/circuit.cpp.o"
+  "CMakeFiles/epoc_circuit.dir/circuit/circuit.cpp.o.d"
+  "CMakeFiles/epoc_circuit.dir/circuit/dag.cpp.o"
+  "CMakeFiles/epoc_circuit.dir/circuit/dag.cpp.o.d"
+  "CMakeFiles/epoc_circuit.dir/circuit/decompose.cpp.o"
+  "CMakeFiles/epoc_circuit.dir/circuit/decompose.cpp.o.d"
+  "CMakeFiles/epoc_circuit.dir/circuit/gate.cpp.o"
+  "CMakeFiles/epoc_circuit.dir/circuit/gate.cpp.o.d"
+  "CMakeFiles/epoc_circuit.dir/circuit/peephole.cpp.o"
+  "CMakeFiles/epoc_circuit.dir/circuit/peephole.cpp.o.d"
+  "CMakeFiles/epoc_circuit.dir/circuit/qasm.cpp.o"
+  "CMakeFiles/epoc_circuit.dir/circuit/qasm.cpp.o.d"
+  "CMakeFiles/epoc_circuit.dir/circuit/routing.cpp.o"
+  "CMakeFiles/epoc_circuit.dir/circuit/routing.cpp.o.d"
+  "CMakeFiles/epoc_circuit.dir/circuit/unitary.cpp.o"
+  "CMakeFiles/epoc_circuit.dir/circuit/unitary.cpp.o.d"
+  "libepoc_circuit.a"
+  "libepoc_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoc_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

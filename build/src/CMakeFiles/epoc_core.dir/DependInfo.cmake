@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epoc/baselines.cpp" "src/CMakeFiles/epoc_core.dir/epoc/baselines.cpp.o" "gcc" "src/CMakeFiles/epoc_core.dir/epoc/baselines.cpp.o.d"
+  "/root/repo/src/epoc/export.cpp" "src/CMakeFiles/epoc_core.dir/epoc/export.cpp.o" "gcc" "src/CMakeFiles/epoc_core.dir/epoc/export.cpp.o.d"
+  "/root/repo/src/epoc/pipeline.cpp" "src/CMakeFiles/epoc_core.dir/epoc/pipeline.cpp.o" "gcc" "src/CMakeFiles/epoc_core.dir/epoc/pipeline.cpp.o.d"
+  "/root/repo/src/epoc/regroup.cpp" "src/CMakeFiles/epoc_core.dir/epoc/regroup.cpp.o" "gcc" "src/CMakeFiles/epoc_core.dir/epoc/regroup.cpp.o.d"
+  "/root/repo/src/epoc/scheduler.cpp" "src/CMakeFiles/epoc_core.dir/epoc/scheduler.cpp.o" "gcc" "src/CMakeFiles/epoc_core.dir/epoc/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/epoc_zx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_synthesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_qoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoc_core.dir/epoc/baselines.cpp.o"
+  "CMakeFiles/epoc_core.dir/epoc/baselines.cpp.o.d"
+  "CMakeFiles/epoc_core.dir/epoc/export.cpp.o"
+  "CMakeFiles/epoc_core.dir/epoc/export.cpp.o.d"
+  "CMakeFiles/epoc_core.dir/epoc/pipeline.cpp.o"
+  "CMakeFiles/epoc_core.dir/epoc/pipeline.cpp.o.d"
+  "CMakeFiles/epoc_core.dir/epoc/regroup.cpp.o"
+  "CMakeFiles/epoc_core.dir/epoc/regroup.cpp.o.d"
+  "CMakeFiles/epoc_core.dir/epoc/scheduler.cpp.o"
+  "CMakeFiles/epoc_core.dir/epoc/scheduler.cpp.o.d"
+  "libepoc_core.a"
+  "libepoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoc_linalg.dir/linalg/eigen.cpp.o"
+  "CMakeFiles/epoc_linalg.dir/linalg/eigen.cpp.o.d"
+  "CMakeFiles/epoc_linalg.dir/linalg/expm.cpp.o"
+  "CMakeFiles/epoc_linalg.dir/linalg/expm.cpp.o.d"
+  "CMakeFiles/epoc_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/epoc_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/epoc_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/epoc_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/epoc_linalg.dir/linalg/phase.cpp.o"
+  "CMakeFiles/epoc_linalg.dir/linalg/phase.cpp.o.d"
+  "CMakeFiles/epoc_linalg.dir/linalg/qr.cpp.o"
+  "CMakeFiles/epoc_linalg.dir/linalg/qr.cpp.o.d"
+  "CMakeFiles/epoc_linalg.dir/linalg/random_unitary.cpp.o"
+  "CMakeFiles/epoc_linalg.dir/linalg/random_unitary.cpp.o.d"
+  "libepoc_linalg.a"
+  "libepoc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoc_opt.dir/opt/adam.cpp.o"
+  "CMakeFiles/epoc_opt.dir/opt/adam.cpp.o.d"
+  "CMakeFiles/epoc_opt.dir/opt/lbfgs.cpp.o"
+  "CMakeFiles/epoc_opt.dir/opt/lbfgs.cpp.o.d"
+  "libepoc_opt.a"
+  "libepoc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

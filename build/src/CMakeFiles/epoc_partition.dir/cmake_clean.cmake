@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoc_partition.dir/partition/partition.cpp.o"
+  "CMakeFiles/epoc_partition.dir/partition/partition.cpp.o.d"
+  "libepoc_partition.a"
+  "libepoc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

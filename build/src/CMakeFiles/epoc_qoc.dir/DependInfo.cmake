@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qoc/crab.cpp" "src/CMakeFiles/epoc_qoc.dir/qoc/crab.cpp.o" "gcc" "src/CMakeFiles/epoc_qoc.dir/qoc/crab.cpp.o.d"
+  "/root/repo/src/qoc/decoherence.cpp" "src/CMakeFiles/epoc_qoc.dir/qoc/decoherence.cpp.o" "gcc" "src/CMakeFiles/epoc_qoc.dir/qoc/decoherence.cpp.o.d"
+  "/root/repo/src/qoc/grape.cpp" "src/CMakeFiles/epoc_qoc.dir/qoc/grape.cpp.o" "gcc" "src/CMakeFiles/epoc_qoc.dir/qoc/grape.cpp.o.d"
+  "/root/repo/src/qoc/hamiltonian.cpp" "src/CMakeFiles/epoc_qoc.dir/qoc/hamiltonian.cpp.o" "gcc" "src/CMakeFiles/epoc_qoc.dir/qoc/hamiltonian.cpp.o.d"
+  "/root/repo/src/qoc/latency_search.cpp" "src/CMakeFiles/epoc_qoc.dir/qoc/latency_search.cpp.o" "gcc" "src/CMakeFiles/epoc_qoc.dir/qoc/latency_search.cpp.o.d"
+  "/root/repo/src/qoc/pulse_library.cpp" "src/CMakeFiles/epoc_qoc.dir/qoc/pulse_library.cpp.o" "gcc" "src/CMakeFiles/epoc_qoc.dir/qoc/pulse_library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/epoc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoc_qoc.dir/qoc/crab.cpp.o"
+  "CMakeFiles/epoc_qoc.dir/qoc/crab.cpp.o.d"
+  "CMakeFiles/epoc_qoc.dir/qoc/decoherence.cpp.o"
+  "CMakeFiles/epoc_qoc.dir/qoc/decoherence.cpp.o.d"
+  "CMakeFiles/epoc_qoc.dir/qoc/grape.cpp.o"
+  "CMakeFiles/epoc_qoc.dir/qoc/grape.cpp.o.d"
+  "CMakeFiles/epoc_qoc.dir/qoc/hamiltonian.cpp.o"
+  "CMakeFiles/epoc_qoc.dir/qoc/hamiltonian.cpp.o.d"
+  "CMakeFiles/epoc_qoc.dir/qoc/latency_search.cpp.o"
+  "CMakeFiles/epoc_qoc.dir/qoc/latency_search.cpp.o.d"
+  "CMakeFiles/epoc_qoc.dir/qoc/pulse_library.cpp.o"
+  "CMakeFiles/epoc_qoc.dir/qoc/pulse_library.cpp.o.d"
+  "libepoc_qoc.a"
+  "libepoc_qoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoc_qoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for epoc_qoc.
+# This may be replaced when dependencies are built.

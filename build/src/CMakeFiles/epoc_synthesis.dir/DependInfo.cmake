@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synthesis/instantiate.cpp" "src/CMakeFiles/epoc_synthesis.dir/synthesis/instantiate.cpp.o" "gcc" "src/CMakeFiles/epoc_synthesis.dir/synthesis/instantiate.cpp.o.d"
+  "/root/repo/src/synthesis/kak.cpp" "src/CMakeFiles/epoc_synthesis.dir/synthesis/kak.cpp.o" "gcc" "src/CMakeFiles/epoc_synthesis.dir/synthesis/kak.cpp.o.d"
+  "/root/repo/src/synthesis/leap.cpp" "src/CMakeFiles/epoc_synthesis.dir/synthesis/leap.cpp.o" "gcc" "src/CMakeFiles/epoc_synthesis.dir/synthesis/leap.cpp.o.d"
+  "/root/repo/src/synthesis/qsearch.cpp" "src/CMakeFiles/epoc_synthesis.dir/synthesis/qsearch.cpp.o" "gcc" "src/CMakeFiles/epoc_synthesis.dir/synthesis/qsearch.cpp.o.d"
+  "/root/repo/src/synthesis/vug.cpp" "src/CMakeFiles/epoc_synthesis.dir/synthesis/vug.cpp.o" "gcc" "src/CMakeFiles/epoc_synthesis.dir/synthesis/vug.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/epoc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

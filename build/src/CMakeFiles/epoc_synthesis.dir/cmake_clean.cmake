@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoc_synthesis.dir/synthesis/instantiate.cpp.o"
+  "CMakeFiles/epoc_synthesis.dir/synthesis/instantiate.cpp.o.d"
+  "CMakeFiles/epoc_synthesis.dir/synthesis/kak.cpp.o"
+  "CMakeFiles/epoc_synthesis.dir/synthesis/kak.cpp.o.d"
+  "CMakeFiles/epoc_synthesis.dir/synthesis/leap.cpp.o"
+  "CMakeFiles/epoc_synthesis.dir/synthesis/leap.cpp.o.d"
+  "CMakeFiles/epoc_synthesis.dir/synthesis/qsearch.cpp.o"
+  "CMakeFiles/epoc_synthesis.dir/synthesis/qsearch.cpp.o.d"
+  "CMakeFiles/epoc_synthesis.dir/synthesis/vug.cpp.o"
+  "CMakeFiles/epoc_synthesis.dir/synthesis/vug.cpp.o.d"
+  "libepoc_synthesis.a"
+  "libepoc_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoc_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

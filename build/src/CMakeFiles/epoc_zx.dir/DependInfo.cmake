@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zx/circuit_to_zx.cpp" "src/CMakeFiles/epoc_zx.dir/zx/circuit_to_zx.cpp.o" "gcc" "src/CMakeFiles/epoc_zx.dir/zx/circuit_to_zx.cpp.o.d"
+  "/root/repo/src/zx/extract.cpp" "src/CMakeFiles/epoc_zx.dir/zx/extract.cpp.o" "gcc" "src/CMakeFiles/epoc_zx.dir/zx/extract.cpp.o.d"
+  "/root/repo/src/zx/gf2.cpp" "src/CMakeFiles/epoc_zx.dir/zx/gf2.cpp.o" "gcc" "src/CMakeFiles/epoc_zx.dir/zx/gf2.cpp.o.d"
+  "/root/repo/src/zx/graph.cpp" "src/CMakeFiles/epoc_zx.dir/zx/graph.cpp.o" "gcc" "src/CMakeFiles/epoc_zx.dir/zx/graph.cpp.o.d"
+  "/root/repo/src/zx/optimize.cpp" "src/CMakeFiles/epoc_zx.dir/zx/optimize.cpp.o" "gcc" "src/CMakeFiles/epoc_zx.dir/zx/optimize.cpp.o.d"
+  "/root/repo/src/zx/simplify.cpp" "src/CMakeFiles/epoc_zx.dir/zx/simplify.cpp.o" "gcc" "src/CMakeFiles/epoc_zx.dir/zx/simplify.cpp.o.d"
+  "/root/repo/src/zx/tensor.cpp" "src/CMakeFiles/epoc_zx.dir/zx/tensor.cpp.o" "gcc" "src/CMakeFiles/epoc_zx.dir/zx/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/epoc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/epoc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

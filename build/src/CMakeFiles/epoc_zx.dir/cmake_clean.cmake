@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoc_zx.dir/zx/circuit_to_zx.cpp.o"
+  "CMakeFiles/epoc_zx.dir/zx/circuit_to_zx.cpp.o.d"
+  "CMakeFiles/epoc_zx.dir/zx/extract.cpp.o"
+  "CMakeFiles/epoc_zx.dir/zx/extract.cpp.o.d"
+  "CMakeFiles/epoc_zx.dir/zx/gf2.cpp.o"
+  "CMakeFiles/epoc_zx.dir/zx/gf2.cpp.o.d"
+  "CMakeFiles/epoc_zx.dir/zx/graph.cpp.o"
+  "CMakeFiles/epoc_zx.dir/zx/graph.cpp.o.d"
+  "CMakeFiles/epoc_zx.dir/zx/optimize.cpp.o"
+  "CMakeFiles/epoc_zx.dir/zx/optimize.cpp.o.d"
+  "CMakeFiles/epoc_zx.dir/zx/simplify.cpp.o"
+  "CMakeFiles/epoc_zx.dir/zx/simplify.cpp.o.d"
+  "CMakeFiles/epoc_zx.dir/zx/tensor.cpp.o"
+  "CMakeFiles/epoc_zx.dir/zx/tensor.cpp.o.d"
+  "libepoc_zx.a"
+  "libepoc_zx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoc_zx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

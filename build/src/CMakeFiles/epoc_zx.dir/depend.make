@@ -1,0 +1,2 @@
+# Empty dependencies file for epoc_zx.
+# This may be replaced when dependencies are built.

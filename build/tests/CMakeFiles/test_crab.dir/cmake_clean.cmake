@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crab.dir/test_crab.cpp.o"
+  "CMakeFiles/test_crab.dir/test_crab.cpp.o.d"
+  "test_crab"
+  "test_crab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kak.dir/test_kak.cpp.o"
+  "CMakeFiles/test_kak.dir/test_kak.cpp.o.d"
+  "test_kak"
+  "test_kak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qasm_robustness.dir/test_qasm_robustness.cpp.o"
+  "CMakeFiles/test_qasm_robustness.dir/test_qasm_robustness.cpp.o.d"
+  "test_qasm_robustness"
+  "test_qasm_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qasm_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qoc.dir/test_qoc.cpp.o"
+  "CMakeFiles/test_qoc.dir/test_qoc.cpp.o.d"
+  "test_qoc"
+  "test_qoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zx.dir/test_zx.cpp.o"
+  "CMakeFiles/test_zx.dir/test_zx.cpp.o.d"
+  "test_zx"
+  "test_zx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

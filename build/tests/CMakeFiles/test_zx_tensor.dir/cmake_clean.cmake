@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zx_tensor.dir/test_zx_tensor.cpp.o"
+  "CMakeFiles/test_zx_tensor.dir/test_zx_tensor.cpp.o.d"
+  "test_zx_tensor"
+  "test_zx_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zx_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
