@@ -1,0 +1,70 @@
+// Parallel-compilation speedup: the paper ran its GRAPE stage on an 8-node x
+// 32-core cluster; this bench measures what the thread-pool executor buys on
+// the local machine. The largest bench programs (160-qubit ising/qaoa from
+// the scalability validation) are compiled end-to-end with num_threads in
+// {1, 2, 4, 8}; each run uses a fresh compiler (cold caches) so the arms are
+// comparable. Reported per arm: wall clock, speedup vs the sequential run,
+// pulse-library hit rate and single-flight waits (the contention measure).
+//
+// Determinism cross-check is built in: the bench aborts if any arm's latency
+// or pulse count deviates from the sequential arm's.
+#include "bench_circuits/generators.h"
+#include "epoc/pipeline.h"
+#include "util/thread_pool.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+int main() {
+    using namespace epoc;
+    std::printf("Parallel block compilation: end-to-end speedup\n");
+    std::printf("hardware_concurrency() = %d\n\n", util::default_thread_count());
+
+    const bench::NamedCircuit programs[] = {
+        {"ising160", bench::ising(160, 2)},
+        {"qaoa160", bench::qaoa(160, 1)},
+    };
+    const int thread_counts[] = {1, 2, 4, 8};
+
+    for (const auto& [name, c] : programs) {
+        std::printf("%s (%d qubits, %zu gates)\n", name.c_str(), c.num_qubits(), c.size());
+        std::printf("  %8s %12s %9s | %12s %8s %10s %7s\n", "threads", "compile[s]",
+                    "speedup", "latency[ns]", "pulses", "cache-hit", "waits");
+        double t_seq = 0.0;
+        double latency_seq = 0.0;
+        std::size_t pulses_seq = 0;
+        for (const int threads : thread_counts) {
+            core::EpocOptions opt;
+            opt.latency.fidelity_threshold = 0.995;
+            opt.num_threads = threads;
+            core::EpocCompiler compiler(opt);
+            const auto t0 = std::chrono::steady_clock::now();
+            const core::EpocResult r = compiler.compile(c);
+            const double s =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (threads == 1) {
+                t_seq = s;
+                latency_seq = r.latency_ns;
+                pulses_seq = r.num_pulses;
+            } else if (r.latency_ns != latency_seq || r.num_pulses != pulses_seq) {
+                std::fprintf(stderr,
+                             "DETERMINISM VIOLATION at %d threads: latency %.6f vs "
+                             "%.6f, pulses %zu vs %zu\n",
+                             threads, r.latency_ns, latency_seq, r.num_pulses,
+                             pulses_seq);
+                return EXIT_FAILURE;
+            }
+            std::printf("  %8d %12.2f %8.2fx | %12.1f %8zu %9.1f%% %7zu\n", threads, s,
+                        t_seq / s, r.latency_ns, r.num_pulses,
+                        100.0 * r.library_stats.hit_rate(),
+                        r.library_stats.single_flight_waits);
+        }
+        std::printf("\n");
+    }
+    std::printf("Speedup saturates at min(num_threads, hardware threads, distinct\n"
+                "cache-miss keys): on a single-core host every arm degenerates to the\n"
+                "sequential schedule, which the determinism check above exploits.\n");
+    return 0;
+}

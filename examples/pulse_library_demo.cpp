@@ -23,10 +23,10 @@ int main() {
 
     std::printf("generating pulses for 3 gates and 3 phase-shifted copies...\n\n");
     for (const auto& g : gates) {
-        const auto& r = phase_aware.get_or_generate(h1, g, opt);
+        const auto r = phase_aware.get_or_generate(h1, g, opt);
         phase_oblivious.get_or_generate(h1, g, opt);
-        std::printf("  pulse: %2d slots, %5.1f ns, fidelity %.4f\n", r.pulse.num_slots(),
-                    r.pulse.duration(), r.pulse.fidelity);
+        std::printf("  pulse: %2d slots, %5.1f ns, fidelity %.4f\n", r->pulse.num_slots(),
+                    r->pulse.duration(), r->pulse.fidelity);
     }
     for (const auto& g : gates) {
         linalg::Matrix shifted = g;

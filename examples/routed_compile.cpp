@@ -13,7 +13,12 @@ int main(int argc, char** argv) {
 
     circuit::Circuit logical;
     if (argc > 1) {
-        logical = circuit::parse_qasm_file(argv[1]);
+        try {
+            logical = circuit::parse_qasm_file(argv[1]);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
         std::printf("parsed %s: %d qubits, %zu gates\n", argv[1], logical.num_qubits(),
                     logical.size());
     } else {

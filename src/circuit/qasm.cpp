@@ -5,6 +5,7 @@
 #include <fstream>
 #include <map>
 #include <numbers>
+#include <set>
 #include <sstream>
 
 namespace epoc::circuit {
@@ -45,7 +46,14 @@ public:
                      (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E'))))
                 ++pos_;
             t.text = src_.substr(start, pos_ - start);
-            t.value = std::stod(t.text);
+            try {
+                t.value = std::stod(t.text);
+            } catch (const std::exception&) {
+                // stod throws out_of_range on e.g. "1e99999" and
+                // invalid_argument on a lone "." -- both are parse errors,
+                // not crashes.
+                throw QasmError("malformed number literal '" + t.text + "'", line_);
+            }
             return t;
         }
         if (c == '"') {
@@ -233,17 +241,27 @@ private:
         } else if (head == "qreg") {
             advance();
             const std::string name = expect_ident();
+            if (declared_regs_.count(name))
+                fail("register '" + name + "' already declared");
             expect_symbol("[");
             if (cur_.kind != Token::Number) fail("expected register size");
+            // Bound before the int cast: a huge literal (qreg q[4e9]) would
+            // otherwise overflow and corrupt the qubit numbering.
+            if (cur_.value < 1 || cur_.value > kMaxRegisterSize)
+                fail("register size out of range");
             const int n = static_cast<int>(cur_.value);
             advance();
             expect_symbol("]");
             expect_symbol(";");
+            declared_regs_.insert(name);
             qregs_[name] = {total_qubits_, n};
             total_qubits_ += n;
         } else if (head == "creg") {
             advance();
-            expect_ident();
+            const std::string name = expect_ident();
+            if (declared_regs_.count(name))
+                fail("register '" + name + "' already declared");
+            declared_regs_.insert(name);
             expect_symbol("[");
             advance();
             expect_symbol("]");
@@ -342,6 +360,10 @@ private:
         const auto [offset, size] = it->second;
         if (accept_symbol("[")) {
             if (cur_.kind != Token::Number) fail("expected qubit index");
+            // Range-check on the double: casting e.g. 4e9 to int is UB and
+            // can wrap to a "valid" small index.
+            if (cur_.value < 0 || cur_.value > kMaxRegisterSize)
+                fail("qubit index out of range");
             const int idx = static_cast<int>(cur_.value);
             advance();
             expect_symbol("]");
@@ -424,9 +446,14 @@ private:
         }
     }
 
+    /// Largest accepted register size / qubit index. Far above any real
+    /// program, far below int overflow territory.
+    static constexpr double kMaxRegisterSize = 1 << 20;
+
     Lexer lex_;
     Token cur_;
     int total_qubits_ = 0;
+    std::set<std::string> declared_regs_; ///< qreg and creg names, for redecl checks
     std::map<std::string, std::pair<int, int>> qregs_; ///< name -> (offset, size)
     std::map<std::string, GateDef> gate_defs_;
     std::vector<std::pair<Gate, int>> pending_;
@@ -436,9 +463,10 @@ private:
 
 Circuit parse_qasm(const std::string& source) {
     // "u2" is common in QASMBench dumps; rewrite via a builtin custom def so
-    // the parser core stays table-driven.
+    // the parser core stays table-driven. Joined with a space, not a newline,
+    // so QasmError line numbers still match the caller's source.
     static const std::string prelude =
-        "gate u2(phi,lambda) a { u3(pi/2, phi, lambda) a; }\n";
+        "gate u2(phi,lambda) a { u3(pi/2, phi, lambda) a; } ";
     const std::string combined = prelude + source;
     Parser p(combined);
     return p.parse();

@@ -58,9 +58,9 @@ EpocResult GateBasedCompiler::compile(const Circuit& c) {
             jobs.push_back({g.qubits, 0.0, 1.0, "rz"});
             continue;
         }
-        const qoc::LatencyResult& lr = library_.get_or_generate(
+        const auto lr = library_.get_or_generate(
             ham_for(hams_, g.arity(), device_), g.unitary(), latency_);
-        jobs.push_back({g.qubits, lr.pulse.duration(), lr.pulse.fidelity,
+        jobs.push_back({g.qubits, lr->pulse.duration(), lr->pulse.fidelity,
                         circuit::kind_name(g.kind)});
     }
     res.schedule = schedule_asap(jobs, c.num_qubits());
@@ -92,10 +92,10 @@ EpocResult PaqocLikeCompiler::compile(const Circuit& c) {
     for (const partition::CircuitBlock& blk : blocks) {
         const Matrix u = partition::block_unitary(blk);
         if (is_identity_unitary(u)) continue;
-        const qoc::LatencyResult& lr = library_.get_or_generate(
+        const auto lr = library_.get_or_generate(
             ham_for(hams_, static_cast<int>(blk.qubits.size()), opt_.device), u,
             opt_.latency);
-        jobs.push_back({blk.qubits, lr.pulse.duration(), lr.pulse.fidelity, "group"});
+        jobs.push_back({blk.qubits, lr->pulse.duration(), lr->pulse.fidelity, "group"});
     }
     res.schedule = schedule_asap(jobs, c.num_qubits());
     res.num_pulses = jobs.size();
@@ -172,7 +172,7 @@ EpocResult AccqocLikeCompiler::compile(const Circuit& c) {
         for (const std::size_t i : order) {
             qoc::LatencySearchOptions lopt = opt_.latency;
             if (i != 0 && parent[i] != i) {
-                const qoc::LatencyResult* pp = library_.peek(pending[parent[i]].u);
+                const auto pp = library_.peek(pending[parent[i]].u);
                 if (pp != nullptr && pending[parent[i]].nq == pending[i].nq)
                     lopt.grape.warm_amplitudes = pp->pulse.amplitudes;
             }
@@ -185,10 +185,10 @@ EpocResult AccqocLikeCompiler::compile(const Circuit& c) {
     for (const partition::CircuitBlock& blk : blocks) {
         const Matrix u = partition::block_unitary(blk);
         if (is_identity_unitary(u)) continue;
-        const qoc::LatencyResult& lr = library_.get_or_generate(
+        const auto lr = library_.get_or_generate(
             ham_for(hams_, static_cast<int>(blk.qubits.size()), opt_.device), u,
             opt_.latency);
-        jobs.push_back({blk.qubits, lr.pulse.duration(), lr.pulse.fidelity, "slice"});
+        jobs.push_back({blk.qubits, lr->pulse.duration(), lr->pulse.fidelity, "slice"});
     }
     res.schedule = schedule_asap(jobs, c.num_qubits());
     res.num_pulses = jobs.size();

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
 
 namespace epoc::core {
 
@@ -28,12 +29,25 @@ bool is_identity_unitary(const Matrix& u) {
     return linalg::hs_fidelity(u, Matrix::identity(u.rows())) > 1.0 - 1e-10;
 }
 
+/// Per-block synthesis outcome, computed in parallel and merged in block
+/// order so the flat circuit is identical to the sequential pass.
+struct SynthFragment {
+    bool skip = false;       ///< identity block: emit nothing
+    bool use_original = false; ///< bridge or synthesis loss: emit blk.body
+    Circuit local{0};        ///< otherwise: the synthesized local circuit
+};
+
 } // namespace
 
 EpocCompiler::EpocCompiler(EpocOptions opt)
-    : opt_(std::move(opt)), library_(opt_.phase_aware_library) {}
+    : opt_(std::move(opt)),
+      pool_(opt_.num_threads),
+      library_(opt_.phase_aware_library) {}
 
 const qoc::BlockHamiltonian& EpocCompiler::hamiltonian(int num_qubits) {
+    // std::map never invalidates references on insert, so handing out refs
+    // under a short lock is safe even while other threads add entries.
+    std::lock_guard<std::mutex> lock(hams_mutex_);
     auto it = hams_.find(num_qubits);
     if (it == hams_.end())
         it = hams_.emplace(num_qubits, qoc::make_block_hamiltonian(num_qubits, opt_.device))
@@ -44,23 +58,30 @@ const qoc::BlockHamiltonian& EpocCompiler::hamiltonian(int num_qubits) {
 Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBlock>& blocks,
                                         int num_qubits, double& synth_ms) {
     const auto t0 = std::chrono::steady_clock::now();
-    Circuit flat(num_qubits);
-    for (const partition::CircuitBlock& blk : blocks) {
+
+    std::vector<SynthFragment> fragments(blocks.size());
+    pool_.parallel_for(blocks.size(), [&](std::size_t i) {
+        const partition::CircuitBlock& blk = blocks[i];
+        SynthFragment& frag = fragments[i];
+
         // Bridging CNOTs pass through untouched.
         if (blk.bridge && blk.body.size() == 1 && blk.body.gate(0).kind == GateKind::CX) {
-            flat.append_mapped(blk.body, blk.qubits);
-            continue;
+            frag.use_original = true;
+            return;
         }
         const Matrix u = partition::block_unitary(blk);
-        if (is_identity_unitary(u)) continue;
+        if (is_identity_unitary(u)) {
+            frag.skip = true;
+            return;
+        }
 
         if (blk.qubits.size() == 1) {
             // Single-qubit blocks synthesize exactly via ZYZ: one VUG.
             const circuit::Zyz e = circuit::zyz_decompose(u);
             Circuit local(1);
             local.u3(e.theta, e.phi, e.lambda, 0);
-            flat.append_mapped(local, blk.qubits);
-            continue;
+            frag.local = std::move(local);
+            return;
         }
 
         if (opt_.use_kak && blk.qubits.size() == 2) {
@@ -69,48 +90,96 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
             const circuit::Circuit kc =
                 circuit::peephole_optimize(synthesis::kak_synthesize(u));
             if (kc.two_qubit_count() <= blk.body.two_qubit_count())
-                flat.append_mapped(kc, blk.qubits);
+                frag.local = kc;
             else
-                flat.append_mapped(blk.body, blk.qubits);
-            continue;
+                frag.use_original = true;
+            return;
         }
 
         const std::string key = linalg::phase_canonical_key(u, 6);
-        auto it = synth_cache_.find(key);
-        if (it == synth_cache_.end()) {
-            synthesis::SynthesisResult sr = synthesis::qsearch_synthesize(u, opt_.qsearch);
-            if (!sr.converged && opt_.leap_fallback) {
-                synthesis::LeapOptions lo;
-                lo.threshold = opt_.qsearch.threshold;
-                lo.instantiate = opt_.qsearch.instantiate;
-                synthesis::SynthesisResult leap = synthesis::leap_synthesize(u, lo);
-                if (leap.distance < sr.distance) sr = std::move(leap);
-            }
-            it = synth_cache_.emplace(key, std::move(sr)).first;
-        }
+        const std::shared_ptr<const synthesis::SynthesisResult> sr =
+            synth_cache_.get_or_compute(key, [&] {
+                synthesis::SynthesisResult r = synthesis::qsearch_synthesize(u, opt_.qsearch);
+                if (!r.converged && opt_.leap_fallback) {
+                    synthesis::LeapOptions lo;
+                    lo.threshold = opt_.qsearch.threshold;
+                    lo.instantiate = opt_.qsearch.instantiate;
+                    synthesis::SynthesisResult leap = synthesis::leap_synthesize(u, lo);
+                    if (leap.distance < r.distance) r = std::move(leap);
+                }
+                return r;
+            });
         // Synthesis is an optimization, not an obligation: if the searched
         // circuit carries no fewer entangling gates than the original block
         // (or missed the accuracy target), keep the original gates -- they
         // may be better parallelized.
-        const synthesis::SynthesisResult& sr = it->second;
         const bool synth_wins =
-            sr.converged &&
-            (static_cast<std::size_t>(sr.cnot_count) < blk.body.two_qubit_count() ||
-             (static_cast<std::size_t>(sr.cnot_count) == blk.body.two_qubit_count() &&
-              sr.circuit.depth() <= blk.body.depth()));
+            sr->converged &&
+            (static_cast<std::size_t>(sr->cnot_count) < blk.body.two_qubit_count() ||
+             (static_cast<std::size_t>(sr->cnot_count) == blk.body.two_qubit_count() &&
+              sr->circuit.depth() <= blk.body.depth()));
         if (synth_wins)
-            flat.append_mapped(sr.circuit, blk.qubits);
+            frag.local = sr->circuit;
         else
-            flat.append_mapped(blk.body, blk.qubits);
+            frag.use_original = true;
+    });
+
+    // Deterministic merge: block order, not completion order.
+    Circuit flat(num_qubits);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const SynthFragment& frag = fragments[i];
+        if (frag.skip) continue;
+        flat.append_mapped(frag.use_original ? blocks[i].body : frag.local,
+                           blocks[i].qubits);
     }
     synth_ms += ms_since(t0);
     return flat;
+}
+
+/// Generate one pulse per non-identity block, in parallel, preserving block
+/// order in the returned job list. `coarse_granularity` applies the wide-block
+/// slot coarsening used by the regrouped arm.
+std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
+    const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity) {
+    // Warm the Hamiltonian cache sequentially so the parallel loop only ever
+    // takes the short lookup lock.
+    for (const partition::CircuitBlock& blk : blocks)
+        hamiltonian(static_cast<int>(blk.qubits.size()));
+
+    std::vector<std::optional<PulseJob>> slots(blocks.size());
+    pool_.parallel_for(blocks.size(), [&](std::size_t i) {
+        const partition::CircuitBlock& blk = blocks[i];
+        const Matrix u = partition::block_unitary(blk);
+        if (is_identity_unitary(u)) return;
+        qoc::LatencySearchOptions lopt = opt_.latency;
+        if (coarse_granularity) {
+            // Coarser duration resolution for big blocks keeps the GRAPE
+            // budget bounded (dim-16 propagators are ~8x dim-8 cost).
+            if (blk.qubits.size() >= 4)
+                lopt.slot_granularity = std::max(lopt.slot_granularity, 4);
+            else if (blk.qubits.size() == 3)
+                lopt.slot_granularity = std::max(lopt.slot_granularity, 2);
+        }
+        const std::shared_ptr<const qoc::LatencyResult> lr = library_.get_or_generate(
+            hamiltonian(static_cast<int>(blk.qubits.size())), u, lopt);
+        slots[i] = PulseJob{blk.qubits, lr->pulse.duration(), lr->pulse.fidelity, ""};
+    });
+
+    std::vector<PulseJob> jobs;
+    jobs.reserve(blocks.size());
+    for (std::optional<PulseJob>& s : slots) {
+        if (!s) continue;
+        s->label = "block" + std::to_string(jobs.size());
+        jobs.push_back(std::move(*s));
+    }
+    return jobs;
 }
 
 EpocResult EpocCompiler::compile(const Circuit& c) {
     EpocResult res;
     res.depth_original = c.depth();
     res.gates_original = c.size();
+    res.threads_used = pool_.num_threads();
     const auto t_start = std::chrono::steady_clock::now();
 
     // 1. Graph-based depth optimization.
@@ -125,7 +194,7 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
     }
     res.depth_after_zx = current.depth();
 
-    // 2+3. Partition and synthesize.
+    // 2+3. Partition and synthesize (parallel over blocks).
     if (opt_.use_synthesis) {
         const std::vector<partition::CircuitBlock> blocks =
             partition::greedy_partition(current, opt_.partition);
@@ -135,7 +204,7 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
     res.synthesized = current;
     res.synthesized_gates = current.size();
 
-    // 4+5. Regroup (or not) and generate pulses.
+    // 4+5. Regroup (or not) and generate pulses (parallel over gates/blocks).
     //
     // The fine-grained arm (one pulse per synthesized gate) is always
     // evaluated -- it is cheap thanks to the pulse library. With regrouping
@@ -145,36 +214,28 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
     {
         const auto t0 = std::chrono::steady_clock::now();
 
-        std::vector<PulseJob> fine_jobs;
-        for (const Gate& g : current.gates()) {
+        for (const Gate& g : current.gates()) hamiltonian(g.arity());
+        std::vector<std::optional<PulseJob>> fine_slots(current.size());
+        pool_.parallel_for(current.size(), [&](std::size_t i) {
+            const Gate& g = current.gate(i);
             const Matrix u = g.unitary();
-            if (is_identity_unitary(u)) continue;
-            const qoc::LatencyResult& lr = library_.get_or_generate(
+            if (is_identity_unitary(u)) return;
+            const std::shared_ptr<const qoc::LatencyResult> lr = library_.get_or_generate(
                 hamiltonian(g.arity()), u, opt_.latency);
-            fine_jobs.push_back(
-                {g.qubits, lr.pulse.duration(), lr.pulse.fidelity, kind_name(g.kind)});
-        }
+            fine_slots[i] = PulseJob{g.qubits, lr->pulse.duration(), lr->pulse.fidelity,
+                                     kind_name(g.kind)};
+        });
+        std::vector<PulseJob> fine_jobs;
+        fine_jobs.reserve(current.size());
+        for (std::optional<PulseJob>& s : fine_slots)
+            if (s) fine_jobs.push_back(std::move(*s));
         const PulseSchedule fine = schedule_asap(fine_jobs, c.num_qubits());
 
         if (opt_.regroup_enabled) {
-            std::vector<PulseJob> jobs;
             const std::vector<partition::CircuitBlock> groups =
                 regroup(current, opt_.regroup_opt);
-            for (const partition::CircuitBlock& blk : groups) {
-                const Matrix u = partition::block_unitary(blk);
-                if (is_identity_unitary(u)) continue;
-                qoc::LatencySearchOptions lopt = opt_.latency;
-                // Coarser duration resolution for big blocks keeps the GRAPE
-                // budget bounded (dim-16 propagators are ~8x dim-8 cost).
-                if (blk.qubits.size() >= 4)
-                    lopt.slot_granularity = std::max(lopt.slot_granularity, 4);
-                else if (blk.qubits.size() == 3)
-                    lopt.slot_granularity = std::max(lopt.slot_granularity, 2);
-                const qoc::LatencyResult& lr = library_.get_or_generate(
-                    hamiltonian(static_cast<int>(blk.qubits.size())), u, lopt);
-                jobs.push_back({blk.qubits, lr.pulse.duration(), lr.pulse.fidelity,
-                                "block" + std::to_string(jobs.size())});
-            }
+            const std::vector<PulseJob> jobs =
+                pulse_jobs_for_blocks(groups, /*coarse_granularity=*/true);
             const PulseSchedule grouped = schedule_asap(jobs, c.num_qubits());
             res.schedule = (grouped.latency <= fine.latency) ? grouped : fine;
         } else {
@@ -188,6 +249,7 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
     res.esp_decoherent = qoc::esp_with_decoherence(res.schedule);
     res.compile_ms = ms_since(t_start);
     res.library_stats = library_.stats();
+    res.synth_cache_stats = synth_cache_.stats();
     return res;
 }
 

@@ -10,23 +10,15 @@ std::string PulseLibrary::key_of(const Matrix& m) const {
     return phase_aware_ ? linalg::phase_canonical_key(m, 6) : linalg::raw_key(m, 6);
 }
 
-const LatencyResult& PulseLibrary::get_or_generate(const BlockHamiltonian& h,
-                                                   const Matrix& target,
-                                                   const LatencySearchOptions& opt) {
-    const std::string key = key_of(target);
-    const auto it = table_.find(key);
-    if (it != table_.end()) {
-        ++stats_.hits;
-        return it->second;
-    }
-    ++stats_.misses;
-    LatencyResult res = find_minimal_latency_pulse(h, target, opt);
-    return table_.emplace(key, std::move(res)).first->second;
+std::shared_ptr<const LatencyResult> PulseLibrary::get_or_generate(
+    const BlockHamiltonian& h, const Matrix& target, const LatencySearchOptions& opt) {
+    return cache_.get_or_compute(key_of(target), [&] {
+        return find_minimal_latency_pulse(h, target, opt);
+    });
 }
 
-const LatencyResult* PulseLibrary::peek(const Matrix& target) const {
-    const auto it = table_.find(key_of(target));
-    return it == table_.end() ? nullptr : &it->second;
+std::shared_ptr<const LatencyResult> PulseLibrary::peek(const Matrix& target) const {
+    return cache_.peek(key_of(target));
 }
 
 } // namespace epoc::qoc

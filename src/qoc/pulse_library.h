@@ -4,17 +4,29 @@
 // refinement over AccQOC/PAQOC is *global-phase-aware* lookup: two unitaries
 // differing only by e^{i*phi} share one entry, raising the hit rate. The
 // phase-oblivious mode exists for the ablation benchmark.
+//
+// The library is thread-safe: the parallel pipeline stages hammer it from
+// every worker. Lookups are sharded-lock reads; misses are single-flight (two
+// threads missing on the same equivalence class run exactly one GRAPE latency
+// search — the second blocks and reuses the first's result). Entries are
+// returned as shared_ptr, so they stay valid however the underlying table
+// rehashes under concurrent insertion.
 #pragma once
 
 #include "qoc/latency_search.h"
+#include "util/sharded_cache.h"
 
-#include <unordered_map>
+#include <memory>
 
 namespace epoc::qoc {
 
 struct PulseLibraryStats {
     std::size_t hits = 0;
     std::size_t misses = 0;
+    /// Lookups that found another thread mid-generation on their key and
+    /// blocked for its result (a subset of `hits`). Zero when single-threaded;
+    /// the benchmarks report it as the cache-contention measure.
+    std::size_t single_flight_waits = 0;
     double hit_rate() const {
         const std::size_t total = hits + misses;
         return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -28,23 +40,29 @@ public:
     explicit PulseLibrary(bool phase_aware = true) : phase_aware_(phase_aware) {}
 
     /// Fetch the pulse for `target`, generating it with a minimal-latency
-    /// search on a miss. `h` must match the target dimension.
-    const LatencyResult& get_or_generate(const BlockHamiltonian& h, const Matrix& target,
-                                         const LatencySearchOptions& opt);
+    /// search on a miss. `h` must match the target dimension. The returned
+    /// pointer is never null and remains valid for the library's lifetime
+    /// and beyond (entries are immutable and refcounted).
+    std::shared_ptr<const LatencyResult> get_or_generate(const BlockHamiltonian& h,
+                                                         const Matrix& target,
+                                                         const LatencySearchOptions& opt);
 
-    /// Lookup only; nullptr on miss. Does not touch the statistics.
-    const LatencyResult* peek(const Matrix& target) const;
+    /// Lookup only; nullptr on miss (or while another thread is still
+    /// generating the entry). Does not touch the statistics.
+    std::shared_ptr<const LatencyResult> peek(const Matrix& target) const;
 
-    std::size_t size() const { return table_.size(); }
-    const PulseLibraryStats& stats() const { return stats_; }
-    void reset_stats() { stats_ = {}; }
+    std::size_t size() const { return cache_.size(); }
+    PulseLibraryStats stats() const {
+        const util::CacheStats s = cache_.stats();
+        return {s.hits, s.misses, s.waits};
+    }
+    void reset_stats() { cache_.reset_stats(); }
 
 private:
     std::string key_of(const Matrix& m) const;
 
     bool phase_aware_;
-    std::unordered_map<std::string, LatencyResult> table_;
-    PulseLibraryStats stats_;
+    util::ShardedFlightCache<LatencyResult> cache_;
 };
 
 } // namespace epoc::qoc

@@ -1,0 +1,184 @@
+// Sharded, single-flight, string-keyed cache.
+//
+// This is the concurrency substrate under qoc::PulseLibrary and the
+// pipeline's synthesis cache. Two properties matter for the compiler:
+//
+//   * Single-flight misses. A pulse-library miss costs a full GRAPE latency
+//     search (seconds); a synthesis miss costs a QSearch A* run. When several
+//     threads miss on the same key simultaneously, exactly one runs the
+//     compute function and the rest block until the value lands. This keeps
+//     hit/miss totals — and the amount of numerical work — bit-identical to
+//     the sequential schedule, which the determinism tests rely on.
+//
+//   * Reference stability. Values are handed out as shared_ptr<const V>, so
+//     a rehash of the underlying hash map under concurrent insertion can
+//     never dangle a result a caller is still holding (the historical
+//     PulseLibrary returned references into its unordered_map; see
+//     tests/test_pulse_library_concurrent.cpp for the regression).
+//
+// Sharding (key-hash -> one of N independently locked maps) keeps lock
+// contention bounded: threads working on distinct keys almost never touch
+// the same mutex.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace epoc::util {
+
+/// Snapshot of cache activity. `waits` counts lookups that found another
+/// thread already generating their key and blocked for the result — the
+/// cache-contention number the benchmarks report. Every lookup is either a
+/// hit or a miss; waits are a subset of hits.
+struct CacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t waits = 0;
+    double hit_rate() const {
+        const std::size_t total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+template <typename V>
+class ShardedFlightCache {
+public:
+    explicit ShardedFlightCache(std::size_t num_shards = 16)
+        : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+    ShardedFlightCache(const ShardedFlightCache&) = delete;
+    ShardedFlightCache& operator=(const ShardedFlightCache&) = delete;
+
+    /// Return the cached value for `key`, computing it with `make` on a miss.
+    /// Concurrent callers with the same key: one computes, the others wait.
+    /// If the leader's `make` throws, the slot is erased (so a later call
+    /// retries) and the exception propagates to the leader *and* to every
+    /// waiter.
+    std::shared_ptr<const V> get_or_compute(const std::string& key,
+                                            const std::function<V()>& make) {
+        Shard& shard = shard_of(key);
+        std::shared_ptr<Slot> slot;
+        bool leader = false;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            auto it = shard.table.find(key);
+            if (it == shard.table.end()) {
+                slot = std::make_shared<Slot>();
+                shard.table.emplace(key, slot);
+                leader = true;
+            } else {
+                slot = it->second;
+            }
+        }
+
+        if (leader) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            try {
+                auto value = std::make_shared<const V>(make());
+                {
+                    std::lock_guard<std::mutex> lock(slot->mutex);
+                    slot->value = std::move(value);
+                    slot->ready = true;
+                }
+                slot->cv.notify_all();
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(slot->mutex);
+                    slot->error = std::current_exception();
+                    slot->ready = true;
+                }
+                slot->cv.notify_all();
+                std::lock_guard<std::mutex> lock(shard.mutex);
+                shard.table.erase(key);
+                throw;
+            }
+            return slot->value;
+        }
+
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock<std::mutex> lock(slot->mutex);
+        if (!slot->ready) {
+            waits_.fetch_add(1, std::memory_order_relaxed);
+            slot->cv.wait(lock, [&] { return slot->ready; });
+        }
+        if (slot->error) std::rethrow_exception(slot->error);
+        return slot->value;
+    }
+
+    /// Lookup only; nullptr on miss or while the value is still being
+    /// generated. Does not touch the statistics.
+    std::shared_ptr<const V> peek(const std::string& key) const {
+        const Shard& shard = shard_of(key);
+        std::shared_ptr<Slot> slot;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            const auto it = shard.table.find(key);
+            if (it == shard.table.end()) return nullptr;
+            slot = it->second;
+        }
+        std::lock_guard<std::mutex> lock(slot->mutex);
+        return slot->ready && !slot->error ? slot->value : nullptr;
+    }
+
+    /// Number of completed entries (in-flight generations are not counted).
+    std::size_t size() const {
+        std::size_t n = 0;
+        for (const Shard& shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (const auto& [k, slot] : shard.table) {
+                std::lock_guard<std::mutex> slot_lock(slot->mutex);
+                if (slot->ready && !slot->error) ++n;
+            }
+        }
+        return n;
+    }
+
+    CacheStats stats() const {
+        CacheStats s;
+        s.hits = hits_.load(std::memory_order_relaxed);
+        s.misses = misses_.load(std::memory_order_relaxed);
+        s.waits = waits_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    void reset_stats() {
+        hits_.store(0, std::memory_order_relaxed);
+        misses_.store(0, std::memory_order_relaxed);
+        waits_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    struct Slot {
+        mutable std::mutex mutex;
+        std::condition_variable cv;
+        bool ready = false;
+        std::exception_ptr error;
+        std::shared_ptr<const V> value;
+    };
+
+    struct Shard {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, std::shared_ptr<Slot>> table;
+    };
+
+    Shard& shard_of(const std::string& key) {
+        return shards_[std::hash<std::string>{}(key) % shards_.size()];
+    }
+    const Shard& shard_of(const std::string& key) const {
+        return shards_[std::hash<std::string>{}(key) % shards_.size()];
+    }
+
+    std::vector<Shard> shards_;
+    std::atomic<std::size_t> hits_{0};
+    std::atomic<std::size_t> misses_{0};
+    std::atomic<std::size_t> waits_{0};
+};
+
+} // namespace epoc::util

@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace epoc::util {
+
+int default_thread_count() {
+    return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads <= 0 ? default_thread_count() : num_threads) {
+    workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+    for (int i = 0; i < num_threads_ - 1; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Batch& b) {
+    for (;;) {
+        if (b.failed.load(std::memory_order_relaxed)) return; // stop claiming
+        const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= b.end) return;
+        try {
+            (*b.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(b.error_mutex);
+            if (!b.failed.exchange(true)) b.error = std::current_exception();
+        }
+    }
+}
+
+void ThreadPool::worker_loop() {
+    std::size_t seen_generation = 0;
+    for (;;) {
+        Batch* b = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return shutdown_ || (batch_ != nullptr && generation_ != seen_generation);
+            });
+            if (shutdown_) return;
+            seen_generation = generation_;
+            b = batch_;
+        }
+        drain(*b);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++workers_done_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+        // Sequential fast path: bit-identical to the pre-threading pipeline,
+        // including immediate exception propagation.
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    Batch b;
+    b.end = n;
+    b.fn = &fn;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_ = &b;
+        ++generation_;
+        workers_done_ = 0;
+    }
+    work_cv_.notify_all();
+    drain(b); // the caller is a full lane, not just a coordinator
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+        batch_ = nullptr;
+    }
+    if (b.failed.load()) std::rethrow_exception(b.error);
+}
+
+} // namespace epoc::util

@@ -1,0 +1,74 @@
+// Reusable thread-pool executor for the embarrassingly parallel per-block
+// stages of the pipeline (synthesis and GRAPE pulse generation).
+//
+// Design constraints, in order:
+//   1. `num_threads == 1` must reproduce the sequential path *exactly*: no
+//      worker threads are created and every task runs inline on the caller.
+//   2. Results must be mergeable in deterministic submission order, so the
+//      primitive is an index-space `parallel_for` rather than a future soup:
+//      callers write into pre-sized slots and concatenate afterwards.
+//   3. Exceptions thrown by tasks propagate to the caller (first one wins).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace epoc::util {
+
+/// `hardware_concurrency()` clamped to at least 1 (the standard permits 0).
+int default_thread_count();
+
+class ThreadPool {
+public:
+    /// `num_threads <= 0` selects `default_thread_count()`. The pool keeps
+    /// `num_threads - 1` workers: the caller of parallel_for is always the
+    /// remaining lane, so a 1-thread pool owns no threads at all.
+    explicit ThreadPool(int num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int num_threads() const { return num_threads_; }
+
+    /// Run `fn(i)` for every i in [0, n). Blocks until all iterations finish.
+    /// Iterations are claimed dynamically from a shared counter, so uneven
+    /// per-index cost (some blocks synthesize in microseconds, some in
+    /// seconds) balances automatically. If any iteration throws, the first
+    /// exception is rethrown on the caller after the loop drains.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+    struct Batch {
+        std::atomic<std::size_t> next{0};
+        std::size_t end = 0;
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex error_mutex;
+    };
+
+    void worker_loop();
+    static void drain(Batch& b);
+
+    int num_threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;  ///< wakes workers when a batch arrives
+    std::condition_variable done_cv_;  ///< wakes the caller when a batch drains
+    Batch* batch_ = nullptr;           ///< the active batch, if any
+    std::size_t generation_ = 0;       ///< bumped per batch (stack Batch objects
+                                       ///< can reuse an address, so a pointer
+                                       ///< compare cannot tell batches apart)
+    std::size_t workers_done_ = 0;     ///< workers that exhausted the batch
+    bool shutdown_ = false;
+};
+
+} // namespace epoc::util

@@ -32,7 +32,57 @@ INSTANTIATE_TEST_SUITE_P(
         "qreg q[1]; h q[",                        // truncated index
         "qreg q[2]; gate g a,b { h c; } g q[0],q[1];", // unknown body operand
         "qreg q[2]; gate g(x) a { rz(x) a; } g q[0];", // missing param binding
-        "qreg q[2]; cx q[0],q[0];"));              // duplicate operand
+        "qreg q[2]; cx q[0],q[0];",                // duplicate operand
+        "qreg q[1]; h q[0]; \"oops",               // unterminated bare string
+        "qreg q[2]; qreg q[3]; h q[2];",           // qreg redeclaration
+        "qreg q[2]; creg q[2];",                   // creg shadows qreg name
+        "qreg q[2]; h q[0],q[1];",                 // builtin gate arity mismatch
+        "qreg q[2]; ccx q[0],q[1];",               // 3-qubit gate, 2 operands
+        "qreg q[2]; h q[4000000000];",             // index overflows int
+        "qreg q[4000000000]; h q[0];",             // register size overflows int
+        "qreg q[0]; h q[0];",                      // empty register
+        "qreg q[1]; rz(1e999999999) q[0];",        // literal overflows double
+        "qreg q[1]; rz(.) q[0];"));                // lone dot is not a number
+
+TEST(QasmRobustness, RedeclarationDoesNotCorruptNumbering) {
+    // The old parser silently overwrote the register entry *and* kept
+    // growing the qubit count -- indices shifted and gates landed on the
+    // wrong wires. Now it must be a hard error, before any gate is emitted.
+    try {
+        parse_qasm("qreg q[2]; h q[1]; qreg q[2]; cx q[0],q[1];");
+        FAIL() << "redeclaration accepted";
+    } catch (const QasmError& e) {
+        EXPECT_NE(std::string(e.what()).find("already declared"), std::string::npos);
+    }
+}
+
+TEST(QasmRobustness, HugeIndexReportsRangeNotWraparound) {
+    // 2^32 cast to int wraps to 0, which would silently alias q[0]; the
+    // parser must range-check on the unconverted value instead.
+    try {
+        parse_qasm("qreg q[2]; h q[4294967296];");
+        FAIL() << "wrapped index accepted";
+    } catch (const QasmError& e) {
+        EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+    }
+}
+
+TEST(QasmRobustness, ErrorLineNumbersMatchCallerSource) {
+    // parse_qasm prepends a builtin u2 prelude; it must not shift the
+    // reported line numbers off the source the caller actually wrote.
+    try {
+        parse_qasm("qreg q[1];\nqreg q[1];\n");
+        FAIL() << "redeclaration accepted";
+    } catch (const QasmError& e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+    try {
+        parse_qasm("qreg q[1];\n\n\nh q[99];\n");
+        FAIL() << "out-of-range index accepted";
+    } catch (const QasmError& e) {
+        EXPECT_EQ(e.line(), 4);
+    }
+}
 
 TEST(QasmRobustness, ErrorsIncludeUsefulText) {
     try {

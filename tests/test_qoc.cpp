@@ -152,12 +152,12 @@ TEST(PulseLibrary, CachesByUnitary) {
     const auto h = make_block_hamiltonian(1);
     PulseLibrary lib(true);
     LatencySearchOptions opt;
-    const auto& r1 = lib.get_or_generate(h, epoc::circuit::hadamard(), opt);
-    const double d1 = r1.pulse.duration();
-    const auto& r2 = lib.get_or_generate(h, epoc::circuit::hadamard(), opt);
+    const auto r1 = lib.get_or_generate(h, epoc::circuit::hadamard(), opt);
+    const double d1 = r1->pulse.duration();
+    const auto r2 = lib.get_or_generate(h, epoc::circuit::hadamard(), opt);
     EXPECT_EQ(lib.stats().hits, 1u);
     EXPECT_EQ(lib.stats().misses, 1u);
-    EXPECT_EQ(r2.pulse.duration(), d1);
+    EXPECT_EQ(r2->pulse.duration(), d1);
 }
 
 TEST(PulseLibrary, PhaseAwareHitsPhaseShiftedUnitary) {
