@@ -3,10 +3,10 @@
 // pulses accumulate less error; average improvement 33.77%.
 #include "suite_common.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace epoc::benchharness;
     std::printf("Figure 10: circuit fidelity with vs without grouping (17 benchmarks)\n");
-    const std::vector<SuiteRow> rows = run_grouping_suite();
+    const std::vector<SuiteRow> rows = run_grouping_suite(trace_arg(argc, argv));
     std::printf("%-10s %12s %12s %12s\n", "circuit", "grouped", "no-group", "improvement");
     double imp_sum = 0.0;
     int wins = 0;

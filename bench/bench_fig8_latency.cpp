@@ -3,10 +3,10 @@
 // reduction 51.11%.
 #include "suite_common.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace epoc::benchharness;
     std::printf("Figure 8: pulse latency with vs without grouping (17 benchmarks)\n");
-    const std::vector<SuiteRow> rows = run_grouping_suite();
+    const std::vector<SuiteRow> rows = run_grouping_suite(trace_arg(argc, argv));
     std::printf("%-10s %14s %14s %10s\n", "circuit", "grouped[ns]", "no-group[ns]",
                 "reduction");
     double red_sum = 0.0;

@@ -2,10 +2,10 @@
 // Paper: grouping introduces minimal overhead (average +7.11%).
 #include "suite_common.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace epoc::benchharness;
     std::printf("Figure 9: compilation time with vs without grouping (17 benchmarks)\n");
-    const std::vector<SuiteRow> rows = run_grouping_suite();
+    const std::vector<SuiteRow> rows = run_grouping_suite(trace_arg(argc, argv));
     std::printf("%-10s %14s %14s %10s\n", "circuit", "grouped[ms]", "no-group[ms]",
                 "overhead");
     double total_g = 0.0, total_n = 0.0;

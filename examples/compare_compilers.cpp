@@ -1,14 +1,33 @@
 // Compare the four pulse-generation flows on one program: traditional
 // gate-based, AccQOC-like, PAQOC-like, and EPOC. The ordering of the latency
 // column is the paper's headline result in miniature.
+//
+// Usage: compare_compilers [--trace out.json]
+//   --trace enables the EPOC compiler's tracer and writes a Chrome
+//   trace_event file (load it in chrome://tracing or https://ui.perfetto.dev)
+//   with one slice per pipeline stage and per-block synthesis/GRAPE region,
+//   plus cache hit/miss counters. A flat text digest is printed to stderr.
 #include "bench_circuits/generators.h"
 #include "epoc/baselines.h"
 #include "epoc/pipeline.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
-int main() {
+int main(int argc, char** argv) {
     using namespace epoc;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--trace out.json]\n", argv[0]);
+            return 2;
+        }
+    }
+
     const circuit::Circuit c = bench::simon(2);
     std::printf("program: simon (%d qubits, %zu gates, depth %d)\n\n", c.num_qubits(),
                 c.size(), c.depth());
@@ -25,6 +44,7 @@ int main() {
 
     core::EpocOptions eopt;
     eopt.regroup_opt.max_qubits = 4;
+    eopt.trace_enabled = !trace_path.empty();
     core::EpocCompiler epoc_compiler(eopt);
     const core::EpocResult re = epoc_compiler.compile(c);
 
@@ -42,5 +62,18 @@ int main() {
     std::printf("\nEPOC latency vs gate-based: %+.1f%%   vs PAQOC-like: %+.1f%%\n",
                 100.0 * (re.latency_ns - rg.latency_ns) / rg.latency_ns,
                 100.0 * (re.latency_ns - rp.latency_ns) / rp.latency_ns);
+
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s for writing\n", trace_path.c_str());
+            return 1;
+        }
+        out << re.trace.to_chrome_json();
+        std::fprintf(stderr, "\nwrote Chrome trace (%zu spans, %zu counters) to %s\n",
+                     re.trace.spans.size(), re.trace.counters.size(),
+                     trace_path.c_str());
+        std::fputs(re.trace.summary().c_str(), stderr);
+    }
     return 0;
 }

@@ -134,7 +134,9 @@ EpocResult AccqocLikeCompiler::compile(const Circuit& c) {
     for (const partition::CircuitBlock& blk : blocks) {
         Matrix u = partition::block_unitary(blk);
         if (is_identity_unitary(u)) continue;
-        if (library_.peek(u) != nullptr) continue;
+        const int nq = static_cast<int>(blk.qubits.size());
+        if (library_.peek(ham_for(hams_, nq, opt_.device), u, opt_.latency) != nullptr)
+            continue;
         const std::string key = linalg::phase_canonical_key(u, 6);
         bool dup = false;
         for (const std::string& s : seen) dup = dup || s == key;
@@ -172,7 +174,11 @@ EpocResult AccqocLikeCompiler::compile(const Circuit& c) {
         for (const std::size_t i : order) {
             qoc::LatencySearchOptions lopt = opt_.latency;
             if (i != 0 && parent[i] != i) {
-                const auto pp = library_.peek(pending[parent[i]].u);
+                // Warm starts do not key the library entry, so the parent is
+                // found under the same options it was generated with.
+                const auto pp =
+                    library_.peek(ham_for(hams_, pending[parent[i]].nq, opt_.device),
+                                  pending[parent[i]].u, opt_.latency);
                 if (pp != nullptr && pending[parent[i]].nq == pending[i].nq)
                     lopt.grape.warm_amplitudes = pp->pulse.amplitudes;
             }

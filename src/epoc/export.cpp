@@ -9,12 +9,22 @@ namespace epoc::core {
 namespace {
 
 void json_escape_into(std::ostringstream& os, const std::string& s) {
+    static const char* hex = "0123456789abcdef";
     for (const char ch : s) {
         switch (ch) {
         case '"': os << "\\\""; break;
         case '\\': os << "\\\\"; break;
         case '\n': os << "\\n"; break;
-        default: os << ch;
+        case '\t': os << "\\t"; break;
+        case '\r': os << "\\r"; break;
+        case '\b': os << "\\b"; break;
+        case '\f': os << "\\f"; break;
+        default:
+            // Remaining control characters are invalid raw JSON; \u-escape.
+            if (static_cast<unsigned char>(ch) < 0x20)
+                os << "\\u00" << hex[(ch >> 4) & 0xf] << hex[ch & 0xf];
+            else
+                os << ch;
         }
     }
 }
@@ -46,6 +56,9 @@ std::string schedule_to_json(const PulseSchedule& s) {
 std::string ascii_timeline(const PulseSchedule& s, int columns) {
     std::ostringstream os;
     if (s.num_qubits == 0) return "(empty schedule)\n";
+    // The axis footer prints `columns - 2` spaces; anything below 2 columns
+    // underflowed to a multi-gigabyte string (size_t wraparound).
+    columns = std::max(columns, 2);
     const double span = std::max(s.latency, 1e-9);
     const double per_col = span / columns;
     std::vector<std::string> rows(static_cast<std::size_t>(s.num_qubits),

@@ -41,8 +41,11 @@ struct SynthFragment {
 
 EpocCompiler::EpocCompiler(EpocOptions opt)
     : opt_(std::move(opt)),
+      tracer_(opt_.trace_enabled),
       pool_(opt_.num_threads),
-      library_(opt_.phase_aware_library) {}
+      library_(opt_.phase_aware_library) {
+    library_.set_tracer(&tracer_);
+}
 
 const qoc::BlockHamiltonian& EpocCompiler::hamiltonian(int num_qubits) {
     // std::map never invalidates references on insert, so handing out refs
@@ -63,6 +66,10 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
     pool_.parallel_for(blocks.size(), [&](std::size_t i) {
         const partition::CircuitBlock& blk = blocks[i];
         SynthFragment& frag = fragments[i];
+        const util::Tracer::Span span = tracer_.span(
+            "synth block " + std::to_string(i) + " (" +
+                std::to_string(blk.qubits.size()) + "q)",
+            "synthesis");
 
         // Bridging CNOTs pass through untouched.
         if (blk.bridge && blk.body.size() == 1 && blk.body.gate(0).kind == GateKind::CX) {
@@ -87,6 +94,7 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
         if (opt_.use_kak && blk.qubits.size() == 2) {
             // Analytic fast path: exact, so the keep-original heuristic below
             // compares on entangling content via the peepholed KAK circuit.
+            tracer_.add_counter("synth.kak_fast_path");
             const circuit::Circuit kc =
                 circuit::peephole_optimize(synthesis::kak_synthesize(u));
             if (kc.two_qubit_count() <= blk.body.two_qubit_count())
@@ -99,14 +107,23 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
         const std::string key = linalg::phase_canonical_key(u, 6);
         const std::shared_ptr<const synthesis::SynthesisResult> sr =
             synth_cache_.get_or_compute(key, [&] {
+                // Single-flight: exactly one QSearch/LEAP run per distinct
+                // unitary, so these counters match the sequential schedule
+                // for every thread count.
+                const util::Tracer::Span qspan = tracer_.span(
+                    "qsearch " + std::to_string(blk.qubits.size()) + "q", "synthesis");
                 synthesis::SynthesisResult r = synthesis::qsearch_synthesize(u, opt_.qsearch);
                 if (!r.converged && opt_.leap_fallback) {
+                    const util::Tracer::Span lspan = tracer_.span(
+                        "leap " + std::to_string(blk.qubits.size()) + "q", "synthesis");
+                    tracer_.add_counter("synth.leap_fallbacks");
                     synthesis::LeapOptions lo;
                     lo.threshold = opt_.qsearch.threshold;
                     lo.instantiate = opt_.qsearch.instantiate;
                     synthesis::SynthesisResult leap = synthesis::leap_synthesize(u, lo);
                     if (leap.distance < r.distance) r = std::move(leap);
                 }
+                tracer_.add_counter(r.converged ? "synth.converged" : "synth.unconverged");
                 return r;
             });
         // Synthesis is an optimization, not an obligation: if the searched
@@ -118,6 +135,8 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
             (static_cast<std::size_t>(sr->cnot_count) < blk.body.two_qubit_count() ||
              (static_cast<std::size_t>(sr->cnot_count) == blk.body.two_qubit_count() &&
               sr->circuit.depth() <= blk.body.depth()));
+        tracer_.add_counter(synth_wins ? "synth.blocks_replaced"
+                                       : "synth.blocks_kept_original");
         if (synth_wins)
             frag.local = sr->circuit;
         else
@@ -149,6 +168,10 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
     std::vector<std::optional<PulseJob>> slots(blocks.size());
     pool_.parallel_for(blocks.size(), [&](std::size_t i) {
         const partition::CircuitBlock& blk = blocks[i];
+        const util::Tracer::Span span = tracer_.span(
+            "pulse block " + std::to_string(i) + " (" +
+                std::to_string(blk.qubits.size()) + "q)",
+            "qoc");
         const Matrix u = partition::block_unitary(blk);
         if (is_identity_unitary(u)) return;
         qoc::LatencySearchOptions lopt = opt_.latency;
@@ -162,6 +185,16 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
         }
         const std::shared_ptr<const qoc::LatencyResult> lr = library_.get_or_generate(
             hamiltonian(static_cast<int>(blk.qubits.size())), u, lopt);
+        if (coarse_granularity && lopt.slot_granularity > opt_.latency.slot_granularity) {
+            // Regression guards for the cache-key collision: the coarse arm's
+            // pulses must actually carry coarsened slot counts, even when the
+            // fine-granularity arm requested the same unitary first.
+            tracer_.add_counter("qoc.coarse_blocks");
+            tracer_.add_counter("qoc.coarse_block_slots",
+                                static_cast<std::uint64_t>(lr->pulse.num_slots()));
+            if (lr->pulse.num_slots() % lopt.slot_granularity != 0)
+                tracer_.add_counter("qoc.coarse_granularity_violations");
+        }
         slots[i] = PulseJob{blk.qubits, lr->pulse.duration(), lr->pulse.fidelity, ""};
     });
 
@@ -181,12 +214,14 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
     res.gates_original = c.size();
     res.threads_used = pool_.num_threads();
     const auto t_start = std::chrono::steady_clock::now();
+    util::Tracer::Span compile_span = tracer_.span("compile", "pipeline");
 
     // 1. Graph-based depth optimization.
     Circuit current = c;
     {
         const auto t0 = std::chrono::steady_clock::now();
         if (opt_.use_zx) {
+            const util::Tracer::Span span = tracer_.span("zx", "pipeline");
             zx::ZxOptimizeResult zr = zx::zx_optimize(c);
             current = std::move(zr.circuit);
         }
@@ -196,9 +231,13 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
 
     // 2+3. Partition and synthesize (parallel over blocks).
     if (opt_.use_synthesis) {
+        util::Tracer::Span part_span = tracer_.span("partition", "pipeline");
         const std::vector<partition::CircuitBlock> blocks =
             partition::greedy_partition(current, opt_.partition);
+        part_span.end();
         res.num_blocks = blocks.size();
+        tracer_.add_counter("pipeline.blocks", blocks.size());
+        const util::Tracer::Span span = tracer_.span("synthesis", "pipeline");
         current = synthesize_blocks(blocks, current.num_qubits(), res.synthesis_ms);
     }
     res.synthesized = current;
@@ -215,9 +254,13 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
         const auto t0 = std::chrono::steady_clock::now();
 
         for (const Gate& g : current.gates()) hamiltonian(g.arity());
+        util::Tracer::Span fine_span = tracer_.span("pulses fine-grained", "pipeline");
         std::vector<std::optional<PulseJob>> fine_slots(current.size());
         pool_.parallel_for(current.size(), [&](std::size_t i) {
             const Gate& g = current.gate(i);
+            const util::Tracer::Span span = tracer_.span(
+                "pulse gate " + std::to_string(i) + " (" + kind_name(g.kind) + ")",
+                "qoc");
             const Matrix u = g.unitary();
             if (is_identity_unitary(u)) return;
             const std::shared_ptr<const qoc::LatencyResult> lr = library_.get_or_generate(
@@ -229,15 +272,28 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
         fine_jobs.reserve(current.size());
         for (std::optional<PulseJob>& s : fine_slots)
             if (s) fine_jobs.push_back(std::move(*s));
+        fine_span.end();
+        util::Tracer::Span sched_span = tracer_.span("schedule asap", "pipeline");
         const PulseSchedule fine = schedule_asap(fine_jobs, c.num_qubits());
+        sched_span.end();
 
         if (opt_.regroup_enabled) {
+            util::Tracer::Span regroup_span = tracer_.span("regroup", "pipeline");
             const std::vector<partition::CircuitBlock> groups =
                 regroup(current, opt_.regroup_opt);
+            regroup_span.end();
+            tracer_.add_counter("pipeline.regroup_blocks", groups.size());
+            util::Tracer::Span grouped_span = tracer_.span("pulses grouped", "pipeline");
             const std::vector<PulseJob> jobs =
                 pulse_jobs_for_blocks(groups, /*coarse_granularity=*/true);
+            grouped_span.end();
+            util::Tracer::Span gs_span = tracer_.span("schedule asap", "pipeline");
             const PulseSchedule grouped = schedule_asap(jobs, c.num_qubits());
-            res.schedule = (grouped.latency <= fine.latency) ? grouped : fine;
+            gs_span.end();
+            const bool grouped_wins = grouped.latency <= fine.latency;
+            tracer_.add_counter(grouped_wins ? "pipeline.grouped_arm_wins"
+                                             : "pipeline.fine_arm_wins");
+            res.schedule = grouped_wins ? grouped : fine;
         } else {
             res.schedule = fine;
         }
@@ -250,6 +306,20 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
     res.compile_ms = ms_since(t_start);
     res.library_stats = library_.stats();
     res.synth_cache_stats = synth_cache_.stats();
+    compile_span.end();
+    if (tracer_.enabled()) {
+        // Fold the sharded-cache stats into the counter registry so the trace
+        // is self-contained (set, not add: the stats are already cumulative).
+        tracer_.set_counter("pulse_library.hits", res.library_stats.hits);
+        tracer_.set_counter("pulse_library.misses", res.library_stats.misses);
+        tracer_.set_counter("pulse_library.single_flight_waits",
+                            res.library_stats.single_flight_waits);
+        tracer_.set_counter("synth_cache.hits", res.synth_cache_stats.hits);
+        tracer_.set_counter("synth_cache.misses", res.synth_cache_stats.misses);
+        tracer_.set_counter("synth_cache.single_flight_waits",
+                            res.synth_cache_stats.waits);
+        res.trace = tracer_.report();
+    }
     return res;
 }
 

@@ -28,6 +28,7 @@
 #include "synthesis/qsearch.h"
 #include "util/sharded_cache.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 #include "zx/optimize.h"
 
 #include <map>
@@ -55,6 +56,11 @@ struct EpocOptions {
     /// 0 = hardware_concurrency(); 1 = exact sequential (pre-threading)
     /// behaviour. Output is bit-identical for every value.
     int num_threads = 0;
+    /// Record per-stage spans and counters (util/trace.h) and surface them on
+    /// EpocResult::trace. Off by default: the disabled path is one relaxed
+    /// atomic load per instrumentation point and never perturbs the compiled
+    /// artifact.
+    bool trace_enabled = false;
 
     EpocOptions() {
         // Cheaper defaults than the standalone synthesizer: blocks repeat, the
@@ -92,6 +98,11 @@ struct EpocResult {
     qoc::PulseLibraryStats library_stats;
     /// Cumulative synthesis-cache activity (same counters, QSearch results).
     util::CacheStats synth_cache_stats;
+    /// Spans + counters collected by the compiler's tracer (empty unless
+    /// EpocOptions::trace_enabled). Like the cache stats, spans/counters
+    /// accumulate across compile() calls on one compiler; call
+    /// `compiler.tracer().reset()` between compiles for per-run traces.
+    util::TraceReport trace;
 
     /// The post-synthesis flat circuit (U3 + CX), for inspection.
     circuit::Circuit synthesized;
@@ -107,6 +118,8 @@ public:
 
     qoc::PulseLibrary& library() { return library_; }
     const EpocOptions& options() const { return opt_; }
+    /// The compiler's tracer (enabled iff EpocOptions::trace_enabled).
+    util::Tracer& tracer() { return tracer_; }
 
 private:
     const qoc::BlockHamiltonian& hamiltonian(int num_qubits);
@@ -116,6 +129,7 @@ private:
         const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity);
 
     EpocOptions opt_;
+    util::Tracer tracer_; ///< declared before library_, which holds a pointer
     util::ThreadPool pool_;
     qoc::PulseLibrary library_;
     util::ShardedFlightCache<synthesis::SynthesisResult> synth_cache_;

@@ -56,7 +56,15 @@ Pulse grape_optimize(const BlockHamiltonian& h, const Matrix& target, int num_sl
 
     std::mt19937_64 rng(opt.seed);
     std::uniform_real_distribution<double> uni(-1.0, 1.0);
-    if (opt.warm_amplitudes.size() == nc && !opt.warm_amplitudes.front().empty()) {
+    // A warm start must match the control count exactly (slot counts may
+    // differ; they are resampled). With no controls there is nothing to seed:
+    // the historical `warm_amplitudes.front()` probe was UB for nc == 0.
+    const bool warm_requested = !opt.warm_amplitudes.empty();
+    const bool warm_usable = warm_requested && nc > 0 && opt.warm_amplitudes.size() == nc &&
+                             !opt.warm_amplitudes.front().empty();
+    p.warm_start_applied = warm_usable;
+    p.warm_start_mismatch = warm_requested && !warm_usable;
+    if (warm_usable) {
         // Nearest-slot resample of the warm-start pulse.
         const std::size_t wn = opt.warm_amplitudes.front().size();
         for (std::size_t j = 0; j < nc; ++j)

@@ -23,7 +23,9 @@ struct GrapeOptions {
     double init_scale = 0.3;
     /// Warm start (AccQOC's MST technique): amplitudes of a similar unitary's
     /// pulse, resampled to the requested slot count when lengths differ.
-    /// Empty disables warm starting.
+    /// Empty disables warm starting. The outer size must equal the
+    /// Hamiltonian's control count; a mismatched shape falls back to a cold
+    /// start and is reported via Pulse::warm_start_mismatch.
     std::vector<std::vector<double>> warm_amplitudes;
 };
 

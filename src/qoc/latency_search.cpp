@@ -8,6 +8,14 @@ LatencyResult find_minimal_latency_pulse(const BlockHamiltonian& h, const Matrix
     const int gran = std::max(1, opt.slot_granularity);
     const auto round_up = [gran](int slots) { return ((slots + gran - 1) / gran) * gran; };
 
+    // Effective cap: the largest multiple of the granularity that still
+    // respects max_slots. Rounding the cap *up* (the historical behaviour)
+    // probed up to granularity-1 slots beyond the configured budget. When
+    // max_slots < granularity no multiple fits; the search then probes
+    // exactly one granularity unit — the smallest representable pulse — and
+    // reports infeasible if that misses the threshold.
+    const int cap = std::max(gran, (std::max(1, opt.max_slots) / gran) * gran);
+
     const auto attempt = [&](int slots) {
         ++res.grape_runs;
         GrapeOptions g = opt.grape;
@@ -18,13 +26,13 @@ LatencyResult find_minimal_latency_pulse(const BlockHamiltonian& h, const Matrix
     };
 
     // Doubling phase: bracket the feasible region. All probed slot counts are
-    // multiples of the granularity.
-    int lo = round_up(std::max(1, opt.min_slots));
+    // multiples of the granularity, clamped to the cap.
+    int lo = std::min(cap, round_up(std::max(1, opt.min_slots)));
     int hi = lo;
     Pulse hi_pulse = attempt(hi);
-    while (hi_pulse.fidelity < opt.fidelity_threshold && hi < opt.max_slots) {
+    while (hi_pulse.fidelity < opt.fidelity_threshold && hi < cap) {
         lo = hi + gran;
-        hi = std::min(round_up(opt.max_slots), hi * 2);
+        hi = std::min(cap, hi * 2);
         hi_pulse = attempt(hi);
     }
     if (hi_pulse.fidelity < opt.fidelity_threshold) {

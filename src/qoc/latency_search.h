@@ -11,6 +11,10 @@ namespace epoc::qoc {
 struct LatencySearchOptions {
     double fidelity_threshold = 0.995;
     int min_slots = 1;
+    /// Upper bound on probed slot counts. The search only probes multiples of
+    /// `slot_granularity`, so the effective cap is the largest such multiple
+    /// <= max_slots; when max_slots < slot_granularity the single smallest
+    /// representable count (one granularity unit) is probed instead.
     int max_slots = 512;
     /// Slot-count resolution of the search. Coarser granularity (e.g. 4 for
     /// 4-qubit blocks) trades a few ns of pulse length for far fewer GRAPE

@@ -13,6 +13,12 @@ struct Pulse {
     double dt = 2.0;          ///< slot width [ns]
     double fidelity = 0.0;    ///< |tr(U_target^dag U_pulse)| / d
     int grape_iterations = 0;
+    /// True if GRAPE seeded this pulse from GrapeOptions::warm_amplitudes.
+    bool warm_start_applied = false;
+    /// True if a warm start was requested but its shape did not match the
+    /// Hamiltonian's control count — the optimizer fell back to a cold start
+    /// instead of silently dropping the request (see grape_optimize).
+    bool warm_start_mismatch = false;
 
     int num_slots() const {
         return amplitudes.empty() ? 0 : static_cast<int>(amplitudes.front().size());

@@ -2,23 +2,65 @@
 
 #include "linalg/phase.h"
 
+#include <sstream>
+
 namespace epoc::qoc {
 
-std::string PulseLibrary::key_of(const Matrix& m) const {
-    // Quantize at 6 decimals: distinct gates stay distinct, float jitter from
-    // equal unitaries does not split entries.
-    return phase_aware_ ? linalg::phase_canonical_key(m, 6) : linalg::raw_key(m, 6);
+std::string PulseLibrary::key_of(const BlockHamiltonian& h, const Matrix& m,
+                                 const LatencySearchOptions& opt) const {
+    // Unitary part, quantized at 6 decimals: distinct gates stay distinct,
+    // float jitter from equal unitaries does not split entries.
+    std::ostringstream os;
+    os << (phase_aware_ ? linalg::phase_canonical_key(m, 6) : linalg::raw_key(m, 6));
+
+    // Hamiltonian fingerprint: dimension, slot width and each control line's
+    // label/bound pin down the device model a pulse was optimized against
+    // (the drift follows from these for make_block_hamiltonian models; custom
+    // Hamiltonians with equal lines are treated as equal devices).
+    os.precision(12);
+    os << "|H:" << h.num_qubits << ":" << h.dt;
+    for (const ControlLine& c : h.controls) os << ":" << c.label << "=" << c.bound;
+
+    // Effective search options. warm_amplitudes is intentionally absent (see
+    // header): it seeds the optimizer on a miss but does not define the entry.
+    os << "|O:" << opt.fidelity_threshold << ":" << opt.min_slots << ":" << opt.max_slots
+       << ":" << opt.slot_granularity << "|G:" << opt.grape.max_iterations << ":"
+       << opt.grape.learning_rate << ":" << opt.grape.seed << ":" << opt.grape.init_scale;
+    return os.str();
 }
 
 std::shared_ptr<const LatencyResult> PulseLibrary::get_or_generate(
     const BlockHamiltonian& h, const Matrix& target, const LatencySearchOptions& opt) {
-    return cache_.get_or_compute(key_of(target), [&] {
-        return find_minimal_latency_pulse(h, target, opt);
+    return cache_.get_or_compute(key_of(h, target, opt), [&] {
+        // Single-flight: this body runs exactly once per entry, on the worker
+        // thread that won the miss — so the span lands under that worker's
+        // row and the counters aggregate the same totals for any thread count.
+        util::Tracer::Span span;
+        if (tracer_ != nullptr)
+            span = tracer_->span("grape " + std::to_string(h.num_qubits) + "q g" +
+                                     std::to_string(opt.slot_granularity),
+                                 "qoc");
+        LatencyResult res = find_minimal_latency_pulse(h, target, opt);
+        if (tracer_ != nullptr) {
+            tracer_->add_counter("qoc.grape_runs",
+                                 static_cast<std::uint64_t>(res.grape_runs));
+            tracer_->add_counter(
+                "qoc.grape_iterations",
+                static_cast<std::uint64_t>(res.pulse.grape_iterations));
+            tracer_->add_counter("qoc.pulse_slots",
+                                 static_cast<std::uint64_t>(res.pulse.num_slots()));
+            if (!res.feasible) tracer_->add_counter("qoc.infeasible_searches");
+            if (res.pulse.warm_start_mismatch)
+                tracer_->add_counter("qoc.warm_start_mismatches");
+        }
+        return res;
     });
 }
 
-std::shared_ptr<const LatencyResult> PulseLibrary::peek(const Matrix& target) const {
-    return cache_.peek(key_of(target));
+std::shared_ptr<const LatencyResult> PulseLibrary::peek(
+    const BlockHamiltonian& h, const Matrix& target,
+    const LatencySearchOptions& opt) const {
+    return cache_.peek(key_of(h, target, opt));
 }
 
 } // namespace epoc::qoc

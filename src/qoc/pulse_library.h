@@ -1,9 +1,22 @@
 // Pulse library: the lookup table of Section 3.4.
 //
-// Keys are unitary matrices; entries store the optimized pulse. EPOC's
-// refinement over AccQOC/PAQOC is *global-phase-aware* lookup: two unitaries
-// differing only by e^{i*phi} share one entry, raising the hit rate. The
-// phase-oblivious mode exists for the ablation benchmark.
+// Entries are keyed on the *full generation context*, not the unitary alone:
+//
+//   (canonical unitary, Hamiltonian fingerprint, latency-search options)
+//
+// The unitary key is global-phase-aware in EPOC mode (two unitaries differing
+// only by e^{i*phi} share one entry, raising the hit rate; the phase-oblivious
+// mode exists for the ablation benchmark). The Hamiltonian fingerprint covers
+// dimension, slot width and every control line's bound, so two device models
+// never trade pulses. The options fingerprint covers the search parameters
+// that shape the result — fidelity_threshold, min/max_slots, slot_granularity
+// and the GRAPE hyperparameters — so e.g. the pipeline's coarse-granularity
+// regrouped arm can never receive a fine-granularity pulse generated earlier
+// for the same unitary (the historical collision: key_of ignored the options,
+// and the wide-block slot coarsening silently never applied on hits).
+// GrapeOptions::warm_amplitudes is deliberately *excluded*: a warm start only
+// seeds the optimizer on a miss, and AccQOC-style MST construction relies on
+// later exact-option lookups hitting the warm-started entry.
 //
 // The library is thread-safe: the parallel pipeline stages hammer it from
 // every worker. Lookups are sharded-lock reads; misses are single-flight (two
@@ -15,6 +28,7 @@
 
 #include "qoc/latency_search.h"
 #include "util/sharded_cache.h"
+#include "util/trace.h"
 
 #include <memory>
 
@@ -39,17 +53,27 @@ public:
     /// AccQOC/PAQOC exact-matrix lookup (ablation).
     explicit PulseLibrary(bool phase_aware = true) : phase_aware_(phase_aware) {}
 
-    /// Fetch the pulse for `target`, generating it with a minimal-latency
-    /// search on a miss. `h` must match the target dimension. The returned
-    /// pointer is never null and remains valid for the library's lifetime
-    /// and beyond (entries are immutable and refcounted).
+    /// Fetch the pulse for `target` generated against `h` under `opt`,
+    /// running a minimal-latency search on a miss. `h` must match the target
+    /// dimension. The returned pointer is never null and remains valid for
+    /// the library's lifetime and beyond (entries are immutable and
+    /// refcounted).
     std::shared_ptr<const LatencyResult> get_or_generate(const BlockHamiltonian& h,
                                                          const Matrix& target,
                                                          const LatencySearchOptions& opt);
 
     /// Lookup only; nullptr on miss (or while another thread is still
-    /// generating the entry). Does not touch the statistics.
-    std::shared_ptr<const LatencyResult> peek(const Matrix& target) const;
+    /// generating the entry). Keyed exactly like get_or_generate, so `h` and
+    /// `opt` must match the generating call. Does not touch the statistics.
+    std::shared_ptr<const LatencyResult> peek(const BlockHamiltonian& h,
+                                              const Matrix& target,
+                                              const LatencySearchOptions& opt) const;
+
+    /// Attach a tracer: each generation (cache miss) records a span plus the
+    /// `qoc.grape_runs` / `qoc.grape_iterations` / `qoc.pulse_slots` /
+    /// `qoc.infeasible_searches` counters. Pass nullptr to detach. The
+    /// pointer must outlive every subsequent get_or_generate call.
+    void set_tracer(util::Tracer* tracer) { tracer_ = tracer; }
 
     std::size_t size() const { return cache_.size(); }
     PulseLibraryStats stats() const {
@@ -59,9 +83,11 @@ public:
     void reset_stats() { cache_.reset_stats(); }
 
 private:
-    std::string key_of(const Matrix& m) const;
+    std::string key_of(const BlockHamiltonian& h, const Matrix& m,
+                       const LatencySearchOptions& opt) const;
 
     bool phase_aware_;
+    util::Tracer* tracer_ = nullptr;
     util::ShardedFlightCache<LatencyResult> cache_;
 };
 

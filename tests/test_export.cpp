@@ -37,6 +37,43 @@ TEST(Export, JsonEscapesLabels) {
     EXPECT_NE(j.find("we\\\"ird\\\\label"), std::string::npos);
 }
 
+TEST(Export, JsonEscapesControlCharacters) {
+    // Tabs, carriage returns and other sub-0x20 bytes used to pass through
+    // raw, which is invalid JSON.
+    // Literal concatenation keeps \x01 from maximal-munching the 'e'.
+    PulseSchedule s =
+        schedule_asap({{{0}, 1.0, 1.0, std::string("a\tb\rc\nd\x01") + "e\x1f" "f"}}, 1);
+    const std::string j = schedule_to_json(s);
+    EXPECT_NE(j.find("a\\tb\\rc\\nd\\u0001e\\u001ff"), std::string::npos);
+    // No raw control character may survive anywhere in the document.
+    for (const char c : j) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST(Export, HostileLabelKeepsJsonBalanced) {
+    PulseSchedule s = schedule_asap({{{0}, 1.0, 1.0, "\x02{\"\\\t}\x1b["}}, 1);
+    const std::string j = schedule_to_json(s);
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (const char c : j) {
+        if (escaped) {
+            escaped = false;
+            continue;
+        }
+        if (in_string) {
+            if (c == '\\') escaped = true;
+            if (c == '"') in_string = false;
+            continue;
+        }
+        if (c == '"') in_string = true;
+        if (c == '{' || c == '[') ++depth;
+        if (c == '}' || c == ']') --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(depth, 0);
+}
+
 TEST(Export, JsonBalancedBraces) {
     const std::string j = schedule_to_json(sample_schedule());
     int depth = 0;
@@ -70,6 +107,18 @@ TEST(Timeline, IdleQubitStaysDotted) {
 TEST(Timeline, EmptyScheduleHandled) {
     PulseSchedule s;
     EXPECT_EQ(ascii_timeline(s), "(empty schedule)\n");
+}
+
+TEST(Timeline, TinyColumnCountsClampedNotUnderflowed) {
+    // columns < 2 used to underflow `columns - 2` as size_t in the axis
+    // footer, attempting a multi-gigabyte string.
+    const PulseSchedule s = sample_schedule();
+    for (const int columns : {1, 0, -3, 2}) {
+        const std::string t = ascii_timeline(s, columns);
+        EXPECT_LT(t.size(), 1000u) << "columns=" << columns;
+        EXPECT_NE(t.find('#'), std::string::npos) << "columns=" << columns;
+        EXPECT_NE(t.find("50 ns"), std::string::npos) << "columns=" << columns;
+    }
 }
 
 } // namespace

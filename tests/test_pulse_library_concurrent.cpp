@@ -161,10 +161,11 @@ TEST(PulseLibraryConcurrent, ConcurrentInsertsLoseNothing) {
 
 TEST(PulseLibraryConcurrent, PeekNeverBlocksOrGenerates) {
     PulseLibrary lib(true);
-    EXPECT_EQ(lib.peek(epoc::circuit::hadamard()), nullptr);
     const auto h = make_block_hamiltonian(1);
-    lib.get_or_generate(h, epoc::circuit::hadamard(), cheap_search());
-    const auto p = lib.peek(epoc::circuit::hadamard());
+    const LatencySearchOptions opt = cheap_search();
+    EXPECT_EQ(lib.peek(h, epoc::circuit::hadamard(), opt), nullptr);
+    lib.get_or_generate(h, epoc::circuit::hadamard(), opt);
+    const auto p = lib.peek(h, epoc::circuit::hadamard(), opt);
     ASSERT_NE(p, nullptr);
     EXPECT_GT(p->pulse.num_slots(), 0);
     EXPECT_EQ(lib.stats().hits, 0u); // peek leaves the stats alone

@@ -187,8 +187,153 @@ TEST(PulseLibrary, PhaseObliviousMisses) {
 
 TEST(PulseLibrary, PeekDoesNotGenerate) {
     PulseLibrary lib(true);
-    EXPECT_EQ(lib.peek(epoc::circuit::hadamard()), nullptr);
+    const auto h = make_block_hamiltonian(1);
+    EXPECT_EQ(lib.peek(h, epoc::circuit::hadamard(), LatencySearchOptions{}), nullptr);
     EXPECT_EQ(lib.size(), 0u);
+}
+
+// Regression for the cache-key collision: the library used to key on the
+// unitary alone, so a coarse-granularity request silently received the
+// fine-granularity pulse generated earlier for the same unitary, and the
+// wide-block slot coarsening never applied on hits.
+TEST(PulseLibrary, GranularityKeyedSeparately) {
+    const auto h = make_block_hamiltonian(1);
+    PulseLibrary lib(true);
+    LatencySearchOptions fine;
+    LatencySearchOptions coarse;
+    coarse.slot_granularity = 4;
+
+    // Fine-granularity arm runs first, exactly like the pipeline.
+    const auto rf = lib.get_or_generate(h, epoc::circuit::pauli_x(), fine);
+    const auto rc = lib.get_or_generate(h, epoc::circuit::pauli_x(), coarse);
+    EXPECT_EQ(lib.stats().misses, 2u) << "coarse request must not hit the fine entry";
+    EXPECT_EQ(lib.stats().hits, 0u);
+    EXPECT_EQ(rc->pulse.num_slots() % 4, 0)
+        << "coarse arm's pulse must reflect the coarsened slot search";
+    EXPECT_GE(rc->pulse.num_slots(), rf->pulse.num_slots());
+
+    // Same options again: a hit, and the exact shared entry.
+    const auto again = lib.get_or_generate(h, epoc::circuit::pauli_x(), coarse);
+    EXPECT_EQ(again, rc);
+    EXPECT_EQ(lib.stats().hits, 1u);
+}
+
+TEST(PulseLibrary, SearchOptionsKeyedSeparately) {
+    const auto h = make_block_hamiltonian(1);
+    PulseLibrary lib(true);
+    LatencySearchOptions a;
+    a.fidelity_threshold = 0.99;
+    LatencySearchOptions b = a;
+    b.fidelity_threshold = 0.9999;
+    lib.get_or_generate(h, epoc::circuit::hadamard(), a);
+    lib.get_or_generate(h, epoc::circuit::hadamard(), b);
+    LatencySearchOptions c = a;
+    c.max_slots = 64;
+    lib.get_or_generate(h, epoc::circuit::hadamard(), c);
+    EXPECT_EQ(lib.stats().misses, 3u);
+    EXPECT_EQ(lib.stats().hits, 0u);
+}
+
+TEST(PulseLibrary, DeviceKeyedSeparately) {
+    // Same unitary, different device model: the pulses are physically
+    // incompatible and must never be traded through the cache.
+    DeviceParams slow;
+    slow.drive_bound = 0.08;
+    const auto h_default = make_block_hamiltonian(1);
+    const auto h_slow = make_block_hamiltonian(1, slow);
+    PulseLibrary lib(true);
+    LatencySearchOptions opt;
+    lib.get_or_generate(h_default, epoc::circuit::pauli_x(), opt);
+    lib.get_or_generate(h_slow, epoc::circuit::pauli_x(), opt);
+    EXPECT_EQ(lib.stats().misses, 2u);
+    EXPECT_EQ(lib.stats().hits, 0u);
+}
+
+TEST(PulseLibrary, WarmStartDoesNotSplitKeys) {
+    // AccQOC's MST construction generates under warm-started options and
+    // looks the entry up later under the plain options: same key.
+    const auto h = make_block_hamiltonian(1);
+    PulseLibrary lib(true);
+    LatencySearchOptions plain;
+    const auto parent = lib.get_or_generate(h, epoc::circuit::pauli_x(), plain);
+    LatencySearchOptions warm = plain;
+    warm.grape.warm_amplitudes = parent->pulse.amplitudes;
+    lib.get_or_generate(h, epoc::circuit::hadamard(), warm);
+    EXPECT_EQ(lib.peek(h, epoc::circuit::hadamard(), plain) != nullptr, true);
+    const auto hit = lib.get_or_generate(h, epoc::circuit::hadamard(), plain);
+    EXPECT_EQ(lib.stats().hits, 1u);
+    EXPECT_EQ(lib.stats().misses, 2u);
+    EXPECT_GT(hit->pulse.num_slots(), 0);
+}
+
+TEST(LatencySearch, CapNeverExceedsMaxSlots) {
+    // round_up(max_slots) used to probe up to granularity-1 slots past the
+    // configured budget; the cap is now the largest multiple of the
+    // granularity <= max_slots.
+    const auto h = make_block_hamiltonian(1);
+    LatencySearchOptions opt;
+    opt.slot_granularity = 4;
+    opt.max_slots = 10; // cap must be 8, never 12
+    opt.fidelity_threshold = 0.999999; // unreachable: forces the full doubling
+    opt.grape.max_iterations = 5;
+    const auto r = find_minimal_latency_pulse(h, epoc::circuit::pauli_x(), opt);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_LE(r.pulse.num_slots(), 10);
+    EXPECT_EQ(r.pulse.num_slots(), 8) << "bracket must stop at the clamped cap";
+}
+
+TEST(LatencySearch, FeasibleUnderClampedCap) {
+    const auto h = make_block_hamiltonian(1);
+    LatencySearchOptions opt;
+    opt.slot_granularity = 4;
+    opt.max_slots = 21; // effective cap 20: never probe 24 (the old round-up)
+    const auto r = find_minimal_latency_pulse(h, epoc::circuit::pauli_x(), opt);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.pulse.num_slots() % 4, 0);
+    EXPECT_LE(r.pulse.num_slots(), 21);
+}
+
+TEST(LatencySearch, GranularityAboveMaxSlotsProbesOneUnit) {
+    // No multiple of the granularity fits under max_slots: the documented
+    // fallback probes exactly one granularity unit.
+    const auto h = make_block_hamiltonian(1);
+    LatencySearchOptions opt;
+    opt.slot_granularity = 8;
+    opt.max_slots = 5;
+    const auto r = find_minimal_latency_pulse(h, epoc::circuit::pauli_x(), opt);
+    EXPECT_EQ(r.pulse.num_slots(), 8);
+    EXPECT_EQ(r.grape_runs, 1);
+}
+
+TEST(Grape, NoControlsIsSafe) {
+    // nc == 0 plus an empty warm_amplitudes used to read .front() of an empty
+    // vector (UB). The optimizer must degrade gracefully: nothing to drive.
+    BlockHamiltonian h;
+    h.num_qubits = 1;
+    h.drift = Matrix::identity(2);
+    h.dt = 2.0;
+    GrapeOptions opt;
+    opt.max_iterations = 3;
+    const Pulse p = grape_optimize(h, Matrix::identity(2), 4, opt);
+    EXPECT_EQ(p.num_slots(), 0); // no control lines -> no amplitude rows
+    EXPECT_FALSE(p.warm_start_applied);
+    EXPECT_FALSE(p.warm_start_mismatch);
+}
+
+TEST(Grape, WarmStartShapeMismatchSurfaced) {
+    const auto h = make_block_hamiltonian(1); // 2 control lines
+    GrapeOptions opt;
+    opt.max_iterations = 10;
+    opt.warm_amplitudes = {{0.1, 0.1}}; // 1 row: wrong control count
+    const Pulse p = grape_optimize(h, epoc::circuit::pauli_x(), 8, opt);
+    EXPECT_FALSE(p.warm_start_applied);
+    EXPECT_TRUE(p.warm_start_mismatch) << "mismatch must be reported, not dropped";
+
+    GrapeOptions good = opt;
+    good.warm_amplitudes = {{0.1, 0.1}, {0.1, 0.1}};
+    const Pulse q = grape_optimize(h, epoc::circuit::pauli_x(), 8, good);
+    EXPECT_TRUE(q.warm_start_applied);
+    EXPECT_FALSE(q.warm_start_mismatch);
 }
 
 } // namespace
