@@ -2,16 +2,22 @@
 // gate-based, AccQOC-like, PAQOC-like, and EPOC. The ordering of the latency
 // column is the paper's headline result in miniature.
 //
-// Usage: compare_compilers [--trace out.json]
+// Usage: compare_compilers [--trace out.json] [--deadline-ms N]
 //   --trace enables the EPOC compiler's tracer and writes a Chrome
 //   trace_event file (load it in chrome://tracing or https://ui.perfetto.dev)
 //   with one slice per pipeline stage and per-block synthesis/GRAPE region,
 //   plus cache hit/miss counters. A flat text digest is printed to stderr.
+//   --deadline-ms bounds the EPOC compile's wall clock: on expiry the
+//   degradation ladder ships the best schedule the budget allowed and the
+//   row is marked "degraded". EPOC_FAULT_INJECT (see util/fault_injection.h)
+//   is honoured, so this binary doubles as a chaos-testing harness.
 #include "bench_circuits/generators.h"
 #include "epoc/baselines.h"
 #include "epoc/pipeline.h"
+#include "util/fault_injection.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -19,14 +25,19 @@
 int main(int argc, char** argv) {
     using namespace epoc;
     std::string trace_path;
+    double deadline_ms = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+            deadline_ms = std::atof(argv[++i]);
         } else {
-            std::fprintf(stderr, "usage: %s [--trace out.json]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--trace out.json] [--deadline-ms N]\n",
+                         argv[0]);
             return 2;
         }
     }
+    util::fault::configure_from_env();
 
     const circuit::Circuit c = bench::simon(2);
     std::printf("program: simon (%d qubits, %zu gates, depth %d)\n\n", c.num_qubits(),
@@ -45,8 +56,18 @@ int main(int argc, char** argv) {
     core::EpocOptions eopt;
     eopt.regroup_opt.max_qubits = 4;
     eopt.trace_enabled = !trace_path.empty();
+    eopt.deadline_ms = deadline_ms;
     core::EpocCompiler epoc_compiler(eopt);
     const core::EpocResult re = epoc_compiler.compile(c);
+    if (re.degraded) {
+        std::size_t fallbacks = 0;
+        for (const core::BlockReport& br : re.block_reports)
+            if (!br.status.ok()) ++fallbacks;
+        std::fprintf(stderr,
+                     "epoc: degraded compile (%s; %zu/%zu blocks fell back%s)\n",
+                     re.status.to_string().c_str(), fallbacks,
+                     re.block_reports.size(), re.deadline_hit ? "; deadline hit" : "");
+    }
 
     std::printf("%-12s %12s %10s %8s %12s\n", "flow", "latency[ns]", "fidelity",
                 "pulses", "compile[ms]");

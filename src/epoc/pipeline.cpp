@@ -6,6 +6,7 @@
 #include "qoc/decoherence.h"
 #include "circuit/unitary.h"
 #include "linalg/phase.h"
+#include "util/fault_injection.h"
 
 #include <chrono>
 #include <cmath>
@@ -32,10 +33,51 @@ bool is_identity_unitary(const Matrix& u) {
 /// Per-block synthesis outcome, computed in parallel and merged in block
 /// order so the flat circuit is identical to the sequential pass.
 struct SynthFragment {
+    bool visited = false;    ///< the block's task actually ran (vs cancelled)
     bool skip = false;       ///< identity block: emit nothing
     bool use_original = false; ///< bridge or synthesis loss: emit blk.body
     Circuit local{0};        ///< otherwise: the synthesized local circuit
+    util::BlockStatus status{util::Stage::synthesis, util::Cause::none, false, {}};
 };
+
+/// Per-block pulse outcome: zero jobs (identity), one job (the block pulse),
+/// or several (the gate-by-gate fallback rung).
+struct PulseFragment {
+    bool visited = false;
+    std::vector<PulseJob> jobs;
+    util::BlockStatus status{util::Stage::pulse, util::Cause::none, false, {}};
+};
+
+/// compile() boundary validation: structural problems are reported as a
+/// structured status instead of surfacing as a deep std::out_of_range from
+/// schedule_asap (or a bad_alloc from a negative qubit count).
+util::BlockStatus validate_input(const Circuit& c) {
+    util::BlockStatus st;
+    st.stage = util::Stage::input;
+    if (c.num_qubits() < 0) {
+        st.cause = util::Cause::invalid_input;
+        st.detail = "negative qubit count";
+        return st;
+    }
+    if (c.num_qubits() == 0 && !c.empty()) {
+        st.cause = util::Cause::invalid_input;
+        st.detail = "gates on a zero-qubit register";
+        return st;
+    }
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        for (const int q : c.gate(i).qubits) {
+            if (q < 0 || q >= c.num_qubits()) {
+                st.cause = util::Cause::invalid_input;
+                st.detail = "gate " + std::to_string(i) + " (" +
+                            kind_name(c.gate(i).kind) + ") addresses qubit " +
+                            std::to_string(q) + " outside register of width " +
+                            std::to_string(c.num_qubits());
+                return st;
+            }
+        }
+    }
+    return st;
+}
 
 } // namespace
 
@@ -58,95 +100,176 @@ const qoc::BlockHamiltonian& EpocCompiler::hamiltonian(int num_qubits) {
     return it->second;
 }
 
+util::Cause EpocCompiler::expiry_cause(const util::Deadline& deadline) const {
+    (void)deadline;
+    return (opt_.cancel != nullptr && opt_.cancel->cancelled()) ? util::Cause::cancelled
+                                                                : util::Cause::timeout;
+}
+
 Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBlock>& blocks,
-                                        int num_qubits, double& synth_ms) {
+                                        int num_qubits, double& synth_ms,
+                                        const util::Deadline& deadline, EpocResult& res) {
     const auto t0 = std::chrono::steady_clock::now();
 
     std::vector<SynthFragment> fragments(blocks.size());
-    pool_.parallel_for(blocks.size(), [&](std::size_t i) {
-        const partition::CircuitBlock& blk = blocks[i];
-        SynthFragment& frag = fragments[i];
-        const util::Tracer::Span span = tracer_.span(
-            "synth block " + std::to_string(i) + " (" +
-                std::to_string(blk.qubits.size()) + "q)",
-            "synthesis");
-
-        // Bridging CNOTs pass through untouched.
-        if (blk.bridge && blk.body.size() == 1 && blk.body.gate(0).kind == GateKind::CX) {
-            frag.use_original = true;
-            return;
-        }
-        const Matrix u = partition::block_unitary(blk);
-        if (is_identity_unitary(u)) {
-            frag.skip = true;
-            return;
-        }
-
-        if (blk.qubits.size() == 1) {
-            // Single-qubit blocks synthesize exactly via ZYZ: one VUG.
-            const circuit::Zyz e = circuit::zyz_decompose(u);
-            Circuit local(1);
-            local.u3(e.theta, e.phi, e.lambda, 0);
-            frag.local = std::move(local);
-            return;
-        }
-
-        if (opt_.use_kak && blk.qubits.size() == 2) {
-            // Analytic fast path: exact, so the keep-original heuristic below
-            // compares on entangling content via the peepholed KAK circuit.
-            tracer_.add_counter("synth.kak_fast_path");
-            const circuit::Circuit kc =
-                circuit::peephole_optimize(synthesis::kak_synthesize(u));
-            if (kc.two_qubit_count() <= blk.body.two_qubit_count())
-                frag.local = kc;
-            else
-                frag.use_original = true;
-            return;
-        }
-
-        const std::string key = linalg::phase_canonical_key(u, 6);
-        const std::shared_ptr<const synthesis::SynthesisResult> sr =
-            synth_cache_.get_or_compute(key, [&] {
-                // Single-flight: exactly one QSearch/LEAP run per distinct
-                // unitary, so these counters match the sequential schedule
-                // for every thread count.
-                const util::Tracer::Span qspan = tracer_.span(
-                    "qsearch " + std::to_string(blk.qubits.size()) + "q", "synthesis");
-                synthesis::SynthesisResult r = synthesis::qsearch_synthesize(u, opt_.qsearch);
-                if (!r.converged && opt_.leap_fallback) {
-                    const util::Tracer::Span lspan = tracer_.span(
-                        "leap " + std::to_string(blk.qubits.size()) + "q", "synthesis");
-                    tracer_.add_counter("synth.leap_fallbacks");
-                    synthesis::LeapOptions lo;
-                    lo.threshold = opt_.qsearch.threshold;
-                    lo.instantiate = opt_.qsearch.instantiate;
-                    synthesis::SynthesisResult leap = synthesis::leap_synthesize(u, lo);
-                    if (leap.distance < r.distance) r = std::move(leap);
+    pool_.parallel_for(
+        blocks.size(),
+        [&](std::size_t i) {
+            const partition::CircuitBlock& blk = blocks[i];
+            SynthFragment& frag = fragments[i];
+            frag.visited = true;
+            const util::Tracer::Span span = tracer_.span(
+                "synth block " + std::to_string(i) + " (" +
+                    std::to_string(blk.qubits.size()) + "q)",
+                "synthesis");
+            try {
+                if (deadline.expired()) {
+                    // Past the budget: keep the original gates without even
+                    // attempting synthesis (it is an optimization, never an
+                    // obligation).
+                    frag.use_original = true;
+                    frag.status.cause = expiry_cause(deadline);
+                    frag.status.fallback_taken = true;
+                    tracer_.add_counter("robust.deadline_skips");
+                    return;
                 }
-                tracer_.add_counter(r.converged ? "synth.converged" : "synth.unconverged");
-                return r;
-            });
-        // Synthesis is an optimization, not an obligation: if the searched
-        // circuit carries no fewer entangling gates than the original block
-        // (or missed the accuracy target), keep the original gates -- they
-        // may be better parallelized.
-        const bool synth_wins =
-            sr->converged &&
-            (static_cast<std::size_t>(sr->cnot_count) < blk.body.two_qubit_count() ||
-             (static_cast<std::size_t>(sr->cnot_count) == blk.body.two_qubit_count() &&
-              sr->circuit.depth() <= blk.body.depth()));
-        tracer_.add_counter(synth_wins ? "synth.blocks_replaced"
-                                       : "synth.blocks_kept_original");
-        if (synth_wins)
-            frag.local = sr->circuit;
-        else
-            frag.use_original = true;
-    });
+                util::fault::maybe_throw("synth.block");
+
+                // Bridging CNOTs pass through untouched.
+                if (blk.bridge && blk.body.size() == 1 &&
+                    blk.body.gate(0).kind == GateKind::CX) {
+                    frag.use_original = true;
+                    return;
+                }
+                const Matrix u = partition::block_unitary(blk);
+                if (is_identity_unitary(u)) {
+                    frag.skip = true;
+                    return;
+                }
+
+                if (blk.qubits.size() == 1) {
+                    // Single-qubit blocks synthesize exactly via ZYZ: one VUG.
+                    const circuit::Zyz e = circuit::zyz_decompose(u);
+                    Circuit local(1);
+                    local.u3(e.theta, e.phi, e.lambda, 0);
+                    frag.local = std::move(local);
+                    return;
+                }
+
+                if (opt_.use_kak && blk.qubits.size() == 2) {
+                    // Analytic fast path: exact, so the keep-original heuristic
+                    // below compares on entangling content via the peepholed
+                    // KAK circuit.
+                    tracer_.add_counter("synth.kak_fast_path");
+                    const circuit::Circuit kc =
+                        circuit::peephole_optimize(synthesis::kak_synthesize(u));
+                    if (kc.two_qubit_count() <= blk.body.two_qubit_count())
+                        frag.local = kc;
+                    else
+                        frag.use_original = true;
+                    return;
+                }
+
+                const std::string key = linalg::phase_canonical_key(u, 6);
+                const std::shared_ptr<const synthesis::SynthesisResult> sr =
+                    synth_cache_.get_or_compute(
+                        key,
+                        [&] {
+                            // Single-flight: exactly one QSearch/LEAP run per
+                            // distinct unitary, so these counters match the
+                            // sequential schedule for every thread count.
+                            const util::Tracer::Span qspan = tracer_.span(
+                                "qsearch " + std::to_string(blk.qubits.size()) + "q",
+                                "synthesis");
+                            util::fault::maybe_throw("synth.compute");
+                            synthesis::QSearchOptions qopt = opt_.qsearch;
+                            qopt.deadline = &deadline;
+                            synthesis::SynthesisResult r =
+                                synthesis::qsearch_synthesize(u, qopt);
+                            if (!r.converged && !r.timed_out && opt_.leap_fallback) {
+                                const util::Tracer::Span lspan = tracer_.span(
+                                    "leap " + std::to_string(blk.qubits.size()) + "q",
+                                    "synthesis");
+                                tracer_.add_counter("synth.leap_fallbacks");
+                                synthesis::LeapOptions lo;
+                                lo.threshold = opt_.qsearch.threshold;
+                                lo.instantiate = opt_.qsearch.instantiate;
+                                lo.deadline = &deadline;
+                                synthesis::SynthesisResult leap =
+                                    synthesis::leap_synthesize(u, lo);
+                                if (leap.distance < r.distance) r = std::move(leap);
+                            }
+                            tracer_.add_counter(r.converged ? "synth.converged"
+                                                            : "synth.unconverged");
+                            return r;
+                        },
+                        // Timed-out searches are best-effort, not the answer
+                        // for this unitary: never store them.
+                        [](const synthesis::SynthesisResult& r) { return !r.timed_out; });
+                // Synthesis is an optimization, not an obligation: if the
+                // searched circuit carries no fewer entangling gates than the
+                // original block (or missed the accuracy target), keep the
+                // original gates -- they may be better parallelized.
+                const bool synth_wins =
+                    sr->converged &&
+                    (static_cast<std::size_t>(sr->cnot_count) < blk.body.two_qubit_count() ||
+                     (static_cast<std::size_t>(sr->cnot_count) ==
+                          blk.body.two_qubit_count() &&
+                      sr->circuit.depth() <= blk.body.depth()));
+                tracer_.add_counter(synth_wins ? "synth.blocks_replaced"
+                                               : "synth.blocks_kept_original");
+                if (sr->timed_out) {
+                    frag.status.cause = expiry_cause(deadline);
+                    frag.status.fallback_taken = !synth_wins;
+                }
+                if (synth_wins)
+                    frag.local = sr->circuit;
+                else
+                    frag.use_original = true;
+            } catch (const util::fault::InjectedFault& e) {
+                frag.skip = false;
+                frag.use_original = true;
+                frag.status.cause = util::Cause::injected;
+                frag.status.fallback_taken = true;
+                frag.status.detail = e.what();
+                tracer_.add_counter("robust.injected_faults");
+                tracer_.add_counter("robust.synth_fallbacks");
+            } catch (const std::exception& e) {
+                frag.skip = false;
+                frag.use_original = true;
+                frag.status.cause = util::Cause::exception;
+                frag.status.fallback_taken = true;
+                frag.status.detail = e.what();
+                tracer_.add_counter("robust.synth_fallbacks");
+            } catch (...) {
+                frag.skip = false;
+                frag.use_original = true;
+                frag.status.cause = util::Cause::exception;
+                frag.status.fallback_taken = true;
+                frag.status.detail = "unknown exception";
+                tracer_.add_counter("robust.synth_fallbacks");
+            }
+        },
+        opt_.cancel);
 
     // Deterministic merge: block order, not completion order.
     Circuit flat(num_qubits);
     for (std::size_t i = 0; i < blocks.size(); ++i) {
-        const SynthFragment& frag = fragments[i];
+        SynthFragment& frag = fragments[i];
+        if (!frag.visited) {
+            // The cancel token stopped the batch before this block was
+            // claimed: keep its original gates and say so.
+            frag.use_original = true;
+            frag.status.cause = util::Cause::cancelled;
+            frag.status.fallback_taken = true;
+            frag.status.detail = "cancelled before the block ran";
+        }
+        res.block_reports.push_back(
+            {util::Stage::synthesis, i,
+             "synth block " + std::to_string(i) + " (" +
+                 std::to_string(blocks[i].qubits.size()) + "q)",
+             frag.status});
+        if (!frag.status.ok()) res.degraded = true;
         if (frag.skip) continue;
         flat.append_mapped(frag.use_original ? blocks[i].body : frag.local,
                            blocks[i].qubits);
@@ -155,90 +278,281 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
     return flat;
 }
 
+std::vector<PulseJob> EpocCompiler::gate_fallback_jobs(
+    const partition::CircuitBlock& blk, const qoc::LatencySearchOptions& lopt,
+    util::BlockStatus& status) {
+    std::vector<PulseJob> out;
+    for (const Gate& g : blk.body.gates()) {
+        // Block bodies are local-indexed; map back to global qubit ids.
+        std::vector<int> gq;
+        gq.reserve(g.qubits.size());
+        for (const int q : g.qubits) gq.push_back(blk.qubits.at(static_cast<std::size_t>(q)));
+        const Matrix gu = g.unitary();
+        if (is_identity_unitary(gu)) continue;
+        try {
+            util::fault::maybe_throw("pulse.gate");
+            const std::shared_ptr<const qoc::LatencyResult> lr =
+                library_.get_or_generate(hamiltonian(g.arity()), gu, lopt);
+            if (!lr->feasible) {
+                // Bottom of the ladder for real pulse data: ship the
+                // best-so-far (below-threshold) pulse, flagged.
+                if (status.cause == util::Cause::none)
+                    status.cause = util::Cause::infeasible;
+                status.fallback_taken = true;
+                tracer_.add_counter("qoc.infeasible_blocks");
+            }
+            out.push_back(PulseJob{gq, lr->pulse.duration(), lr->pulse.fidelity, ""});
+        } catch (const std::exception& e) {
+            // Rung 3: a placeholder pulse with worst-case duration and zero
+            // fidelity — structurally schedulable, and impossible to mistake
+            // for a good pulse.
+            const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+            out.push_back(PulseJob{
+                gq, h.dt * static_cast<double>(std::max(1, lopt.max_slots)), 0.0, ""});
+            if (dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr) {
+                status.cause = util::Cause::injected;
+                tracer_.add_counter("robust.injected_faults");
+            } else if (status.cause == util::Cause::none) {
+                status.cause = util::Cause::exception;
+            }
+            status.fallback_taken = true;
+            if (status.detail.empty()) status.detail = e.what();
+            tracer_.add_counter("robust.placeholder_pulses");
+        }
+    }
+    return out;
+}
+
 /// Generate one pulse per non-identity block, in parallel, preserving block
 /// order in the returned job list. `coarse_granularity` applies the wide-block
-/// slot coarsening used by the regrouped arm.
+/// slot coarsening used by the regrouped arm. Blocks whose pulse is
+/// infeasible, degraded, or errored fall back to gate-by-gate pulses.
 std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
-    const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity) {
+    const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity,
+    const util::Deadline& deadline, EpocResult& res) {
     // Warm the Hamiltonian cache sequentially so the parallel loop only ever
     // takes the short lookup lock.
     for (const partition::CircuitBlock& blk : blocks)
         hamiltonian(static_cast<int>(blk.qubits.size()));
 
-    std::vector<std::optional<PulseJob>> slots(blocks.size());
-    pool_.parallel_for(blocks.size(), [&](std::size_t i) {
-        const partition::CircuitBlock& blk = blocks[i];
-        const util::Tracer::Span span = tracer_.span(
-            "pulse block " + std::to_string(i) + " (" +
-                std::to_string(blk.qubits.size()) + "q)",
-            "qoc");
-        const Matrix u = partition::block_unitary(blk);
-        if (is_identity_unitary(u)) return;
-        qoc::LatencySearchOptions lopt = opt_.latency;
-        if (coarse_granularity) {
-            // Coarser duration resolution for big blocks keeps the GRAPE
-            // budget bounded (dim-16 propagators are ~8x dim-8 cost).
-            if (blk.qubits.size() >= 4)
-                lopt.slot_granularity = std::max(lopt.slot_granularity, 4);
-            else if (blk.qubits.size() == 3)
-                lopt.slot_granularity = std::max(lopt.slot_granularity, 2);
-        }
-        const std::shared_ptr<const qoc::LatencyResult> lr = library_.get_or_generate(
-            hamiltonian(static_cast<int>(blk.qubits.size())), u, lopt);
-        if (coarse_granularity && lopt.slot_granularity > opt_.latency.slot_granularity) {
-            // Regression guards for the cache-key collision: the coarse arm's
-            // pulses must actually carry coarsened slot counts, even when the
-            // fine-granularity arm requested the same unitary first.
-            tracer_.add_counter("qoc.coarse_blocks");
-            tracer_.add_counter("qoc.coarse_block_slots",
-                                static_cast<std::uint64_t>(lr->pulse.num_slots()));
-            if (lr->pulse.num_slots() % lopt.slot_granularity != 0)
-                tracer_.add_counter("qoc.coarse_granularity_violations");
-        }
-        slots[i] = PulseJob{blk.qubits, lr->pulse.duration(), lr->pulse.fidelity, ""};
-    });
+    qoc::LatencySearchOptions fine_opt = opt_.latency;
+    fine_opt.deadline = &deadline;
+    fine_opt.grape.deadline = &deadline;
+
+    std::vector<PulseFragment> fragments(blocks.size());
+    pool_.parallel_for(
+        blocks.size(),
+        [&](std::size_t i) {
+            const partition::CircuitBlock& blk = blocks[i];
+            PulseFragment& frag = fragments[i];
+            frag.visited = true;
+            const util::Tracer::Span span = tracer_.span(
+                "pulse block " + std::to_string(i) + " (" +
+                    std::to_string(blk.qubits.size()) + "q)",
+                "qoc");
+            qoc::LatencySearchOptions lopt = fine_opt;
+            if (coarse_granularity) {
+                // Coarser duration resolution for big blocks keeps the GRAPE
+                // budget bounded (dim-16 propagators are ~8x dim-8 cost).
+                if (blk.qubits.size() >= 4)
+                    lopt.slot_granularity = std::max(lopt.slot_granularity, 4);
+                else if (blk.qubits.size() == 3)
+                    lopt.slot_granularity = std::max(lopt.slot_granularity, 2);
+            }
+            try {
+                const Matrix u = partition::block_unitary(blk);
+                if (is_identity_unitary(u)) return;
+                util::fault::maybe_throw("pulse.block");
+                const std::shared_ptr<const qoc::LatencyResult> lr =
+                    library_.get_or_generate(
+                        hamiltonian(static_cast<int>(blk.qubits.size())), u, lopt);
+                if (coarse_granularity &&
+                    lopt.slot_granularity > opt_.latency.slot_granularity) {
+                    // Regression guards for the cache-key collision: the coarse
+                    // arm's pulses must actually carry coarsened slot counts,
+                    // even when the fine-granularity arm requested the same
+                    // unitary first.
+                    tracer_.add_counter("qoc.coarse_blocks");
+                    tracer_.add_counter("qoc.coarse_block_slots",
+                                        static_cast<std::uint64_t>(lr->pulse.num_slots()));
+                    if (lr->pulse.num_slots() % lopt.slot_granularity != 0)
+                        tracer_.add_counter("qoc.coarse_granularity_violations");
+                }
+                if (lr->feasible && lr->authoritative()) {
+                    frag.jobs.push_back(
+                        PulseJob{blk.qubits, lr->pulse.duration(), lr->pulse.fidelity, ""});
+                    return;
+                }
+                // Ladder rung 2: the block pulse is infeasible or degraded —
+                // regenerate this block gate by gate (small targets are far
+                // more likely to meet the threshold / fit the budget).
+                if (!lr->feasible) {
+                    frag.status.cause = util::Cause::infeasible;
+                    tracer_.add_counter("qoc.infeasible_blocks");
+                } else if (lr->injected) {
+                    frag.status.cause = util::Cause::injected;
+                } else if (lr->timed_out) {
+                    frag.status.cause = expiry_cause(deadline);
+                } else {
+                    frag.status.cause = util::Cause::nonfinite;
+                }
+                frag.status.fallback_taken = true;
+                tracer_.add_counter("robust.pulse_block_fallbacks");
+                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status);
+            } catch (const util::fault::InjectedFault& e) {
+                frag.status.cause = util::Cause::injected;
+                frag.status.fallback_taken = true;
+                frag.status.detail = e.what();
+                tracer_.add_counter("robust.injected_faults");
+                tracer_.add_counter("robust.pulse_block_fallbacks");
+                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status);
+            } catch (const std::exception& e) {
+                frag.status.cause = util::Cause::exception;
+                frag.status.fallback_taken = true;
+                frag.status.detail = e.what();
+                tracer_.add_counter("robust.pulse_block_fallbacks");
+                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status);
+            } catch (...) {
+                frag.status.cause = util::Cause::exception;
+                frag.status.fallback_taken = true;
+                frag.status.detail = "unknown exception";
+                tracer_.add_counter("robust.pulse_block_fallbacks");
+                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status);
+            }
+        },
+        opt_.cancel);
 
     std::vector<PulseJob> jobs;
     jobs.reserve(blocks.size());
-    for (std::optional<PulseJob>& s : slots) {
-        if (!s) continue;
-        s->label = "block" + std::to_string(jobs.size());
-        jobs.push_back(std::move(*s));
+    std::size_t bi = 0; // running non-identity block ordinal (label scheme)
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        PulseFragment& frag = fragments[i];
+        if (!frag.visited) {
+            // Cancelled before the block was claimed: placeholder pulses keep
+            // the schedule structurally complete without doing QOC work.
+            frag.status.cause = util::Cause::cancelled;
+            frag.status.fallback_taken = true;
+            frag.status.detail = "cancelled before the block ran";
+            for (const Gate& g : blocks[i].body.gates()) {
+                std::vector<int> gq;
+                gq.reserve(g.qubits.size());
+                for (const int q : g.qubits)
+                    gq.push_back(blocks[i].qubits.at(static_cast<std::size_t>(q)));
+                const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+                frag.jobs.push_back(PulseJob{
+                    gq, h.dt * static_cast<double>(std::max(1, opt_.latency.max_slots)),
+                    0.0, ""});
+            }
+            tracer_.add_counter("robust.placeholder_pulses",
+                                static_cast<std::uint64_t>(frag.jobs.size()));
+        }
+        res.block_reports.push_back(
+            {util::Stage::pulse, i,
+             std::string(coarse_granularity ? "grouped block " : "pulse block ") +
+                 std::to_string(i) + " (" + std::to_string(blocks[i].qubits.size()) + "q)",
+             frag.status});
+        if (!frag.status.ok()) res.degraded = true;
+        if (frag.jobs.empty()) continue;
+        const bool split = frag.jobs.size() > 1;
+        for (std::size_t j = 0; j < frag.jobs.size(); ++j) {
+            PulseJob job = std::move(frag.jobs[j]);
+            job.label = "block" + std::to_string(bi) +
+                        (split ? ".g" + std::to_string(j) : "");
+            jobs.push_back(std::move(job));
+        }
+        ++bi;
     }
     return jobs;
 }
 
 EpocResult EpocCompiler::compile(const Circuit& c) {
     EpocResult res;
+    res.status = validate_input(c);
+    res.threads_used = pool_.num_threads();
+    if (!res.status.ok()) {
+        // Structured rejection: an empty result, never a deep out_of_range.
+        res.schedule.num_qubits = std::max(0, c.num_qubits());
+        return res;
+    }
     res.depth_original = c.depth();
     res.gates_original = c.size();
-    res.threads_used = pool_.num_threads();
     const auto t_start = std::chrono::steady_clock::now();
+    if (c.empty()) {
+        // A trivially valid empty schedule; skip the pipeline entirely.
+        res.schedule.num_qubits = c.num_qubits();
+        res.compile_ms = ms_since(t_start);
+        return res;
+    }
+
+    util::Deadline deadline;
+    if (opt_.deadline_ms > 0.0) deadline = util::Deadline::after_ms(opt_.deadline_ms);
+    deadline.link(opt_.cancel);
+
     util::Tracer::Span compile_span = tracer_.span("compile", "pipeline");
 
-    // 1. Graph-based depth optimization.
+    // 1. Graph-based depth optimization. Failure or a spent budget keeps the
+    // original circuit: ZX is a pure optimization.
     Circuit current = c;
     {
         const auto t0 = std::chrono::steady_clock::now();
         if (opt_.use_zx) {
-            const util::Tracer::Span span = tracer_.span("zx", "pipeline");
-            zx::ZxOptimizeResult zr = zx::zx_optimize(c);
-            current = std::move(zr.circuit);
+            if (deadline.expired()) {
+                res.block_reports.push_back(
+                    {util::Stage::zx, 0, "zx",
+                     {util::Stage::zx, expiry_cause(deadline), true, "skipped: budget spent"}});
+                res.degraded = true;
+                tracer_.add_counter("robust.deadline_skips");
+            } else {
+                try {
+                    const util::Tracer::Span span = tracer_.span("zx", "pipeline");
+                    util::fault::maybe_throw("zx.fail");
+                    zx::ZxOptimizeResult zr = zx::zx_optimize(c);
+                    current = std::move(zr.circuit);
+                } catch (const std::exception& e) {
+                    const bool injected =
+                        dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr;
+                    res.block_reports.push_back(
+                        {util::Stage::zx, 0, "zx",
+                         {util::Stage::zx,
+                          injected ? util::Cause::injected : util::Cause::exception, true,
+                          e.what()}});
+                    res.degraded = true;
+                    current = c;
+                    if (injected) tracer_.add_counter("robust.injected_faults");
+                    tracer_.add_counter("robust.zx_fallbacks");
+                }
+            }
         }
         res.zx_ms = ms_since(t0);
     }
     res.depth_after_zx = current.depth();
 
-    // 2+3. Partition and synthesize (parallel over blocks).
+    // 2+3. Partition and synthesize (parallel over blocks). A partitioner
+    // failure skips synthesis for the whole circuit (again: an optimization).
     if (opt_.use_synthesis) {
-        util::Tracer::Span part_span = tracer_.span("partition", "pipeline");
-        const std::vector<partition::CircuitBlock> blocks =
-            partition::greedy_partition(current, opt_.partition);
-        part_span.end();
-        res.num_blocks = blocks.size();
-        tracer_.add_counter("pipeline.blocks", blocks.size());
-        const util::Tracer::Span span = tracer_.span("synthesis", "pipeline");
-        current = synthesize_blocks(blocks, current.num_qubits(), res.synthesis_ms);
+        try {
+            util::Tracer::Span part_span = tracer_.span("partition", "pipeline");
+            util::fault::maybe_throw("partition.fail");
+            const std::vector<partition::CircuitBlock> blocks =
+                partition::greedy_partition(current, opt_.partition);
+            part_span.end();
+            res.num_blocks = blocks.size();
+            tracer_.add_counter("pipeline.blocks", blocks.size());
+            const util::Tracer::Span span = tracer_.span("synthesis", "pipeline");
+            current = synthesize_blocks(blocks, current.num_qubits(), res.synthesis_ms,
+                                        deadline, res);
+        } catch (const std::exception& e) {
+            const bool injected =
+                dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr;
+            res.block_reports.push_back(
+                {util::Stage::partition, 0, "partition",
+                 {util::Stage::partition,
+                  injected ? util::Cause::injected : util::Cause::exception, true,
+                  e.what()}});
+            res.degraded = true;
+            if (injected) tracer_.add_counter("robust.injected_faults");
+            tracer_.add_counter("robust.partition_fallbacks");
+        }
     }
     res.synthesized = current;
     res.synthesized_gates = current.size();
@@ -253,47 +567,130 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
     {
         const auto t0 = std::chrono::steady_clock::now();
 
+        qoc::LatencySearchOptions fine_opt = opt_.latency;
+        fine_opt.deadline = &deadline;
+        fine_opt.grape.deadline = &deadline;
+
         for (const Gate& g : current.gates()) hamiltonian(g.arity());
         util::Tracer::Span fine_span = tracer_.span("pulses fine-grained", "pipeline");
-        std::vector<std::optional<PulseJob>> fine_slots(current.size());
-        pool_.parallel_for(current.size(), [&](std::size_t i) {
-            const Gate& g = current.gate(i);
-            const util::Tracer::Span span = tracer_.span(
-                "pulse gate " + std::to_string(i) + " (" + kind_name(g.kind) + ")",
-                "qoc");
-            const Matrix u = g.unitary();
-            if (is_identity_unitary(u)) return;
-            const std::shared_ptr<const qoc::LatencyResult> lr = library_.get_or_generate(
-                hamiltonian(g.arity()), u, opt_.latency);
-            fine_slots[i] = PulseJob{g.qubits, lr->pulse.duration(), lr->pulse.fidelity,
-                                     kind_name(g.kind)};
-        });
+        std::vector<PulseFragment> fine_frags(current.size());
+        pool_.parallel_for(
+            current.size(),
+            [&](std::size_t i) {
+                const Gate& g = current.gate(i);
+                PulseFragment& frag = fine_frags[i];
+                frag.visited = true;
+                const util::Tracer::Span span = tracer_.span(
+                    "pulse gate " + std::to_string(i) + " (" + kind_name(g.kind) + ")",
+                    "qoc");
+                try {
+                    const Matrix u = g.unitary();
+                    if (is_identity_unitary(u)) return;
+                    util::fault::maybe_throw("pulse.gate");
+                    const std::shared_ptr<const qoc::LatencyResult> lr =
+                        library_.get_or_generate(hamiltonian(g.arity()), u, fine_opt);
+                    if (!lr->feasible) {
+                        // A single gate has no finer rung: ship the best
+                        // below-threshold pulse, flagged.
+                        frag.status.cause = util::Cause::infeasible;
+                        frag.status.fallback_taken = true;
+                        tracer_.add_counter("qoc.infeasible_blocks");
+                    } else if (!lr->authoritative()) {
+                        frag.status.cause = lr->injected ? util::Cause::injected
+                                            : lr->timed_out
+                                                ? expiry_cause(deadline)
+                                                : util::Cause::nonfinite;
+                    }
+                    frag.jobs.push_back(PulseJob{g.qubits, lr->pulse.duration(),
+                                                 lr->pulse.fidelity, kind_name(g.kind)});
+                } catch (const std::exception& e) {
+                    const bool injected =
+                        dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr;
+                    frag.status.cause =
+                        injected ? util::Cause::injected : util::Cause::exception;
+                    frag.status.fallback_taken = true;
+                    frag.status.detail = e.what();
+                    const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+                    frag.jobs.push_back(PulseJob{
+                        g.qubits,
+                        h.dt * static_cast<double>(std::max(1, opt_.latency.max_slots)),
+                        0.0, kind_name(g.kind)});
+                    if (injected) tracer_.add_counter("robust.injected_faults");
+                    tracer_.add_counter("robust.placeholder_pulses");
+                }
+            },
+            opt_.cancel);
         std::vector<PulseJob> fine_jobs;
         fine_jobs.reserve(current.size());
-        for (std::optional<PulseJob>& s : fine_slots)
-            if (s) fine_jobs.push_back(std::move(*s));
+        for (std::size_t i = 0; i < current.size(); ++i) {
+            PulseFragment& frag = fine_frags[i];
+            if (!frag.visited) {
+                frag.status.cause = util::Cause::cancelled;
+                frag.status.fallback_taken = true;
+                frag.status.detail = "cancelled before the gate ran";
+                const Gate& g = current.gate(i);
+                const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+                frag.jobs.push_back(PulseJob{
+                    g.qubits,
+                    h.dt * static_cast<double>(std::max(1, opt_.latency.max_slots)), 0.0,
+                    kind_name(g.kind)});
+                tracer_.add_counter("robust.placeholder_pulses");
+            }
+            res.block_reports.push_back({util::Stage::pulse, i,
+                                         "gate " + std::to_string(i) + " (" +
+                                             kind_name(current.gate(i).kind) + ")",
+                                         frag.status});
+            if (!frag.status.ok()) res.degraded = true;
+            for (PulseJob& job : frag.jobs) fine_jobs.push_back(std::move(job));
+        }
         fine_span.end();
         util::Tracer::Span sched_span = tracer_.span("schedule asap", "pipeline");
         const PulseSchedule fine = schedule_asap(fine_jobs, c.num_qubits());
         sched_span.end();
 
-        if (opt_.regroup_enabled) {
-            util::Tracer::Span regroup_span = tracer_.span("regroup", "pipeline");
-            const std::vector<partition::CircuitBlock> groups =
-                regroup(current, opt_.regroup_opt);
-            regroup_span.end();
-            tracer_.add_counter("pipeline.regroup_blocks", groups.size());
-            util::Tracer::Span grouped_span = tracer_.span("pulses grouped", "pipeline");
-            const std::vector<PulseJob> jobs =
-                pulse_jobs_for_blocks(groups, /*coarse_granularity=*/true);
-            grouped_span.end();
-            util::Tracer::Span gs_span = tracer_.span("schedule asap", "pipeline");
-            const PulseSchedule grouped = schedule_asap(jobs, c.num_qubits());
-            gs_span.end();
-            const bool grouped_wins = grouped.latency <= fine.latency;
-            tracer_.add_counter(grouped_wins ? "pipeline.grouped_arm_wins"
-                                             : "pipeline.fine_arm_wins");
-            res.schedule = grouped_wins ? grouped : fine;
+        if (opt_.regroup_enabled && deadline.expired()) {
+            // No budget left for a second arm: ship the fine-grained one.
+            res.block_reports.push_back(
+                {util::Stage::regroup, 0, "regroup",
+                 {util::Stage::regroup, expiry_cause(deadline), true,
+                  "skipped: budget spent"}});
+            res.degraded = true;
+            tracer_.add_counter("robust.deadline_skips");
+            res.schedule = fine;
+        } else if (opt_.regroup_enabled) {
+            try {
+                util::Tracer::Span regroup_span = tracer_.span("regroup", "pipeline");
+                util::fault::maybe_throw("regroup.fail");
+                const std::vector<partition::CircuitBlock> groups =
+                    regroup(current, opt_.regroup_opt);
+                regroup_span.end();
+                tracer_.add_counter("pipeline.regroup_blocks", groups.size());
+                util::Tracer::Span grouped_span =
+                    tracer_.span("pulses grouped", "pipeline");
+                const std::vector<PulseJob> jobs =
+                    pulse_jobs_for_blocks(groups, /*coarse_granularity=*/true, deadline,
+                                          res);
+                grouped_span.end();
+                util::Tracer::Span gs_span = tracer_.span("schedule asap", "pipeline");
+                const PulseSchedule grouped = schedule_asap(jobs, c.num_qubits());
+                gs_span.end();
+                const bool grouped_wins = grouped.latency <= fine.latency;
+                tracer_.add_counter(grouped_wins ? "pipeline.grouped_arm_wins"
+                                                 : "pipeline.fine_arm_wins");
+                res.schedule = grouped_wins ? grouped : fine;
+            } catch (const std::exception& e) {
+                const bool injected =
+                    dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr;
+                res.block_reports.push_back(
+                    {util::Stage::regroup, 0, "regroup",
+                     {util::Stage::regroup,
+                      injected ? util::Cause::injected : util::Cause::exception, true,
+                      e.what()}});
+                res.degraded = true;
+                if (injected) tracer_.add_counter("robust.injected_faults");
+                tracer_.add_counter("robust.regroup_fallbacks");
+                res.schedule = fine;
+            }
         } else {
             res.schedule = fine;
         }
@@ -306,6 +703,18 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
     res.compile_ms = ms_since(t_start);
     res.library_stats = library_.stats();
     res.synth_cache_stats = synth_cache_.stats();
+    res.deadline_hit = deadline.armed() && deadline.expired();
+    if (res.degraded) {
+        // Surface the first failure as the compile-level status (the full
+        // account is in block_reports).
+        for (const BlockReport& br : res.block_reports) {
+            if (!br.status.ok()) {
+                res.status = br.status;
+                break;
+            }
+        }
+        tracer_.add_counter("robust.degraded_compiles");
+    }
     compile_span.end();
     if (tracer_.enabled()) {
         // Fold the sharded-cache stats into the counter registry so the trace
@@ -314,10 +723,14 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
         tracer_.set_counter("pulse_library.misses", res.library_stats.misses);
         tracer_.set_counter("pulse_library.single_flight_waits",
                             res.library_stats.single_flight_waits);
+        tracer_.set_counter("pulse_library.uncached_degraded",
+                            res.library_stats.uncached_degraded);
         tracer_.set_counter("synth_cache.hits", res.synth_cache_stats.hits);
         tracer_.set_counter("synth_cache.misses", res.synth_cache_stats.misses);
         tracer_.set_counter("synth_cache.single_flight_waits",
                             res.synth_cache_stats.waits);
+        tracer_.set_counter("synth_cache.uncached_degraded",
+                            res.synth_cache_stats.uncacheable);
         res.trace = tracer_.report();
     }
     return res;

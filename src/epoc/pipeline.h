@@ -18,6 +18,21 @@
 // sharded-lock + single-flight, and per-block outputs are merged in block
 // order, so the compiled result is bit-identical for every thread count;
 // `num_threads = 1` runs inline on the caller with no threads created.
+//
+// Failure semantics: compile() never throws for per-block failures. Each
+// block that fails, times out, or proves infeasible takes one rung down a
+// degradation ladder —
+//
+//   synthesis fails/times out  ->  keep the block's original gates
+//   block pulse infeasible or
+//   errored                    ->  gate-by-gate pulses for that block
+//   gate pulse errored         ->  placeholder pulse (worst-case duration,
+//                                  fidelity 0) so the schedule stays valid
+//
+// and the compile returns a complete schedule with EpocResult::degraded set,
+// one BlockReport per unit of work, and robust.* trace counters. Degraded
+// pulses/syntheses are never cached as authoritative (see DESIGN.md
+// "Failure semantics").
 #pragma once
 
 #include "circuit/circuit.h"
@@ -26,7 +41,9 @@
 #include "qoc/pulse_library.h"
 #include "synthesis/leap.h"
 #include "synthesis/qsearch.h"
+#include "util/deadline.h"
 #include "util/sharded_cache.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 #include "zx/optimize.h"
@@ -61,6 +78,19 @@ struct EpocOptions {
     /// atomic load per instrumentation point and never perturbs the compiled
     /// artifact.
     bool trace_enabled = false;
+    /// Wall-clock budget for one compile() call, in milliseconds; <= 0 means
+    /// unlimited. The deadline is polled cooperatively inside QSearch/LEAP,
+    /// every GRAPE iteration and the latency search: on expiry each loop
+    /// returns best-so-far and the degradation ladder takes over, so the
+    /// compile still returns a valid (if degraded) schedule — it never
+    /// throws. Adjustable between compiles via EpocCompiler::set_deadline_ms.
+    double deadline_ms = 0.0;
+    /// Optional external cancellation (non-owning; must outlive the
+    /// compiler's compile() calls). Firing it behaves like an immediate
+    /// deadline expiry: in-flight blocks finish their current poll interval,
+    /// unstarted blocks fall back, and compile() returns a degraded result
+    /// with Cause::cancelled.
+    const util::CancelToken* cancel = nullptr;
 
     EpocOptions() {
         // Cheaper defaults than the standalone synthesizer: blocks repeat, the
@@ -70,6 +100,18 @@ struct EpocOptions {
         qsearch.threshold = 1e-5;
         qsearch.max_nodes = 60;
     }
+};
+
+/// Outcome of one unit of per-block pipeline work (a synthesis block, a
+/// regrouped pulse block, or a fine-grained gate pulse). Reports are merged
+/// in block order, so the vector is deterministic across thread counts.
+struct BlockReport {
+    util::Stage stage = util::Stage::synthesis;
+    /// Index within the stage's own loop (synthesis block index, grouped
+    /// block index, or gate index of the fine-grained arm).
+    std::size_t index = 0;
+    std::string label; ///< human-readable, e.g. "synth block 3 (2q)"
+    util::BlockStatus status;
 };
 
 struct EpocResult {
@@ -106,6 +148,26 @@ struct EpocResult {
 
     /// The post-synthesis flat circuit (U3 + CX), for inspection.
     circuit::Circuit synthesized;
+
+    // Resilience diagnostics.
+    //
+    /// True when any degradation-ladder rung was taken (a block fell back to
+    /// its original gates, a pulse fell back to gate-by-gate or placeholder,
+    /// a stage was skipped on timeout, an infeasible pulse was shipped
+    /// flagged, ...). A degraded result is still a valid, schedulable
+    /// artifact — inspect block_reports for the exact account.
+    bool degraded = false;
+    /// Compile-level status: ok for clean and merely-degraded compiles;
+    /// Cause::invalid_input when boundary validation rejected the circuit
+    /// (in which case the result is empty); otherwise mirrors the first
+    /// non-ok block report (deterministic across thread counts).
+    util::BlockStatus status;
+    /// True when the compile deadline (or cancel token) expired at any point.
+    bool deadline_hit = false;
+    /// One entry per unit of per-block work, in deterministic block order:
+    /// every synthesis block, every grouped-arm pulse block, every
+    /// fine-grained gate pulse — clean or not ("every block accounted for").
+    std::vector<BlockReport> block_reports;
 };
 
 /// Stateful compiler: the pulse library and synthesis cache persist across
@@ -120,13 +182,26 @@ public:
     const EpocOptions& options() const { return opt_; }
     /// The compiler's tracer (enabled iff EpocOptions::trace_enabled).
     util::Tracer& tracer() { return tracer_; }
+    /// Change the wall-clock budget for subsequent compile() calls (<= 0
+    /// means unlimited). Because degraded entries are never cached, a compile
+    /// that degraded under a tight budget genuinely re-attempts its blocks
+    /// when re-run with more slack.
+    void set_deadline_ms(double ms) { opt_.deadline_ms = ms; }
 
 private:
     const qoc::BlockHamiltonian& hamiltonian(int num_qubits);
+    util::Cause expiry_cause(const util::Deadline& deadline) const;
     circuit::Circuit synthesize_blocks(const std::vector<partition::CircuitBlock>& blocks,
-                                       int num_qubits, double& synth_ms);
+                                       int num_qubits, double& synth_ms,
+                                       const util::Deadline& deadline, EpocResult& res);
     std::vector<PulseJob> pulse_jobs_for_blocks(
-        const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity);
+        const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity,
+        const util::Deadline& deadline, EpocResult& res);
+    /// Ladder rung 2: one pulse per gate of `blk.body` (mapped to global
+    /// qubits); rung 3 inside substitutes a placeholder job on failure.
+    std::vector<PulseJob> gate_fallback_jobs(const partition::CircuitBlock& blk,
+                                             const qoc::LatencySearchOptions& lopt,
+                                             util::BlockStatus& status);
 
     EpocOptions opt_;
     util::Tracer tracer_; ///< declared before library_, which holds a pointer

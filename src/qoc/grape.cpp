@@ -1,9 +1,11 @@
 #include "qoc/grape.h"
 
 #include "linalg/expm.h"
+#include "util/fault_injection.h"
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <random>
 #include <stdexcept>
 
@@ -91,8 +93,15 @@ Pulse grape_optimize(const BlockHamiltonian& h, const Matrix& target, int num_sl
 
     auto best = p;
     double best_f = -1.0;
+    int reseeds = 0;
 
     for (int it = 1; it <= opt.max_iterations; ++it) {
+        // Cooperative deadline: return the best finite iterate so far rather
+        // than throwing; the caller sees Pulse::timed_out and degrades.
+        if (util::deadline_expired(opt.deadline)) {
+            best.timed_out = true;
+            break;
+        }
         // Forward pass.
         fwd[0] = Matrix::identity(dim);
         for (std::size_t k = 0; k < ns; ++k) {
@@ -109,7 +118,32 @@ Pulse grape_optimize(const BlockHamiltonian& h, const Matrix& target, int num_sl
         for (std::size_t k = ns; k-- > 0;) bwd[k] = bwd[k + 1] * slot_u[k];
 
         const cplx w = overlap(target, fwd[ns]);
-        const double fidelity = std::abs(w) / d;
+        double fidelity = std::abs(w) / d;
+        if (util::fault::maybe_fail("grape.nonfinite"))
+            fidelity = std::numeric_limits<double>::quiet_NaN();
+        if (!std::isfinite(fidelity)) {
+            // The iterate is poisoned (and the gradients below would be too):
+            // re-randomize from a derived seed and restart with a fresh
+            // optimizer state, bounded by nonfinite_retries. `best` still
+            // holds the last finite iterate, so even the give-up path returns
+            // valid amplitudes.
+            if (reseeds >= opt.nonfinite_retries) {
+                best.nonfinite_aborted = true;
+                break;
+            }
+            ++reseeds;
+            std::mt19937_64 rr(opt.seed ^ (0x9e3779b97f4a7c15ULL *
+                                           static_cast<std::uint64_t>(reseeds)));
+            for (std::size_t j = 0; j < nc; ++j)
+                for (std::size_t k = 0; k < ns; ++k)
+                    p.amplitudes[j][k] = opt.init_scale * h.controls[j].bound * uni(rr);
+            for (std::size_t j = 0; j < nc; ++j) {
+                std::fill(m[j].begin(), m[j].end(), 0.0);
+                std::fill(v[j].begin(), v[j].end(), 0.0);
+            }
+            it = 0; // restart the iteration budget (the for-loop increments)
+            continue;
+        }
         if (fidelity > best_f) {
             best_f = fidelity;
             best = p;
@@ -140,6 +174,7 @@ Pulse grape_optimize(const BlockHamiltonian& h, const Matrix& target, int num_sl
             }
         }
     }
+    best.nonfinite_reseeds = reseeds;
     return best;
 }
 

@@ -8,6 +8,7 @@
 
 #include "qoc/hamiltonian.h"
 #include "qoc/pulse.h"
+#include "util/deadline.h"
 
 #include <cstdint>
 
@@ -21,6 +22,16 @@ struct GrapeOptions {
     std::uint64_t seed = 1;
     /// Initial amplitude scale relative to each line's bound.
     double init_scale = 0.3;
+    /// If the fidelity goes non-finite (exploding gradients, a poisoned
+    /// Hamiltonian, an injected fault), re-randomize the amplitudes from a
+    /// derived seed and restart, at most this many times; past the budget the
+    /// optimizer returns its best finite iterate with
+    /// Pulse::nonfinite_aborted set.
+    int nonfinite_retries = 2;
+    /// Optional compile deadline (non-owning; excluded from cache keys).
+    /// Polled once per iteration: on expiry the optimizer returns best-so-far
+    /// with Pulse::timed_out set instead of throwing.
+    const util::Deadline* deadline = nullptr;
     /// Warm start (AccQOC's MST technique): amplitudes of a similar unitary's
     /// pulse, resampled to the requested slot count when lengths differ.
     /// Empty disables warm starting. The outer size must equal the

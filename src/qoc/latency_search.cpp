@@ -1,5 +1,7 @@
 #include "qoc/latency_search.h"
 
+#include "util/fault_injection.h"
+
 namespace epoc::qoc {
 
 LatencyResult find_minimal_latency_pulse(const BlockHamiltonian& h, const Matrix& target,
@@ -22,7 +24,10 @@ LatencyResult find_minimal_latency_pulse(const BlockHamiltonian& h, const Matrix
         // Decorrelate restarts across durations while staying deterministic.
         g.seed = opt.grape.seed * 1315423911u + static_cast<std::uint64_t>(slots);
         g.target_fidelity = opt.fidelity_threshold;
-        return grape_optimize(h, target, slots, g);
+        g.deadline = opt.deadline;
+        Pulse p = grape_optimize(h, target, slots, g);
+        res.timed_out = res.timed_out || p.timed_out;
+        return p;
     };
 
     // Doubling phase: bracket the feasible region. All probed slot counts are
@@ -30,7 +35,19 @@ LatencyResult find_minimal_latency_pulse(const BlockHamiltonian& h, const Matrix
     int lo = std::min(cap, round_up(std::max(1, opt.min_slots)));
     int hi = lo;
     Pulse hi_pulse = attempt(hi);
+    if (util::fault::maybe_fail("latency.infeasible")) {
+        // Forced-infeasible site: ship the first probe flagged infeasible so
+        // the pipeline's degradation ladder is exercised end to end.
+        res.pulse = std::move(hi_pulse);
+        res.feasible = false;
+        res.injected = true;
+        return res;
+    }
     while (hi_pulse.fidelity < opt.fidelity_threshold && hi < cap) {
+        if (util::deadline_expired(opt.deadline)) {
+            res.timed_out = true;
+            break;
+        }
         lo = hi + gran;
         hi = std::min(cap, hi * 2);
         hi_pulse = attempt(hi);
@@ -41,11 +58,17 @@ LatencyResult find_minimal_latency_pulse(const BlockHamiltonian& h, const Matrix
         return res;
     }
 
-    // Binary search over granularity units in [lo, hi].
+    // Binary search over granularity units in [lo, hi]. A deadline expiry
+    // here keeps the feasible-but-unrefined bracket endpoint: still a valid,
+    // above-threshold pulse, just not the minimal one.
     Pulse best = hi_pulse;
     int klo = (lo + gran - 1) / gran;
     int khi = hi / gran;
     while (klo < khi) {
+        if (util::deadline_expired(opt.deadline)) {
+            res.timed_out = true;
+            break;
+        }
         const int kmid = klo + (khi - klo) / 2;
         const Pulse p = attempt(kmid * gran);
         if (p.fidelity >= opt.fidelity_threshold) {

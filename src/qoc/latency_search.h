@@ -20,6 +20,11 @@ struct LatencySearchOptions {
     /// 4-qubit blocks) trades a few ns of pulse length for far fewer GRAPE
     /// runs.
     int slot_granularity = 1;
+    /// Optional compile deadline (non-owning; excluded from pulse-library
+    /// cache keys and propagated into each GRAPE run). On expiry the search
+    /// returns its best bracket so far — possibly feasible but not minimal —
+    /// with `timed_out` set, instead of throwing.
+    const util::Deadline* deadline = nullptr;
     GrapeOptions grape;
 };
 
@@ -27,6 +32,20 @@ struct LatencyResult {
     Pulse pulse;          ///< the shortest pulse meeting the threshold
     int grape_runs = 0;   ///< how many GRAPE optimizations the search used
     bool feasible = true; ///< false if even max_slots failed the threshold
+    /// The compile deadline expired mid-search (or inside one of its GRAPE
+    /// runs): the pulse is best-effort, not the minimal-latency answer.
+    bool timed_out = false;
+    /// A fault-injection site forced this outcome (tests/chaos runs).
+    bool injected = false;
+
+    /// Degraded results (timed-out, injected, or non-finite-aborted) must not
+    /// be cached as authoritative: the pulse library evicts them so a later
+    /// compile with more slack re-attempts. A genuinely infeasible search
+    /// under no deadline is deterministic and stays cacheable — its
+    /// `feasible == false` flag travels with the entry.
+    bool authoritative() const {
+        return !timed_out && !injected && !pulse.nonfinite_aborted;
+    }
 };
 
 LatencyResult find_minimal_latency_pulse(const BlockHamiltonian& h, const Matrix& target,

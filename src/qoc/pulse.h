@@ -19,6 +19,15 @@ struct Pulse {
     /// Hamiltonian's control count — the optimizer fell back to a cold start
     /// instead of silently dropping the request (see grape_optimize).
     bool warm_start_mismatch = false;
+    /// True if GrapeOptions::deadline expired mid-optimization: the pulse is
+    /// the best iterate found before the budget ran out, not a converged one.
+    bool timed_out = false;
+    /// How many times the optimizer re-randomized its amplitudes after the
+    /// fidelity went non-finite (NaN/inf gradients), and whether it gave up
+    /// after the retry budget — the returned amplitudes are always the last
+    /// finite best-so-far, never the poisoned iterate.
+    int nonfinite_reseeds = 0;
+    bool nonfinite_aborted = false;
 
     int num_slots() const {
         return amplitudes.empty() ? 0 : static_cast<int>(amplitudes.front().size());

@@ -23,38 +23,58 @@ std::string PulseLibrary::key_of(const BlockHamiltonian& h, const Matrix& m,
 
     // Effective search options. warm_amplitudes is intentionally absent (see
     // header): it seeds the optimizer on a miss but does not define the entry.
+    // The deadline pointer is likewise absent: a deadline shapes *whether* a
+    // result is authoritative (non-authoritative ones are never cached), not
+    // which entry it belongs to.
     os << "|O:" << opt.fidelity_threshold << ":" << opt.min_slots << ":" << opt.max_slots
        << ":" << opt.slot_granularity << "|G:" << opt.grape.max_iterations << ":"
-       << opt.grape.learning_rate << ":" << opt.grape.seed << ":" << opt.grape.init_scale;
+       << opt.grape.learning_rate << ":" << opt.grape.seed << ":" << opt.grape.init_scale
+       << ":" << opt.grape.nonfinite_retries;
     return os.str();
 }
 
 std::shared_ptr<const LatencyResult> PulseLibrary::get_or_generate(
     const BlockHamiltonian& h, const Matrix& target, const LatencySearchOptions& opt) {
-    return cache_.get_or_compute(key_of(h, target, opt), [&] {
-        // Single-flight: this body runs exactly once per entry, on the worker
-        // thread that won the miss — so the span lands under that worker's
-        // row and the counters aggregate the same totals for any thread count.
-        util::Tracer::Span span;
-        if (tracer_ != nullptr)
-            span = tracer_->span("grape " + std::to_string(h.num_qubits) + "q g" +
-                                     std::to_string(opt.slot_granularity),
-                                 "qoc");
-        LatencyResult res = find_minimal_latency_pulse(h, target, opt);
-        if (tracer_ != nullptr) {
-            tracer_->add_counter("qoc.grape_runs",
-                                 static_cast<std::uint64_t>(res.grape_runs));
-            tracer_->add_counter(
-                "qoc.grape_iterations",
-                static_cast<std::uint64_t>(res.pulse.grape_iterations));
-            tracer_->add_counter("qoc.pulse_slots",
-                                 static_cast<std::uint64_t>(res.pulse.num_slots()));
-            if (!res.feasible) tracer_->add_counter("qoc.infeasible_searches");
-            if (res.pulse.warm_start_mismatch)
-                tracer_->add_counter("qoc.warm_start_mismatches");
-        }
-        return res;
-    });
+    return cache_.get_or_compute(
+        key_of(h, target, opt),
+        [&] {
+            // Single-flight: this body runs exactly once per entry, on the
+            // worker thread that won the miss — so the span lands under that
+            // worker's row and the counters aggregate the same totals for any
+            // thread count.
+            util::Tracer::Span span;
+            if (tracer_ != nullptr)
+                span = tracer_->span("grape " + std::to_string(h.num_qubits) + "q g" +
+                                         std::to_string(opt.slot_granularity),
+                                     "qoc");
+            LatencyResult res = find_minimal_latency_pulse(h, target, opt);
+            if (tracer_ != nullptr) {
+                tracer_->add_counter("qoc.grape_runs",
+                                     static_cast<std::uint64_t>(res.grape_runs));
+                tracer_->add_counter(
+                    "qoc.grape_iterations",
+                    static_cast<std::uint64_t>(res.pulse.grape_iterations));
+                tracer_->add_counter("qoc.pulse_slots",
+                                     static_cast<std::uint64_t>(res.pulse.num_slots()));
+                if (!res.feasible) tracer_->add_counter("qoc.infeasible_searches");
+                if (res.pulse.warm_start_mismatch)
+                    tracer_->add_counter("qoc.warm_start_mismatches");
+                if (res.pulse.nonfinite_reseeds > 0)
+                    tracer_->add_counter(
+                        "qoc.grape_reseeds",
+                        static_cast<std::uint64_t>(res.pulse.nonfinite_reseeds));
+                if (res.pulse.nonfinite_aborted)
+                    tracer_->add_counter("qoc.grape_nonfinite_aborts");
+                if (res.timed_out) tracer_->add_counter("qoc.timed_out_searches");
+                if (!res.authoritative())
+                    tracer_->add_counter("robust.uncached_degraded_pulses");
+            }
+            return res;
+        },
+        // Cache-poisoning rule: degraded results are handed to the caller but
+        // evicted, so a later compile with slack (or without injected faults)
+        // re-attempts instead of being served a degraded "hit".
+        [](const LatencyResult& r) { return r.authoritative(); });
 }
 
 std::shared_ptr<const LatencyResult> PulseLibrary::peek(

@@ -41,6 +41,10 @@ struct PulseLibraryStats {
     /// blocked for its result (a subset of `hits`). Zero when single-threaded;
     /// the benchmarks report it as the cache-contention measure.
     std::size_t single_flight_waits = 0;
+    /// Generated results that were degraded (timed-out / fault-injected /
+    /// non-finite-aborted) and therefore returned but *not* stored: a later
+    /// compile with more slack re-attempts them. Zero on clean runs.
+    std::size_t uncached_degraded = 0;
     double hit_rate() const {
         const std::size_t total = hits + misses;
         return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -78,7 +82,7 @@ public:
     std::size_t size() const { return cache_.size(); }
     PulseLibraryStats stats() const {
         const util::CacheStats s = cache_.stats();
-        return {s.hits, s.misses, s.waits};
+        return {s.hits, s.misses, s.waits, s.uncacheable};
     }
     void reset_stats() { cache_.reset_stats(); }
 

@@ -23,9 +23,14 @@ SynthesisResult leap_synthesize(const Matrix& target, const LeapOptions& opt) {
     SynthStructure cur = SynthStructure::seed(nq);
     InstantiateResult cur_fit = instantiate(cur, target, opt.instantiate, {});
     int stalls = 0;
+    bool timed_out = false;
 
     while (cur_fit.distance > opt.threshold && cur.cnot_count() < opt.max_cnots &&
            stalls < opt.stall_rounds) {
+        if (epoc::util::deadline_expired(opt.deadline)) {
+            timed_out = true;
+            break;
+        }
         SynthStructure best_s = cur;
         InstantiateResult best_fit = cur_fit;
         bool improved = false;
@@ -57,6 +62,7 @@ SynthesisResult leap_synthesize(const Matrix& target, const LeapOptions& opt) {
     res.distance = cur_fit.distance;
     res.cnot_count = cur.cnot_count();
     res.converged = cur_fit.distance <= opt.threshold;
+    res.timed_out = timed_out;
     return res;
 }
 

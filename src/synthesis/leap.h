@@ -15,6 +15,10 @@ struct LeapOptions {
     /// Abort when an expansion round improves the distance by less than this.
     double min_progress = 1e-4;
     int stall_rounds = 6;
+    /// Optional compile deadline (non-owning): polled once per expansion
+    /// round; on expiry the best committed structure so far is returned with
+    /// SynthesisResult::timed_out set.
+    const util::Deadline* deadline = nullptr;
     InstantiateOptions instantiate;
 };
 

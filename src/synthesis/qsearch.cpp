@@ -53,6 +53,10 @@ SynthesisResult qsearch_synthesize(const Matrix& target, const QSearchOptions& o
     Node best = frontier.top();
     int expanded = 0;
     while (!frontier.empty() && expanded < opt.max_nodes) {
+        if (epoc::util::deadline_expired(opt.deadline)) {
+            result.timed_out = true;
+            break;
+        }
         Node cur = frontier.top();
         frontier.pop();
         if (cur.distance < best.distance) best = cur;

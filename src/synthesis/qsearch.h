@@ -7,6 +7,7 @@
 #pragma once
 
 #include "synthesis/instantiate.h"
+#include "util/deadline.h"
 
 namespace epoc::synthesis {
 
@@ -15,6 +16,10 @@ struct QSearchOptions {
     double cnot_weight = 0.02; ///< A* path-cost weight per CNOT
     int max_cnots = 14;        ///< structure depth cap
     int max_nodes = 120;       ///< expansion budget
+    /// Optional compile deadline (non-owning; excluded from cache keys).
+    /// Polled once per A* expansion: on expiry the search returns its best
+    /// structure so far with `timed_out` set instead of throwing.
+    const util::Deadline* deadline = nullptr;
     InstantiateOptions instantiate;
 };
 
@@ -24,6 +29,10 @@ struct SynthesisResult {
     int cnot_count = 0;
     int nodes_expanded = 0;
     bool converged = false;
+    /// The compile deadline cut the search: `circuit` is the best structure
+    /// found before expiry (valid, possibly unconverged). Timed-out results
+    /// are never stored in the synthesis cache.
+    bool timed_out = false;
 };
 
 /// Synthesize `target` (dimension must be a power of two, >= 2).

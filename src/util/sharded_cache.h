@@ -41,6 +41,11 @@ struct CacheStats {
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t waits = 0;
+    /// Computed values the `cacheable` verdict rejected: returned to their
+    /// callers but evicted immediately, so a later lookup recomputes. This is
+    /// how degraded (timed-out / fault-injected) pulses and syntheses are
+    /// kept out of the authoritative caches.
+    std::size_t uncacheable = 0;
     double hit_rate() const {
         const std::size_t total = hits + misses;
         return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -61,8 +66,17 @@ public:
     /// If the leader's `make` throws, the slot is erased (so a later call
     /// retries) and the exception propagates to the leader *and* to every
     /// waiter.
-    std::shared_ptr<const V> get_or_compute(const std::string& key,
-                                            const std::function<V()>& make) {
+    ///
+    /// `cacheable` (optional) vets the computed value: when it returns false
+    /// the value is still handed to the leader and to every waiter already
+    /// blocked on the slot — they asked under the same conditions that
+    /// degraded it — but the entry is evicted immediately, so no *later*
+    /// lookup is served the degraded value as an authoritative hit; it
+    /// recomputes instead (e.g. a compile with a fresh deadline re-attempting
+    /// a timed-out pulse).
+    std::shared_ptr<const V> get_or_compute(
+        const std::string& key, const std::function<V()>& make,
+        const std::function<bool(const V&)>& cacheable = {}) {
         Shard& shard = shard_of(key);
         std::shared_ptr<Slot> slot;
         bool leader = false;
@@ -82,12 +96,22 @@ public:
             misses_.fetch_add(1, std::memory_order_relaxed);
             try {
                 auto value = std::make_shared<const V>(make());
+                const bool keep = !cacheable || cacheable(*value);
                 {
                     std::lock_guard<std::mutex> lock(slot->mutex);
                     slot->value = std::move(value);
                     slot->ready = true;
                 }
                 slot->cv.notify_all();
+                if (!keep) {
+                    uncacheable_.fetch_add(1, std::memory_order_relaxed);
+                    std::lock_guard<std::mutex> lock(shard.mutex);
+                    // Evict only our own slot: a concurrent eviction+reinsert
+                    // cycle may have put a fresh slot under this key.
+                    const auto it = shard.table.find(key);
+                    if (it != shard.table.end() && it->second == slot)
+                        shard.table.erase(it);
+                }
             } catch (...) {
                 {
                     std::lock_guard<std::mutex> lock(slot->mutex);
@@ -145,6 +169,7 @@ public:
         s.hits = hits_.load(std::memory_order_relaxed);
         s.misses = misses_.load(std::memory_order_relaxed);
         s.waits = waits_.load(std::memory_order_relaxed);
+        s.uncacheable = uncacheable_.load(std::memory_order_relaxed);
         return s;
     }
 
@@ -152,6 +177,7 @@ public:
         hits_.store(0, std::memory_order_relaxed);
         misses_.store(0, std::memory_order_relaxed);
         waits_.store(0, std::memory_order_relaxed);
+        uncacheable_.store(0, std::memory_order_relaxed);
     }
 
 private:
@@ -179,6 +205,7 @@ private:
     std::atomic<std::size_t> hits_{0};
     std::atomic<std::size_t> misses_{0};
     std::atomic<std::size_t> waits_{0};
+    std::atomic<std::size_t> uncacheable_{0};
 };
 
 } // namespace epoc::util

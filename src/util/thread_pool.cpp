@@ -27,6 +27,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::drain(Batch& b) {
     for (;;) {
         if (b.failed.load(std::memory_order_relaxed)) return; // stop claiming
+        if (b.cancel != nullptr && b.cancel->cancelled()) return;
         const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= b.end) return;
         try {
@@ -60,18 +61,23 @@ void ThreadPool::worker_loop() {
     }
 }
 
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                              const CancelToken* cancel) {
     if (n == 0) return;
     if (workers_.empty() || n == 1) {
         // Sequential fast path: bit-identical to the pre-threading pipeline,
         // including immediate exception propagation.
-        for (std::size_t i = 0; i < n; ++i) fn(i);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (cancel != nullptr && cancel->cancelled()) return;
+            fn(i);
+        }
         return;
     }
 
     Batch b;
     b.end = n;
     b.fn = &fn;
+    b.cancel = cancel;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         batch_ = &b;

@@ -7,8 +7,12 @@
 //   2. Results must be mergeable in deterministic submission order, so the
 //      primitive is an index-space `parallel_for` rather than a future soup:
 //      callers write into pre-sized slots and concatenate afterwards.
-//   3. Exceptions thrown by tasks propagate to the caller (first one wins).
+//   3. Exceptions thrown by tasks propagate to the caller (first one wins),
+//      and a failed or cancelled batch stops *claiming* new indices: at most
+//      the iterations already in flight keep running, never the whole tail.
 #pragma once
+
+#include "util/deadline.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -41,14 +45,22 @@ public:
     /// Iterations are claimed dynamically from a shared counter, so uneven
     /// per-index cost (some blocks synthesize in microseconds, some in
     /// seconds) balances automatically. If any iteration throws, the first
-    /// exception is rethrown on the caller after the loop drains.
-    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+    /// exception is rethrown on the caller after the loop drains; once a task
+    /// has thrown, no worker claims another index (only iterations already in
+    /// flight complete). A non-null `cancel` token stops index claiming the
+    /// same way when it fires — unclaimed indices are simply never run, and
+    /// no exception is raised for them (the caller inspects its own slots to
+    /// see what was skipped). On the sequential fast path (1 thread) the
+    /// token is polled between iterations.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                      const CancelToken* cancel = nullptr);
 
 private:
     struct Batch {
         std::atomic<std::size_t> next{0};
         std::size_t end = 0;
         const std::function<void(std::size_t)>* fn = nullptr;
+        const CancelToken* cancel = nullptr;
         std::atomic<bool> failed{false};
         std::exception_ptr error;
         std::mutex error_mutex;
