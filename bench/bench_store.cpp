@@ -1,0 +1,103 @@
+// Persistent pulse store: cold-vs-warm compile time on the Figure 9 workload.
+//
+// Pass 1 ("cold") compiles the 17-benchmark suite with an empty store
+// directory attached: every pulse is GRAPE-generated and written back. Pass 2
+// ("warm") repeats the sweep with a brand-new compiler — empty in-memory
+// library — against the now-populated directory: every pulse promotes from
+// disk, so the remaining compile time is ZX + synthesis + scheduling. The
+// warm column is the compile time a user pays on any re-run that survives a
+// process restart; the delta is the GRAPE time the store amortizes away.
+//
+// Each row also cross-checks the contract the tests enforce: the warm run
+// does zero GRAPE runs and its schedule digest (FNV-1a of the JSON export)
+// is bit-identical to the cold run's.
+//
+// Usage: bench_store [--store DIR]   (default: a scratch dir under /tmp,
+// wiped on start so the cold pass is genuinely cold)
+#include "bench_circuits/generators.h"
+#include "epoc/export.h"
+#include "epoc/pipeline.h"
+#include "qoc/pulse_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+    using namespace epoc;
+    namespace fs = std::filesystem;
+
+    std::string dir;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--store") == 0) dir = argv[i + 1];
+    if (dir.empty())
+        dir = (fs::temp_directory_path() / "epoc-bench-store").string();
+    std::error_code ec;
+    fs::remove_all(dir, ec); // cold means cold
+    std::printf("persistent pulse store: cold vs warm compile (store: %s)\n\n",
+                dir.c_str());
+
+    core::EpocOptions opt;
+    opt.latency.fidelity_threshold = 0.993;
+    opt.latency.grape.max_iterations = 150;
+    opt.qsearch.threshold = 1e-4;
+    opt.trace_enabled = true; // for the grape_runs cross-check
+    opt.pulse_store_dir = dir;
+
+    struct Row {
+        std::string name;
+        double cold_ms = 0.0;
+        double warm_ms = 0.0;
+        std::uint64_t digest_cold = 0;
+        std::uint64_t digest_warm = 0;
+        std::uint64_t warm_grape_runs = 0;
+    };
+    std::vector<Row> rows;
+
+    const std::vector<bench::NamedCircuit> suite = bench::figure_suite();
+
+    {
+        core::EpocCompiler cold(opt);
+        for (const bench::NamedCircuit& nc : suite) {
+            std::fprintf(stderr, "  cold %-10s...\n", nc.name.c_str());
+            const core::EpocResult r = cold.compile(nc.circuit);
+            rows.push_back({nc.name, r.compile_ms, 0.0,
+                            qoc::fnv1a64(core::schedule_to_json(r.schedule)), 0, 0});
+        }
+    } // the cold compiler's in-memory library dies here; the directory stays
+
+    core::EpocCompiler warm(opt);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::fprintf(stderr, "  warm %-10s...\n", rows[i].name.c_str());
+        warm.tracer().reset(); // per-circuit grape_runs, not cumulative
+        const core::EpocResult r = warm.compile(suite[i].circuit);
+        rows[i].warm_ms = r.compile_ms;
+        rows[i].digest_warm = qoc::fnv1a64(core::schedule_to_json(r.schedule));
+        rows[i].warm_grape_runs = r.trace.counter("qoc.grape_runs");
+    }
+
+    std::printf("%-10s %12s %12s %9s %11s %10s\n", "circuit", "cold[ms]", "warm[ms]",
+                "speedup", "grape-runs", "identical");
+    double total_cold = 0.0, total_warm = 0.0;
+    bool all_identical = true, all_grape_free = true;
+    for (const Row& r : rows) {
+        const bool same = r.digest_cold == r.digest_warm;
+        all_identical = all_identical && same;
+        all_grape_free = all_grape_free && r.warm_grape_runs == 0;
+        total_cold += r.cold_ms;
+        total_warm += r.warm_ms;
+        std::printf("%-10s %12.0f %12.0f %8.1fx %11llu %10s\n", r.name.c_str(),
+                    r.cold_ms, r.warm_ms, r.cold_ms / std::max(r.warm_ms, 1e-9),
+                    static_cast<unsigned long long>(r.warm_grape_runs),
+                    same ? "yes" : "NO");
+    }
+    std::printf("\ntotal: cold %.1fs vs warm %.1fs -> %.1fx; warm GRAPE-free: %s; "
+                "bit-identical: %s\n",
+                total_cold / 1000.0, total_warm / 1000.0,
+                total_cold / std::max(total_warm, 1e-9), all_grape_free ? "yes" : "NO",
+                all_identical ? "yes" : "NO");
+    return (all_identical && all_grape_free) ? 0 : 1;
+}

@@ -11,9 +11,16 @@
 //   degradation ladder ships the best schedule the budget allowed and the
 //   row is marked "degraded". EPOC_FAULT_INJECT (see util/fault_injection.h)
 //   is honoured, so this binary doubles as a chaos-testing harness.
+//   --store DIR attaches the persistent pulse store (store/pulse_store.h) to
+//   the EPOC compiler and prints its hit/miss/write counters plus a schedule
+//   digest (FNV-1a of the JSON export). Run the binary twice against one
+//   directory: the second run reports zero GRAPE runs and the identical
+//   digest — the bit-identity check CI scripts against.
 #include "bench_circuits/generators.h"
 #include "epoc/baselines.h"
+#include "epoc/export.h"
 #include "epoc/pipeline.h"
+#include "qoc/pulse_io.h"
 #include "util/fault_injection.h"
 
 #include <cstdio>
@@ -25,14 +32,18 @@
 int main(int argc, char** argv) {
     using namespace epoc;
     std::string trace_path;
+    std::string store_dir;
     double deadline_ms = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
         } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
             deadline_ms = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+            store_dir = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--trace out.json] [--deadline-ms N]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--trace out.json] [--deadline-ms N] [--store DIR]\n",
                          argv[0]);
             return 2;
         }
@@ -55,8 +66,10 @@ int main(int argc, char** argv) {
 
     core::EpocOptions eopt;
     eopt.regroup_opt.max_qubits = 4;
-    eopt.trace_enabled = !trace_path.empty();
+    // The store line reports GRAPE-run counts, which come from the tracer.
+    eopt.trace_enabled = !trace_path.empty() || !store_dir.empty();
     eopt.deadline_ms = deadline_ms;
+    eopt.pulse_store_dir = store_dir;
     core::EpocCompiler epoc_compiler(eopt);
     const core::EpocResult re = epoc_compiler.compile(c);
     if (re.degraded) {
@@ -83,6 +96,21 @@ int main(int argc, char** argv) {
     std::printf("\nEPOC latency vs gate-based: %+.1f%%   vs PAQOC-like: %+.1f%%\n",
                 100.0 * (re.latency_ns - rg.latency_ns) / rg.latency_ns,
                 100.0 * (re.latency_ns - rp.latency_ns) / rp.latency_ns);
+
+    if (re.store_enabled) {
+        const auto& ss = re.store_stats;
+        std::printf("store: hits=%zu misses=%zu writes=%zu corrupt=%zu evicted=%zu "
+                    "bytes=%llu grape_runs=%llu\n",
+                    ss.hits, ss.misses, ss.writes, ss.corrupt, ss.evicted,
+                    static_cast<unsigned long long>(ss.bytes),
+                    static_cast<unsigned long long>(
+                        re.trace.counter("qoc.grape_runs")));
+        // Digest of the full JSON schedule: equal digests <=> bit-identical
+        // schedules, the contract a warm run must uphold.
+        std::printf("schedule-digest: %016llx\n",
+                    static_cast<unsigned long long>(
+                        qoc::fnv1a64(core::schedule_to_json(re.schedule))));
+    }
 
     if (!trace_path.empty()) {
         std::ofstream out(trace_path);

@@ -29,13 +29,28 @@ void json_escape_into(std::ostringstream& os, const std::string& s) {
     }
 }
 
+/// JSON has no NaN/inf tokens; a bare `nan` from ostream would make the whole
+/// document unparseable. Degraded schedules can carry non-finite fidelities
+/// (the fidelity-0 placeholder path's intermediates), so every numeric field
+/// goes through here: non-finite serializes as null, which consumers can
+/// detect without choking.
+void json_number_into(std::ostringstream& os, double v) {
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
 } // namespace
 
 std::string schedule_to_json(const PulseSchedule& s) {
     std::ostringstream os;
     os.precision(12);
-    os << "{\"num_qubits\":" << s.num_qubits << ",\"latency_ns\":" << s.latency
-       << ",\"esp\":" << s.esp << ",\"pulses\":[";
+    os << "{\"num_qubits\":" << s.num_qubits << ",\"latency_ns\":";
+    json_number_into(os, s.latency);
+    os << ",\"esp\":";
+    json_number_into(os, s.esp);
+    os << ",\"pulses\":[";
     for (std::size_t i = 0; i < s.pulses.size(); ++i) {
         const ScheduledPulse& p = s.pulses[i];
         if (i) os << ",";
@@ -46,8 +61,13 @@ std::string schedule_to_json(const PulseSchedule& s) {
             if (q) os << ",";
             os << p.job.qubits[q];
         }
-        os << "],\"start_ns\":" << p.start << ",\"duration_ns\":" << p.job.duration
-           << ",\"fidelity\":" << p.job.fidelity << "}";
+        os << "],\"start_ns\":";
+        json_number_into(os, p.start);
+        os << ",\"duration_ns\":";
+        json_number_into(os, p.job.duration);
+        os << ",\"fidelity\":";
+        json_number_into(os, p.job.fidelity);
+        os << "}";
     }
     os << "]}";
     return os.str();

@@ -11,6 +11,8 @@ namespace epoc::core {
 
 /// JSON object: {"num_qubits":N,"latency_ns":..,"esp":..,"pulses":[
 ///   {"label":..,"qubits":[..],"start_ns":..,"duration_ns":..,"fidelity":..},..]}
+/// Always valid JSON: non-finite numbers (degraded schedules can carry NaN
+/// fidelities) serialize as null, never as bare nan/inf tokens.
 std::string schedule_to_json(const PulseSchedule& s);
 
 /// Fixed-width per-qubit timeline, one row per qubit; '#' marks busy time.

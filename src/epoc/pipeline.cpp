@@ -87,6 +87,15 @@ EpocCompiler::EpocCompiler(EpocOptions opt)
       pool_(opt_.num_threads),
       library_(opt_.phase_aware_library) {
     library_.set_tracer(&tracer_);
+    std::string store_dir = opt_.pulse_store_dir;
+    if (store_dir.empty()) store_dir = store::PulseStore::dir_from_env();
+    if (!store_dir.empty()) {
+        store::PulseStoreOptions sopt;
+        sopt.dir = store_dir;
+        sopt.max_bytes = opt_.pulse_store_max_bytes;
+        store_ = std::make_unique<store::PulseStore>(std::move(sopt));
+        library_.set_store(store_.get());
+    }
 }
 
 const qoc::BlockHamiltonian& EpocCompiler::hamiltonian(int num_qubits) {
@@ -703,6 +712,10 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
     res.compile_ms = ms_since(t_start);
     res.library_stats = library_.stats();
     res.synth_cache_stats = synth_cache_.stats();
+    if (store_ != nullptr) {
+        res.store_enabled = true;
+        res.store_stats = store_->stats();
+    }
     res.deadline_hit = deadline.armed() && deadline.expired();
     if (res.degraded) {
         // Surface the first failure as the compile-level status (the full
@@ -731,6 +744,14 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
                             res.synth_cache_stats.waits);
         tracer_.set_counter("synth_cache.uncached_degraded",
                             res.synth_cache_stats.uncacheable);
+        if (store_ != nullptr) {
+            tracer_.set_counter("store.hits", res.store_stats.hits);
+            tracer_.set_counter("store.misses", res.store_stats.misses);
+            tracer_.set_counter("store.writes", res.store_stats.writes);
+            tracer_.set_counter("store.corrupt", res.store_stats.corrupt);
+            tracer_.set_counter("store.evicted", res.store_stats.evicted);
+            tracer_.set_counter("store.bytes", res.store_stats.bytes);
+        }
         res.trace = tracer_.report();
     }
     return res;

@@ -39,6 +39,7 @@
 #include "epoc/regroup.h"
 #include "epoc/scheduler.h"
 #include "qoc/pulse_library.h"
+#include "store/pulse_store.h"
 #include "synthesis/leap.h"
 #include "synthesis/qsearch.h"
 #include "util/deadline.h"
@@ -91,6 +92,17 @@ struct EpocOptions {
     /// unstarted blocks fall back, and compile() returns a degraded result
     /// with Cause::cancelled.
     const util::CancelToken* cancel = nullptr;
+    /// Directory of the persistent on-disk pulse store (store/pulse_store.h),
+    /// attached to the pulse library as its L2 tier: memory miss -> probe
+    /// disk -> verify -> promote; authoritative results written back, so
+    /// GRAPE work survives the process and is shared between concurrent
+    /// compilers pointed at the same directory. Empty disables persistence;
+    /// when empty the EPOC_PULSE_STORE environment variable is consulted
+    /// instead (an explicitly set option always wins over the env).
+    std::string pulse_store_dir;
+    /// Byte budget for the store directory (LRU-by-mtime compaction keeps it
+    /// under this); <= 0 disables compaction. Ignored when no store is set.
+    std::uint64_t pulse_store_max_bytes = 256ull << 20;
 
     EpocOptions() {
         // Cheaper defaults than the standalone synthesizer: blocks repeat, the
@@ -136,10 +148,18 @@ struct EpocResult {
     double qoc_ms = 0.0;
     /// Worker count the parallel loops actually used for this compile.
     int threads_used = 1;
-    /// Cumulative pulse-library activity (hits/misses/single-flight waits).
+    /// Cumulative pulse-library activity (hits/misses/single-flight waits,
+    /// plus L2 store_hits/store_misses/store_writes when a store is set).
     qoc::PulseLibraryStats library_stats;
     /// Cumulative synthesis-cache activity (same counters, QSearch results).
     util::CacheStats synth_cache_stats;
+    /// True iff this compiler runs with a persistent pulse store attached
+    /// (EpocOptions::pulse_store_dir / EPOC_PULSE_STORE); `store_stats` is
+    /// only meaningful then.
+    bool store_enabled = false;
+    /// Cumulative on-disk store activity (hits/misses/writes/corrupt/
+    /// evicted/bytes), from the store's own accounting.
+    store::PulseStoreStats store_stats;
     /// Spans + counters collected by the compiler's tracer (empty unless
     /// EpocOptions::trace_enabled). Like the cache stats, spans/counters
     /// accumulate across compile() calls on one compiler; call
@@ -179,6 +199,8 @@ public:
     EpocResult compile(const circuit::Circuit& c);
 
     qoc::PulseLibrary& library() { return library_; }
+    /// The persistent pulse store, nullptr when persistence is off.
+    store::PulseStore* store() { return store_.get(); }
     const EpocOptions& options() const { return opt_; }
     /// The compiler's tracer (enabled iff EpocOptions::trace_enabled).
     util::Tracer& tracer() { return tracer_; }
@@ -206,6 +228,8 @@ private:
     EpocOptions opt_;
     util::Tracer tracer_; ///< declared before library_, which holds a pointer
     util::ThreadPool pool_;
+    /// Declared before library_, which holds a non-owning PulseTier pointer.
+    std::unique_ptr<store::PulseStore> store_;
     qoc::PulseLibrary library_;
     util::ShardedFlightCache<synthesis::SynthesisResult> synth_cache_;
     std::mutex hams_mutex_;

@@ -1,6 +1,7 @@
 #include "qoc/pulse_library.h"
 
 #include "linalg/phase.h"
+#include "qoc/pulse_io.h"
 
 #include <sstream>
 
@@ -9,7 +10,8 @@ namespace epoc::qoc {
 std::string PulseLibrary::key_of(const BlockHamiltonian& h, const Matrix& m,
                                  const LatencySearchOptions& opt) const {
     // Unitary part, quantized at 6 decimals: distinct gates stay distinct,
-    // float jitter from equal unitaries does not split entries.
+    // float jitter from equal unitaries does not split entries. This is the
+    // one deliberately *lossy* component of the key.
     std::ostringstream os;
     os << (phase_aware_ ? linalg::phase_canonical_key(m, 6) : linalg::raw_key(m, 6));
 
@@ -17,31 +19,52 @@ std::string PulseLibrary::key_of(const BlockHamiltonian& h, const Matrix& m,
     // label/bound pin down the device model a pulse was optimized against
     // (the drift follows from these for make_block_hamiltonian models; custom
     // Hamiltonians with equal lines are treated as equal devices).
-    os.precision(12);
-    os << "|H:" << h.num_qubits << ":" << h.dt;
-    for (const ControlLine& c : h.controls) os << ":" << c.label << "=" << c.bound;
+    //
+    // All doubles below are encoded exactly (IEEE-754 bit pattern, see
+    // pulse_io.h), never via decimal formatting: the historical precision(12)
+    // ostream rendering collided option values that differed past 12
+    // significant digits — e.g. two learning rates one ulp apart shared a
+    // cache entry, and with the persistent store the collision would have
+    // crossed process boundaries. The same encoding feeds the store's
+    // content-addressed filenames, so the disk tier inherits the exactness.
+    os << "|H:" << h.num_qubits << ":" << exact_double(h.dt);
+    for (const ControlLine& c : h.controls)
+        os << ":" << c.label << "=" << exact_double(c.bound);
 
     // Effective search options. warm_amplitudes is intentionally absent (see
     // header): it seeds the optimizer on a miss but does not define the entry.
     // The deadline pointer is likewise absent: a deadline shapes *whether* a
     // result is authoritative (non-authoritative ones are never cached), not
     // which entry it belongs to.
-    os << "|O:" << opt.fidelity_threshold << ":" << opt.min_slots << ":" << opt.max_slots
-       << ":" << opt.slot_granularity << "|G:" << opt.grape.max_iterations << ":"
-       << opt.grape.learning_rate << ":" << opt.grape.seed << ":" << opt.grape.init_scale
-       << ":" << opt.grape.nonfinite_retries;
+    os << "|O:" << exact_double(opt.fidelity_threshold) << ":" << opt.min_slots << ":"
+       << opt.max_slots << ":" << opt.slot_granularity << "|G:"
+       << opt.grape.max_iterations << ":" << exact_double(opt.grape.learning_rate)
+       << ":" << opt.grape.seed << ":" << exact_double(opt.grape.init_scale) << ":"
+       << opt.grape.nonfinite_retries;
     return os.str();
 }
 
 std::shared_ptr<const LatencyResult> PulseLibrary::get_or_generate(
     const BlockHamiltonian& h, const Matrix& target, const LatencySearchOptions& opt) {
+    const std::string key = key_of(h, target, opt);
     return cache_.get_or_compute(
-        key_of(h, target, opt),
+        key,
         [&] {
             // Single-flight: this body runs exactly once per entry, on the
             // worker thread that won the miss — so the span lands under that
-            // worker's row and the counters aggregate the same totals for any
-            // thread count.
+            // worker's row, the counters aggregate the same totals for any
+            // thread count, and the store sees at most one read and one write
+            // per key however many threads raced here.
+            if (store_ != nullptr) {
+                if (std::optional<LatencyResult> stored = store_->load(key)) {
+                    // L2 hit: promote to memory verbatim. No GRAPE ran, so
+                    // none of the qoc.* generation counters move.
+                    store_hits_.fetch_add(1, std::memory_order_relaxed);
+                    if (tracer_ != nullptr) tracer_->add_counter("qoc.store_promotions");
+                    return std::move(*stored);
+                }
+                store_misses_.fetch_add(1, std::memory_order_relaxed);
+            }
             util::Tracer::Span span;
             if (tracer_ != nullptr)
                 span = tracer_->span("grape " + std::to_string(h.num_qubits) + "q g" +
@@ -68,6 +91,13 @@ std::shared_ptr<const LatencyResult> PulseLibrary::get_or_generate(
                 if (res.timed_out) tracer_->add_counter("qoc.timed_out_searches");
                 if (!res.authoritative())
                     tracer_->add_counter("robust.uncached_degraded_pulses");
+            }
+            // Write-back: only authoritative results reach disk — the same
+            // poisoning rule the `cacheable` predicate enforces for memory,
+            // applied before the entry can outlive the process.
+            if (store_ != nullptr && res.authoritative()) {
+                store_->store(key, res);
+                store_writes_.fetch_add(1, std::memory_order_relaxed);
             }
             return res;
         },

@@ -24,15 +24,42 @@
 // search — the second blocks and reuses the first's result). Entries are
 // returned as shared_ptr, so they stay valid however the underlying table
 // rehashes under concurrent insertion.
+//
+// An optional second (L2) tier — in practice store::PulseStore, the on-disk
+// artifact store — slots in behind the memory table: a memory miss first
+// probes the tier and only falls through to GRAPE when the tier misses too;
+// generated authoritative results are written back. The probe and write-back
+// run inside the single-flight slot, so N threads missing on one key still do
+// at most one disk read and one GRAPE search between them. Degraded results
+// are never offered to the tier (the PR 3 cache-poisoning rule extends to
+// disk), and the tier sees the exact same key string as the memory table.
 #pragma once
 
 #include "qoc/latency_search.h"
 #include "util/sharded_cache.h"
 #include "util/trace.h"
 
+#include <atomic>
 #include <memory>
+#include <optional>
 
 namespace epoc::qoc {
+
+/// Secondary pulse tier: a key-value backend consulted on memory misses and
+/// fed authoritative results. Implementations must be thread-safe (the
+/// parallel pipeline calls from every worker, though never twice concurrently
+/// for one key — single-flight covers the tier) and must treat every failure
+/// as a miss/no-op: a broken tier degrades the cache, never the compile.
+class PulseTier {
+public:
+    virtual ~PulseTier() = default;
+    /// The stored result for `key`, or nullopt on a miss (including any I/O
+    /// or integrity failure). Must not throw.
+    virtual std::optional<LatencyResult> load(const std::string& key) = 0;
+    /// Persist an authoritative result under `key` (best effort; callers
+    /// never learn of a failed write). Must not throw.
+    virtual void store(const std::string& key, const LatencyResult& result) = 0;
+};
 
 struct PulseLibraryStats {
     std::size_t hits = 0;
@@ -45,6 +72,13 @@ struct PulseLibraryStats {
     /// non-finite-aborted) and therefore returned but *not* stored: a later
     /// compile with more slack re-attempts them. Zero on clean runs.
     std::size_t uncached_degraded = 0;
+    /// L2-tier activity, all zero when no tier is attached. Every memory miss
+    /// is exactly one tier hit or tier miss; every tier miss that generated
+    /// an authoritative result is one tier write. A tier hit means the GRAPE
+    /// latency search was skipped entirely for that entry.
+    std::size_t store_hits = 0;
+    std::size_t store_misses = 0;
+    std::size_t store_writes = 0;
     double hit_rate() const {
         const std::size_t total = hits + misses;
         return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -79,12 +113,26 @@ public:
     /// pointer must outlive every subsequent get_or_generate call.
     void set_tracer(util::Tracer* tracer) { tracer_ = tracer; }
 
+    /// Attach the L2 tier (non-owning; must outlive every subsequent
+    /// get_or_generate call, nullptr to detach). See the header comment for
+    /// the probe/write-back protocol.
+    void set_store(PulseTier* store) { store_ = store; }
+
     std::size_t size() const { return cache_.size(); }
     PulseLibraryStats stats() const {
         const util::CacheStats s = cache_.stats();
-        return {s.hits, s.misses, s.waits, s.uncacheable};
+        PulseLibraryStats out{s.hits, s.misses, s.waits, s.uncacheable, 0, 0, 0};
+        out.store_hits = store_hits_.load(std::memory_order_relaxed);
+        out.store_misses = store_misses_.load(std::memory_order_relaxed);
+        out.store_writes = store_writes_.load(std::memory_order_relaxed);
+        return out;
     }
-    void reset_stats() { cache_.reset_stats(); }
+    void reset_stats() {
+        cache_.reset_stats();
+        store_hits_.store(0, std::memory_order_relaxed);
+        store_misses_.store(0, std::memory_order_relaxed);
+        store_writes_.store(0, std::memory_order_relaxed);
+    }
 
 private:
     std::string key_of(const BlockHamiltonian& h, const Matrix& m,
@@ -92,6 +140,10 @@ private:
 
     bool phase_aware_;
     util::Tracer* tracer_ = nullptr;
+    PulseTier* store_ = nullptr;
+    std::atomic<std::size_t> store_hits_{0};
+    std::atomic<std::size_t> store_misses_{0};
+    std::atomic<std::size_t> store_writes_{0};
     util::ShardedFlightCache<LatencyResult> cache_;
 };
 

@@ -1,0 +1,340 @@
+#include "store/pulse_store.h"
+
+#include "qoc/pulse_io.h"
+#include "util/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace epoc::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'P', 'O', 'C', 'P', 'U', 'L', 'S'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr const char* kEntrySuffix = ".pulse";
+constexpr const char* kTempPrefix = "tmp-";
+/// Temp files older than this are crash leftovers, safe to sweep: a live
+/// writer holds its temp for milliseconds between create and rename.
+constexpr auto kStaleTempAge = std::chrono::minutes(10);
+/// Minimum entry size: magic + version + key length + payload length +
+/// checksum around an empty key and payload.
+constexpr std::uint64_t kMinEntrySize = 8 + 4 + 8 + 8 + 8;
+/// Keys are short generated strings; a length field beyond this is garbage.
+constexpr std::uint64_t kMaxKeyBytes = 1ull << 24;
+
+std::uint64_t process_id() {
+#ifdef __unix__
+    return static_cast<std::uint64_t>(::getpid());
+#else
+    return 0;
+#endif
+}
+
+/// Whole-file read; empty optional when the file cannot be opened (the
+/// common miss path) or cannot be read.
+std::optional<std::string> slurp(const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (in.bad()) return std::nullopt;
+    return bytes;
+}
+
+/// Durably write `bytes` to `p` (fsync before close, so a crash after the
+/// subsequent rename cannot publish a file whose data never hit the disk).
+bool write_file_synced(const std::filesystem::path& p, const std::string& bytes) {
+    std::FILE* f = std::fopen(p.c_str(), "wb");
+    if (f == nullptr) return false;
+    bool ok = bytes.empty() ||
+              std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    ok = std::fflush(f) == 0 && ok;
+#ifdef __unix__
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+#endif
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+bool is_entry_file(const std::filesystem::directory_entry& e) {
+    return e.is_regular_file() && e.path().extension() == kEntrySuffix;
+}
+
+bool is_temp_file(const std::filesystem::directory_entry& e) {
+    return e.is_regular_file() &&
+           e.path().filename().string().rfind(kTempPrefix, 0) == 0;
+}
+
+} // namespace
+
+PulseStore::PulseStore(PulseStoreOptions opt) : opt_(std::move(opt)), dir_(opt_.dir) {
+    if (opt_.dir.empty())
+        throw std::runtime_error("PulseStore: empty store directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec || !std::filesystem::is_directory(dir_))
+        throw std::runtime_error("PulseStore: cannot create store directory '" +
+                                 opt_.dir + "': " + ec.message());
+    stats_.bytes = scan_bytes();
+}
+
+std::string PulseStore::dir_from_env() {
+    const char* dir = std::getenv("EPOC_PULSE_STORE");
+    return dir == nullptr ? std::string() : std::string(dir);
+}
+
+std::filesystem::path PulseStore::entry_path(const std::string& key) const {
+    static const char* hex = "0123456789abcdef";
+    const std::uint64_t h = qoc::fnv1a64(key);
+    std::string name(16, '0');
+    for (int i = 0; i < 16; ++i)
+        name[static_cast<std::size_t>(i)] = hex[(h >> (60 - 4 * i)) & 0xf];
+    return dir_ / (name + kEntrySuffix);
+}
+
+std::optional<qoc::LatencyResult> PulseStore::load(const std::string& key) {
+    try {
+        util::fault::maybe_throw("store.read");
+        std::optional<qoc::LatencyResult> r = load_impl(key);
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (r)
+            ++stats_.hits;
+        else
+            ++stats_.misses;
+        return r;
+    } catch (...) {
+        // An unreadable store is a cold store, never a failed compile.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.io_errors;
+        ++stats_.misses;
+        return std::nullopt;
+    }
+}
+
+std::optional<qoc::LatencyResult> PulseStore::load_impl(const std::string& key) {
+    const std::filesystem::path p = entry_path(key);
+    const std::optional<std::string> bytes = slurp(p);
+    if (!bytes) return std::nullopt; // plain miss (or vanished under eviction)
+
+    const auto corrupt = [&]() -> std::optional<qoc::LatencyResult> {
+        quarantine(p);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.corrupt;
+        return std::nullopt;
+    };
+
+    // Header checks in diagnosis order: structure, then integrity, then
+    // identity. A version mismatch is detected before the checksum so future
+    // format revisions are reported as such even if they also moved the
+    // trailer.
+    if (bytes->size() < kMinEntrySize) return corrupt();
+    if (std::memcmp(bytes->data(), kMagic, sizeof(kMagic)) != 0) return corrupt();
+    qoc::ByteReader header(bytes->data() + sizeof(kMagic),
+                           bytes->size() - sizeof(kMagic));
+    std::uint32_t version;
+    std::uint64_t key_len;
+    if (!header.get_u32(version)) return corrupt();
+    if (version != kFormatVersion) return corrupt();
+    if (!header.get_u64(key_len) || key_len > kMaxKeyBytes ||
+        key_len > header.remaining())
+        return corrupt();
+
+    qoc::ByteReader trailer(bytes->data() + bytes->size() - 8, 8);
+    std::uint64_t checksum;
+    trailer.get_u64(checksum);
+    if (qoc::fnv1a64(bytes->data(), bytes->size() - 8) != checksum) return corrupt();
+
+    const char* key_begin = bytes->data() + sizeof(kMagic) + 4 + 8;
+    if (key.size() != key_len ||
+        std::memcmp(key_begin, key.data(), static_cast<std::size_t>(key_len)) != 0) {
+        // Hash collision: a *valid* entry for some other key lives at our
+        // content address. It is not corrupt — leave it in place (last
+        // writer wins the name; see header) and report a miss.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.collisions;
+        return std::nullopt;
+    }
+
+    qoc::ByteReader body(key_begin + key_len,
+                         bytes->size() - (sizeof(kMagic) + 4 + 8) -
+                             static_cast<std::size_t>(key_len) - 8);
+    std::uint64_t payload_len;
+    if (!body.get_u64(payload_len) || payload_len != body.remaining())
+        return corrupt();
+    const std::string payload(key_begin + key_len + 8,
+                              static_cast<std::size_t>(payload_len));
+    std::optional<qoc::LatencyResult> result = qoc::decode_latency_result(payload);
+    if (!result) return corrupt();
+
+    // LRU touch: a hit makes the entry recent, so hot pulses survive
+    // compaction. Best effort — a read-only store still serves hits.
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        p, std::filesystem::file_time_type::clock::now(), ec);
+    return result;
+}
+
+void PulseStore::store(const std::string& key, const qoc::LatencyResult& result) {
+    // The poisoning rule, enforced at the last line of defense: a degraded
+    // result must never outlive the process, whatever the caller believed.
+    if (!result.authoritative()) return;
+    bool wrote = false;
+    try {
+        wrote = write_impl(key, result);
+    } catch (...) {
+        wrote = false;
+    }
+    std::uint64_t over_budget = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (wrote) {
+            ++stats_.writes;
+            if (opt_.max_bytes > 0 && stats_.bytes > opt_.max_bytes)
+                over_budget = stats_.bytes;
+        } else {
+            ++stats_.io_errors;
+        }
+    }
+    if (over_budget > 0) compact();
+}
+
+bool PulseStore::write_impl(const std::string& key, const qoc::LatencyResult& result) {
+    std::string blob;
+    blob.append(kMagic, sizeof(kMagic));
+    qoc::put_u32(blob, kFormatVersion);
+    qoc::put_u64(blob, key.size());
+    blob += key;
+    const std::string payload = qoc::encode_latency_result(result);
+    qoc::put_u64(blob, payload.size());
+    blob += payload;
+    qoc::put_u64(blob, qoc::fnv1a64(blob));
+
+    std::uint64_t serial;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        serial = ++temp_serial_;
+    }
+    const std::filesystem::path final_path = entry_path(key);
+    const std::filesystem::path tmp =
+        dir_ / (std::string(kTempPrefix) + std::to_string(process_id()) + "-" +
+                std::to_string(serial) + "-" + final_path.stem().string());
+    try {
+        util::fault::maybe_throw("store.write");
+        if (!write_file_synced(tmp, blob)) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+        util::fault::maybe_throw("store.rename");
+        // The atomic publish: readers see the old entry or the new one,
+        // never a prefix.
+        std::filesystem::rename(tmp, final_path);
+    } catch (...) {
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.bytes += blob.size();
+    return true;
+}
+
+void PulseStore::quarantine(const std::filesystem::path& p) {
+    std::error_code ec;
+    const std::filesystem::path qdir = dir_ / "quarantine";
+    std::filesystem::create_directories(qdir, ec);
+    std::uint64_t serial;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        serial = ++temp_serial_;
+    }
+    std::filesystem::rename(p,
+                            qdir / (p.filename().string() + "." +
+                                    std::to_string(process_id()) + "-" +
+                                    std::to_string(serial)),
+                            ec);
+    // If even the rename fails, delete: a corrupt entry must not be served
+    // (or quarantined+requarantined) forever.
+    if (ec) std::filesystem::remove(p, ec);
+}
+
+std::uint64_t PulseStore::scan_bytes() const {
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        std::error_code fec;
+        if (is_entry_file(*it)) total += it->file_size(fec);
+    }
+    return total;
+}
+
+std::size_t PulseStore::compact() {
+    struct Entry {
+        std::filesystem::path path;
+        std::uint64_t size;
+        std::filesystem::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    const auto now = std::filesystem::file_time_type::clock::now();
+    for (std::filesystem::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        std::error_code fec;
+        if (is_temp_file(*it)) {
+            // Crash leftovers: a temp that outlived any plausible writer.
+            if (it->last_write_time(fec) + kStaleTempAge < now && !fec)
+                std::filesystem::remove(it->path(), fec);
+            continue;
+        }
+        if (!is_entry_file(*it)) continue;
+        Entry e{it->path(), it->file_size(fec), it->last_write_time(fec)};
+        if (fec) continue; // vanished under a concurrent eviction
+        total += e.size;
+        entries.push_back(std::move(e));
+    }
+
+    std::size_t evicted = 0;
+    if (opt_.max_bytes > 0 && total > opt_.max_bytes) {
+        const std::uint64_t target = static_cast<std::uint64_t>(
+            static_cast<double>(opt_.max_bytes) *
+            std::clamp(opt_.compact_to, 0.0, 1.0));
+        // Oldest first; filename tiebreak keeps the order deterministic when
+        // the filesystem's mtime granularity lumps a burst of writes.
+        std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+            return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+        });
+        for (const Entry& e : entries) {
+            if (total <= target) break;
+            std::error_code rec;
+            if (std::filesystem::remove(e.path, rec) && !rec) {
+                total -= e.size;
+                ++evicted;
+            }
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.evicted += evicted;
+    stats_.bytes = total;
+    return evicted;
+}
+
+PulseStoreStats PulseStore::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace epoc::store

@@ -1,0 +1,133 @@
+// Persistent on-disk pulse artifact store: the crash-safe L2 tier behind
+// qoc::PulseLibrary.
+//
+// The pulse library is EPOC's amortization engine (paper Section 3.4): the
+// compile-time wins of Figure 9 assume repeated unitaries hit a cache instead
+// of re-running GRAPE. In-memory, that amortization dies with the process.
+// This store persists each authoritative latency-search result as one
+// content-addressed file, so a fresh compiler — or a concurrent one sharing
+// the directory — re-pays zero optimal-control cost for anything any prior
+// run already solved. A warm run from a populated store is bit-identical to
+// the cold run that filled it (the codec round-trips doubles exactly).
+//
+// On-disk format (one entry per file, `<fnv1a64(key) as 16 hex>.pulse`):
+//
+//   offset  size  field
+//   ------  ----  -----
+//        0     8  magic "EPOCPULS"
+//        8     4  format version (little-endian u32; readers reject != ours)
+//       12     8  key length (u64)
+//       20     K  the full generation key, verbatim — the content address is
+//                 a *hash* of this, so readers compare the key byte-for-byte
+//                 and treat a mismatch as a hash collision (a miss for our
+//                 key), never as our entry
+//    20+K      8  payload length (u64)
+//    28+K      P  qoc::encode_latency_result payload (pulse_io.h)
+//  28+K+P      8  FNV-1a64 of bytes [0, 28+K+P) — integrity checksum
+//
+// Crash safety is by atomic publish: writes go to a unique temp file in the
+// same directory, then std::filesystem::rename onto the final name. POSIX
+// rename is atomic, so a reader (or a concurrent writer) sees either the old
+// complete entry or the new complete entry, never a torn one; a crash leaves
+// at most an unreferenced temp file (cleaned opportunistically on
+// compaction). Writers racing on one name last-wins with identical bytes
+// (generation is deterministic), which is idempotent.
+//
+// Corruption is never fatal: a truncated, bit-flipped, wrong-magic,
+// wrong-version or undecodable file is *quarantined* (renamed into
+// `quarantine/` for post-mortem) and reported as a miss, so the library
+// transparently recomputes and the next write re-publishes a good entry.
+//
+// The directory is size-bounded: when the payload bytes exceed
+// PulseStoreOptions::max_bytes, a compaction pass deletes entries
+// oldest-mtime-first (LRU approximation: loads re-touch mtime) until the
+// directory is back under `compact_to * max_bytes`.
+//
+// Fault-injection sites (util/fault_injection.h): `store.read`,
+// `store.write`, `store.rename` — each fires as an I/O failure at that stage;
+// the store must degrade to miss/no-op with no torn or degraded entry ever
+// published. Real filesystem errors (ENOSPC, EPERM, ...) take the same paths.
+#pragma once
+
+#include "qoc/pulse_library.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+
+namespace epoc::store {
+
+struct PulseStoreOptions {
+    /// Directory holding the entries (created, with parents, on
+    /// construction). One directory may be shared by any number of stores in
+    /// any number of processes.
+    std::string dir;
+    /// Byte budget for the entry files. <= 0 disables compaction entirely.
+    std::uint64_t max_bytes = 256ull << 20;
+    /// Compaction target: evict down to this fraction of max_bytes, so one
+    /// pass buys headroom instead of thrashing at the boundary.
+    double compact_to = 0.8;
+};
+
+struct PulseStoreStats {
+    std::size_t hits = 0;       ///< loads that returned an entry
+    std::size_t misses = 0;     ///< loads that found no (usable) entry
+    std::size_t writes = 0;     ///< entries successfully published
+    std::size_t corrupt = 0;    ///< files quarantined (bad magic/version/checksum/decode)
+    std::size_t collisions = 0; ///< hash matched, key differed (counted in misses)
+    std::size_t evicted = 0;    ///< entries deleted by compaction
+    std::size_t io_errors = 0;  ///< read/write/rename failures (incl. injected)
+    std::uint64_t bytes = 0;    ///< entry bytes on disk, as last accounted
+};
+
+class PulseStore final : public qoc::PulseTier {
+public:
+    /// Opens (creating if needed) the store directory and accounts existing
+    /// entries toward the byte budget. Throws std::runtime_error when the
+    /// directory cannot be created — a store you explicitly configured but
+    /// cannot use is a setup error, not something to paper over.
+    explicit PulseStore(PulseStoreOptions opt);
+
+    /// qoc::PulseTier: verify-and-load the entry for `key`. Any failure —
+    /// missing file, I/O error, corruption (quarantined), version mismatch
+    /// (quarantined), hash collision — is a miss. Never throws.
+    std::optional<qoc::LatencyResult> load(const std::string& key) override;
+
+    /// qoc::PulseTier: atomically publish `result` under `key`. Refuses
+    /// non-authoritative results outright (degraded pulses must never
+    /// outlive the process, whatever the caller thinks). Never throws;
+    /// failures count as io_errors and leave no partial file behind.
+    void store(const std::string& key, const qoc::LatencyResult& result) override;
+
+    /// Force a compaction pass now (also run automatically when a write
+    /// pushes the directory over budget). Deletes oldest-mtime entries until
+    /// under `compact_to * max_bytes`, sweeps stale temp files, and refreshes
+    /// the byte accounting. Returns the number of entries evicted.
+    std::size_t compact();
+
+    /// Path the entry for `key` lives at (exposed for tests and tooling).
+    std::filesystem::path entry_path(const std::string& key) const;
+
+    PulseStoreStats stats() const;
+    const PulseStoreOptions& options() const { return opt_; }
+
+    /// Store directory from the EPOC_PULSE_STORE environment variable, empty
+    /// when unset. The conventional way to arm any binary with persistence.
+    static std::string dir_from_env();
+
+private:
+    std::optional<qoc::LatencyResult> load_impl(const std::string& key);
+    bool write_impl(const std::string& key, const qoc::LatencyResult& result);
+    void quarantine(const std::filesystem::path& p);
+    std::uint64_t scan_bytes() const;
+
+    PulseStoreOptions opt_;
+    std::filesystem::path dir_;
+
+    mutable std::mutex mutex_; ///< guards stats_ and the temp-name counter
+    PulseStoreStats stats_;
+    std::uint64_t temp_serial_ = 0;
+};
+
+} // namespace epoc::store

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace {
 
 using namespace epoc::core;
@@ -47,6 +49,31 @@ TEST(Export, JsonEscapesControlCharacters) {
     EXPECT_NE(j.find("a\\tb\\rc\\nd\\u0001e\\u001ff"), std::string::npos);
     // No raw control character may survive anywhere in the document.
     for (const char c : j) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST(Export, NonFiniteNumbersSerializeAsNull) {
+    // A degraded schedule (the fidelity-0 placeholder path) can carry
+    // non-finite intermediates; ostream would print bare `nan`/`inf` tokens,
+    // which no JSON parser accepts. They must come out as null.
+    constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    PulseSchedule s = schedule_asap(
+        {
+            {{0}, 10.0, kNan, "degraded"},
+            {{1}, kInf, 0.5, "runaway"},
+        },
+        2);
+    s.esp = kNan; // ESP is a product over fidelities: NaN propagates
+    const std::string j = schedule_to_json(s);
+    EXPECT_EQ(j.find("nan"), std::string::npos) << j;
+    EXPECT_EQ(j.find("inf"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"fidelity\":null"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"esp\":null"), std::string::npos) << j;
+}
+
+TEST(Export, FiniteScheduleHasNoNulls) {
+    const std::string j = schedule_to_json(sample_schedule());
+    EXPECT_EQ(j.find("null"), std::string::npos) << j;
 }
 
 TEST(Export, HostileLabelKeepsJsonBalanced) {

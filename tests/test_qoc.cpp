@@ -234,6 +234,32 @@ TEST(PulseLibrary, SearchOptionsKeyedSeparately) {
     EXPECT_EQ(lib.stats().hits, 0u);
 }
 
+TEST(PulseLibrary, NearEqualDoublesKeyedSeparately) {
+    // Regression for the precision(12) keying bug: two learning rates one ulp
+    // apart rendered to the same 12-significant-digit string and collided
+    // into one cache entry. Keys now encode doubles by exact bit pattern
+    // (qoc/pulse_io.h), so any representable difference splits the entries —
+    // which also keeps the on-disk store's content addresses exact.
+    const auto h = make_block_hamiltonian(1);
+    PulseLibrary lib(true);
+    LatencySearchOptions a;
+    a.grape.learning_rate = 0.003;
+    LatencySearchOptions b = a;
+    b.grape.learning_rate =
+        std::nextafter(a.grape.learning_rate, 1.0); // differs past 12 digits
+    ASSERT_NE(a.grape.learning_rate, b.grape.learning_rate);
+    lib.get_or_generate(h, epoc::circuit::pauli_x(), a);
+    lib.get_or_generate(h, epoc::circuit::pauli_x(), b);
+    EXPECT_EQ(lib.stats().misses, 2u)
+        << "near-equal learning rates must key distinct entries";
+    EXPECT_EQ(lib.stats().hits, 0u);
+
+    // And exact re-lookup under each still hits its own entry.
+    lib.get_or_generate(h, epoc::circuit::pauli_x(), a);
+    lib.get_or_generate(h, epoc::circuit::pauli_x(), b);
+    EXPECT_EQ(lib.stats().hits, 2u);
+}
+
 TEST(PulseLibrary, DeviceKeyedSeparately) {
     // Same unitary, different device model: the pulses are physically
     // incompatible and must never be traded through the cache.
