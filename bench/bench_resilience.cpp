@@ -104,7 +104,14 @@ int main() {
                                             "regroup.fail",    "synth.block",
                                             "synth.compute",   "pulse.block",
                                             "pulse.gate",      "grape.nonfinite",
-                                            "latency.infeasible"};
+                                            "latency.infeasible",
+                                            // silent corruption + the verifier's
+                                            // own failure sites: detection,
+                                            // recompute and fail-open must all
+                                            // hold under the same chaos
+                                            "latency.badpulse", "synth.badcircuit",
+                                            "verify.equiv",     "verify.simulate",
+                                            "verify.revalidate"};
     for (int seed = 1; seed <= 4; ++seed) {
         std::string spec;
         for (const std::string& s : sites)
@@ -112,7 +119,11 @@ int main() {
         util::fault::configure(spec);
         for (const auto& [name, c] : suite()) {
             double wall = 0.0;
-            const core::EpocResult r = timed_compile(bench_options(), c, wall);
+            core::EpocOptions chaos_opt = bench_options();
+            // sampled: the always-on tier — the corruption sites above are
+            // inert without it, and a broken verifier must stay harmless.
+            chaos_opt.verify_level = verify::VerifyLevel::sampled;
+            const core::EpocResult r = timed_compile(std::move(chaos_opt), c, wall);
             if (r.degraded) ++degraded_runs;
             if (r.num_pulses == 0 || r.latency_ns <= 0.0) {
                 std::printf("  CONTRACT VIOLATION: %s seed %d produced an empty "

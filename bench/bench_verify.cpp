@@ -1,0 +1,93 @@
+// Verification overhead: off vs sampled vs full compile time on the Figure 9
+// workload.
+//
+// Three passes over the 17-benchmark suite, one per verify level, each with a
+// fresh compiler (empty caches) so every pass pays the same GRAPE cost and
+// the delta is purely the audit work: stage-equivalence oracles, per-block
+// synthesis checks, and pulse re-simulation. The claim this bench guards is
+// twofold:
+//
+//   * `off` is free — the verifier is construction-time dead weight; and
+//   * `sampled` is cheap enough to leave on (< 10% wall-clock over `off` on
+//     this workload), which is why it is the recommended always-on tier.
+//
+// Each row also cross-checks the semantics the tests enforce: all three
+// levels ship bit-identical schedules (digest equality — audits never perturb
+// a clean compile), and no clean compile ever reports an audit failure.
+//
+// Usage: bench_verify
+#include "bench_circuits/generators.h"
+#include "epoc/export.h"
+#include "epoc/pipeline.h"
+#include "qoc/pulse_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+int main() {
+    using namespace epoc;
+
+    core::EpocOptions base;
+    base.latency.fidelity_threshold = 0.993;
+    base.latency.grape.max_iterations = 150;
+    base.qsearch.threshold = 1e-4;
+
+    struct Row {
+        std::string name;
+        double ms[3] = {0.0, 0.0, 0.0}; // off, sampled, full
+        std::uint64_t digest[3] = {0, 0, 0};
+        std::size_t checks[3] = {0, 0, 0};
+        std::size_t failed = 0; // summed across levels; must stay 0
+    };
+    const verify::VerifyLevel levels[3] = {verify::VerifyLevel::off,
+                                           verify::VerifyLevel::sampled,
+                                           verify::VerifyLevel::full};
+
+    const std::vector<bench::NamedCircuit> suite = bench::figure_suite();
+    std::vector<Row> rows(suite.size());
+
+    std::printf("verification overhead: off vs sampled vs full (Fig. 9 suite)\n\n");
+    for (int li = 0; li < 3; ++li) {
+        core::EpocOptions opt = base;
+        opt.verify_level = levels[li];
+        core::EpocCompiler compiler(opt); // fresh caches per level: equal GRAPE cost
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            std::fprintf(stderr, "  %-7s %-10s...\n", verify::level_name(levels[li]),
+                         suite[i].name.c_str());
+            const core::EpocResult r = compiler.compile(suite[i].circuit);
+            rows[i].name = suite[i].name;
+            rows[i].ms[li] = r.compile_ms;
+            rows[i].digest[li] = qoc::fnv1a64(core::schedule_to_json(r.schedule));
+            rows[i].checks[li] = r.verify.checks;
+            rows[i].failed += r.verify.failed + r.verify.revalidate_rejects;
+        }
+    }
+
+    std::printf("%-10s %9s %12s %12s %8s %8s %10s\n", "circuit", "off[ms]",
+                "sampled[ms]", "full[ms]", "ovh-smp", "ovh-full", "identical");
+    double total[3] = {0.0, 0.0, 0.0};
+    bool all_identical = true, all_clean = true;
+    for (const Row& r : rows) {
+        const bool same = r.digest[0] == r.digest[1] && r.digest[1] == r.digest[2];
+        all_identical = all_identical && same;
+        all_clean = all_clean && r.failed == 0;
+        for (int li = 0; li < 3; ++li) total[li] += r.ms[li];
+        const double base_ms = std::max(r.ms[0], 1e-9);
+        std::printf("%-10s %9.0f %12.0f %12.0f %+7.1f%% %+7.1f%% %10s\n",
+                    r.name.c_str(), r.ms[0], r.ms[1], r.ms[2],
+                    (r.ms[1] / base_ms - 1.0) * 100.0,
+                    (r.ms[2] / base_ms - 1.0) * 100.0, same ? "yes" : "NO");
+    }
+    const double base_total = std::max(total[0], 1e-9);
+    const double sampled_overhead = (total[1] / base_total - 1.0) * 100.0;
+    std::printf("\ntotal: off %.1fs, sampled %.1fs (%+.1f%%), full %.1fs (%+.1f%%); "
+                "bit-identical: %s; clean: %s\n",
+                total[0] / 1000.0, total[1] / 1000.0, sampled_overhead,
+                total[2] / 1000.0, (total[2] / base_total - 1.0) * 100.0,
+                all_identical ? "yes" : "NO", all_clean ? "yes" : "NO");
+    std::printf("sampled-overhead-budget: %s (%.1f%% vs 10%% ceiling)\n",
+                sampled_overhead < 10.0 ? "PASS" : "FAIL", sampled_overhead);
+    return (all_identical && all_clean && sampled_overhead < 10.0) ? 0 : 1;
+}

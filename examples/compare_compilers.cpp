@@ -16,6 +16,15 @@
 //   digest (FNV-1a of the JSON export). Run the binary twice against one
 //   directory: the second run reports zero GRAPE runs and the identical
 //   digest — the bit-identity check CI scripts against.
+//   --verify LEVEL (off|sampled|full) enables independent output auditing
+//   (src/verify/verify.h) on the EPOC compile and prints a `verify:` summary
+//   line plus the schedule digest. A clean full-verify run reports zero
+//   failures and the same digest as a --verify off run.
+//   --corrupt-store-entries rewrites every existing store entry with zeroed
+//   amplitudes but intact checksums (the post-checksum corruption only
+//   re-simulation can catch) *before* compiling. Against a warm directory
+//   with --verify=full, CI asserts detection (rejected/invalidated > 0) and
+//   digest equality with the clean run.
 #include "bench_circuits/generators.h"
 #include "epoc/baselines.h"
 #include "epoc/export.h"
@@ -34,6 +43,8 @@ int main(int argc, char** argv) {
     std::string trace_path;
     std::string store_dir;
     double deadline_ms = 0.0;
+    verify::VerifyLevel verify_level = verify::VerifyLevel::unset;
+    bool corrupt_store = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
@@ -41,12 +52,27 @@ int main(int argc, char** argv) {
             deadline_ms = std::atof(argv[++i]);
         } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
             store_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--verify") == 0 && i + 1 < argc) {
+            try {
+                verify_level = verify::level_from_name(argv[++i]);
+            } catch (const std::invalid_argument&) {
+                std::fprintf(stderr, "--verify wants off|sampled|full, got %s\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--corrupt-store-entries") == 0) {
+            corrupt_store = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--trace out.json] [--deadline-ms N] [--store DIR]\n",
+                         "usage: %s [--trace out.json] [--deadline-ms N] [--store DIR] "
+                         "[--verify off|sampled|full] [--corrupt-store-entries]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if (corrupt_store && store_dir.empty()) {
+        std::fprintf(stderr, "--corrupt-store-entries requires --store DIR\n");
+        return 2;
     }
     util::fault::configure_from_env();
 
@@ -70,7 +96,12 @@ int main(int argc, char** argv) {
     eopt.trace_enabled = !trace_path.empty() || !store_dir.empty();
     eopt.deadline_ms = deadline_ms;
     eopt.pulse_store_dir = store_dir;
+    eopt.verify_level = verify_level;
     core::EpocCompiler epoc_compiler(eopt);
+    if (corrupt_store && epoc_compiler.store() != nullptr) {
+        const std::size_t n = epoc_compiler.store()->corrupt_all_entries_for_test();
+        std::fprintf(stderr, "corrupted %zu store entries (post-checksum)\n", n);
+    }
     const core::EpocResult re = epoc_compiler.compile(c);
     if (re.degraded) {
         std::size_t fallbacks = 0;
@@ -100,13 +131,30 @@ int main(int argc, char** argv) {
     if (re.store_enabled) {
         const auto& ss = re.store_stats;
         std::printf("store: hits=%zu misses=%zu writes=%zu corrupt=%zu evicted=%zu "
-                    "bytes=%llu grape_runs=%llu\n",
+                    "invalidated=%zu rejected=%zu bytes=%llu grape_runs=%llu\n",
                     ss.hits, ss.misses, ss.writes, ss.corrupt, ss.evicted,
+                    ss.invalidated, re.library_stats.store_rejected,
                     static_cast<unsigned long long>(ss.bytes),
                     static_cast<unsigned long long>(
                         re.trace.counter("qoc.grape_runs")));
+    }
+
+    if (re.verify.level >= verify::VerifyLevel::sampled) {
+        // One grep-friendly line per run — the CI jobs assert on these fields.
+        std::printf("verify: level=%s checks=%zu passed=%zu failed=%zu unverified=%zu "
+                    "skipped=%zu revalidations=%zu rejects=%zu recomputes=%zu "
+                    "budget=%.3e clean=%s\n",
+                    verify::level_name(re.verify.level), re.verify.checks,
+                    re.verify.passed, re.verify.failed, re.verify.unverified,
+                    re.verify.skipped, re.verify.revalidations,
+                    re.verify.revalidate_rejects, re.verify.recomputes,
+                    re.verify.error_budget, re.verify.clean() ? "yes" : "no");
+    }
+
+    if (re.store_enabled || re.verify.level >= verify::VerifyLevel::sampled) {
         // Digest of the full JSON schedule: equal digests <=> bit-identical
-        // schedules, the contract a warm run must uphold.
+        // schedules — the contract a warm (or audited, or corrupted-then-
+        // recomputed) run must uphold against the clean run.
         std::printf("schedule-digest: %016llx\n",
                     static_cast<unsigned long long>(
                         qoc::fnv1a64(core::schedule_to_json(re.schedule))));

@@ -38,6 +38,7 @@ struct SynthFragment {
     bool use_original = false; ///< bridge or synthesis loss: emit blk.body
     Circuit local{0};        ///< otherwise: the synthesized local circuit
     util::BlockStatus status{util::Stage::synthesis, util::Cause::none, false, {}};
+    verify::Outcome verify = verify::Outcome::not_checked;
 };
 
 /// Per-block pulse outcome: zero jobs (identity), one job (the block pulse),
@@ -46,7 +47,24 @@ struct PulseFragment {
     bool visited = false;
     std::vector<PulseJob> jobs;
     util::BlockStatus status{util::Stage::pulse, util::Cause::none, false, {}};
+    verify::Outcome verify = verify::Outcome::not_checked;
+    double audit_err = 0.0; ///< per-fragment contribution to the error budget
 };
+
+/// Worst-outcome-wins fold for fragments auditing several pulses (the
+/// gate-by-gate rung): failed > unverified > passed > not_checked.
+verify::Outcome combine(verify::Outcome a, verify::Outcome b) {
+    auto rank = [](verify::Outcome o) {
+        switch (o) {
+        case verify::Outcome::failed: return 3;
+        case verify::Outcome::unverified: return 2;
+        case verify::Outcome::passed: return 1;
+        case verify::Outcome::not_checked: return 0;
+        }
+        return 0;
+    };
+    return rank(a) >= rank(b) ? a : b;
+}
 
 /// compile() boundary validation: structural problems are reported as a
 /// structured status instead of surfacing as a deep std::out_of_range from
@@ -84,6 +102,15 @@ util::BlockStatus validate_input(const Circuit& c) {
 EpocCompiler::EpocCompiler(EpocOptions opt)
     : opt_(std::move(opt)),
       tracer_(opt_.trace_enabled),
+      verifier_(
+          [&] {
+              // verify_opt carries the tuning knobs; the *level* comes from
+              // verify_level + EPOC_VERIFY (env wins only over `unset`).
+              verify::VerifyOptions v = opt_.verify_opt;
+              v.level = verify::resolve_level(opt_.verify_level);
+              return v;
+          }(),
+          &tracer_),
       pool_(opt_.num_threads),
       library_(opt_.phase_aware_library) {
     library_.set_tracer(&tracer_);
@@ -95,6 +122,20 @@ EpocCompiler::EpocCompiler(EpocOptions opt)
         sopt.max_bytes = opt_.pulse_store_max_bytes;
         store_ = std::make_unique<store::PulseStore>(std::move(sopt));
         library_.set_store(store_.get());
+    }
+    if (verifier_.enabled() && store_ != nullptr) {
+        // Store revalidation: sampled re-simulation of L2 hits, catching
+        // post-checksum damage (bytes intact, physics wrong). The sampling
+        // decision keys on the store key itself so it is deterministic across
+        // thread counts and processes. A rejected entry is quarantined by the
+        // library and regenerated as an ordinary miss.
+        library_.set_revalidator([this](const std::string& key,
+                                        const qoc::BlockHamiltonian& h,
+                                        const Matrix& target,
+                                        const qoc::LatencyResult& r) {
+            if (!verifier_.should_check_key(key)) return true;
+            return verifier_.revalidate(h, target, r);
+        });
     }
 }
 
@@ -113,6 +154,53 @@ util::Cause EpocCompiler::expiry_cause(const util::Deadline& deadline) const {
     (void)deadline;
     return (opt_.cancel != nullptr && opt_.cancel->cancelled()) ? util::Cause::cancelled
                                                                 : util::Cause::timeout;
+}
+
+EpocCompiler::AuditedPulse EpocCompiler::audit_pulse_result(
+    std::shared_ptr<const qoc::LatencyResult> lr, const qoc::BlockHamiltonian& h,
+    const Matrix& target, const qoc::LatencySearchOptions& lopt,
+    util::BlockStatus& status) {
+    AuditedPulse out;
+    out.result = std::move(lr);
+    out.fidelity = out.result->pulse.fidelity;
+    // Only authoritative, feasible results are worth auditing (the degraded
+    // rungs already carry an honest cause), and sampled mode audits only the
+    // deterministic unitary-keyed subset.
+    if (!verifier_.enabled() || !out.result->feasible || !out.result->authoritative() ||
+        !verifier_.should_check_unitary(target))
+        return out;
+
+    double err = 0.0;
+    double resim = 0.0;
+    out.outcome = verifier_.audit_pulse(h, target, *out.result, &err, &resim);
+    out.audit_err = err;
+    out.fidelity = resim;
+    if (out.outcome != verify::Outcome::failed) return out;
+
+    // Recompute-once rung: the recorded fidelity disagrees with the re-
+    // simulated physics. Evict exactly the rejected value from memory and
+    // store (compare-and-evict, so concurrent holders trigger one
+    // regeneration) and audit the honest re-run.
+    tracer_.add_counter("verify.pulse_audit_failures");
+    verifier_.note_recompute();
+    const std::shared_ptr<const qoc::LatencyResult> fresh =
+        library_.regenerate(h, target, lopt, out.result);
+    out.outcome = verifier_.audit_pulse(h, target, *fresh, &err, &resim);
+    out.result = fresh;
+    out.audit_err = err;
+    out.fidelity = resim;
+    status.cause = util::Cause::verify_failed;
+    if (out.outcome == verify::Outcome::failed) {
+        // Still wrong after the recompute: the caller must fall a rung, or —
+        // when no finer rung exists — ship the re-simulated fidelity instead
+        // of the proven-untrustworthy recorded one.
+        out.resolved = false;
+        status.fallback_taken = true;
+        if (status.detail.empty()) status.detail = "pulse audit failed after recompute";
+    } else {
+        if (status.detail.empty()) status.detail = "bad pulse detected; recomputed";
+    }
+    return out;
 }
 
 Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBlock>& blocks,
@@ -156,12 +244,42 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
                     return;
                 }
 
+                // Independent synthesis oracle: the circuit about to replace
+                // this block must realise its unitary. Tolerance is the
+                // synthesis threshold with an order of magnitude of slack —
+                // the oracle hunts wrong circuits, not marginal convergence.
+                const double synth_tol = std::max(10.0 * opt_.qsearch.threshold, 1e-8);
+                const bool audit_this =
+                    verifier_.enabled() && verifier_.should_check_unitary(u);
+                // True when the audit did not fail (passed / unverified /
+                // sampled out); records the outcome on the fragment.
+                const auto audit_synth = [&]() {
+                    if (!audit_this) return true;
+                    frag.verify =
+                        verifier_.check_synthesized_block(u, frag.local, synth_tol);
+                    return frag.verify != verify::Outcome::failed;
+                };
+                // Deterministic analytic paths (ZYZ, KAK) fall straight back
+                // to the original gates on an audit failure: re-running a
+                // deterministic decomposition would reproduce the bug.
+                const auto analytic_audit_or_fallback = [&]() {
+                    if (audit_synth()) return;
+                    frag.local = Circuit(0);
+                    frag.use_original = true;
+                    frag.status.cause = util::Cause::verify_failed;
+                    frag.status.fallback_taken = true;
+                    frag.status.detail = "synthesis audit failed; original gates kept";
+                    tracer_.add_counter("verify.synth_audit_failures");
+                    tracer_.add_counter("robust.synth_fallbacks");
+                };
+
                 if (blk.qubits.size() == 1) {
                     // Single-qubit blocks synthesize exactly via ZYZ: one VUG.
                     const circuit::Zyz e = circuit::zyz_decompose(u);
                     Circuit local(1);
                     local.u3(e.theta, e.phi, e.lambda, 0);
                     frag.local = std::move(local);
+                    analytic_audit_or_fallback();
                     return;
                 }
 
@@ -172,49 +290,50 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
                     tracer_.add_counter("synth.kak_fast_path");
                     const circuit::Circuit kc =
                         circuit::peephole_optimize(synthesis::kak_synthesize(u));
-                    if (kc.two_qubit_count() <= blk.body.two_qubit_count())
+                    if (kc.two_qubit_count() <= blk.body.two_qubit_count()) {
                         frag.local = kc;
-                    else
+                        analytic_audit_or_fallback();
+                    } else {
                         frag.use_original = true;
+                    }
                     return;
                 }
 
                 const std::string key = linalg::phase_canonical_key(u, 6);
-                const std::shared_ptr<const synthesis::SynthesisResult> sr =
-                    synth_cache_.get_or_compute(
-                        key,
-                        [&] {
-                            // Single-flight: exactly one QSearch/LEAP run per
-                            // distinct unitary, so these counters match the
-                            // sequential schedule for every thread count.
-                            const util::Tracer::Span qspan = tracer_.span(
-                                "qsearch " + std::to_string(blk.qubits.size()) + "q",
-                                "synthesis");
-                            util::fault::maybe_throw("synth.compute");
-                            synthesis::QSearchOptions qopt = opt_.qsearch;
-                            qopt.deadline = &deadline;
-                            synthesis::SynthesisResult r =
-                                synthesis::qsearch_synthesize(u, qopt);
-                            if (!r.converged && !r.timed_out && opt_.leap_fallback) {
-                                const util::Tracer::Span lspan = tracer_.span(
-                                    "leap " + std::to_string(blk.qubits.size()) + "q",
-                                    "synthesis");
-                                tracer_.add_counter("synth.leap_fallbacks");
-                                synthesis::LeapOptions lo;
-                                lo.threshold = opt_.qsearch.threshold;
-                                lo.instantiate = opt_.qsearch.instantiate;
-                                lo.deadline = &deadline;
-                                synthesis::SynthesisResult leap =
-                                    synthesis::leap_synthesize(u, lo);
-                                if (leap.distance < r.distance) r = std::move(leap);
-                            }
-                            tracer_.add_counter(r.converged ? "synth.converged"
-                                                            : "synth.unconverged");
-                            return r;
-                        },
-                        // Timed-out searches are best-effort, not the answer
-                        // for this unitary: never store them.
-                        [](const synthesis::SynthesisResult& r) { return !r.timed_out; });
+                const auto compute = [&] {
+                    // Single-flight: exactly one QSearch/LEAP run per
+                    // distinct unitary, so these counters match the
+                    // sequential schedule for every thread count.
+                    const util::Tracer::Span qspan = tracer_.span(
+                        "qsearch " + std::to_string(blk.qubits.size()) + "q",
+                        "synthesis");
+                    util::fault::maybe_throw("synth.compute");
+                    synthesis::QSearchOptions qopt = opt_.qsearch;
+                    qopt.deadline = &deadline;
+                    synthesis::SynthesisResult r = synthesis::qsearch_synthesize(u, qopt);
+                    if (!r.converged && !r.timed_out && opt_.leap_fallback) {
+                        const util::Tracer::Span lspan = tracer_.span(
+                            "leap " + std::to_string(blk.qubits.size()) + "q",
+                            "synthesis");
+                        tracer_.add_counter("synth.leap_fallbacks");
+                        synthesis::LeapOptions lo;
+                        lo.threshold = opt_.qsearch.threshold;
+                        lo.instantiate = opt_.qsearch.instantiate;
+                        lo.deadline = &deadline;
+                        synthesis::SynthesisResult leap = synthesis::leap_synthesize(u, lo);
+                        if (leap.distance < r.distance) r = std::move(leap);
+                    }
+                    tracer_.add_counter(r.converged ? "synth.converged"
+                                                    : "synth.unconverged");
+                    return r;
+                };
+                // Timed-out searches are best-effort, not the answer for this
+                // unitary: never store them.
+                const auto cacheable = [](const synthesis::SynthesisResult& r) {
+                    return !r.timed_out;
+                };
+                std::shared_ptr<const synthesis::SynthesisResult> sr =
+                    synth_cache_.get_or_compute(key, compute, cacheable);
                 // Synthesis is an optimization, not an obligation: if the
                 // searched circuit carries no fewer entangling gates than the
                 // original block (or missed the accuracy target), keep the
@@ -231,10 +350,41 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
                     frag.status.cause = expiry_cause(deadline);
                     frag.status.fallback_taken = !synth_wins;
                 }
-                if (synth_wins)
-                    frag.local = sr->circuit;
-                else
+                if (!synth_wins) {
                     frag.use_original = true;
+                    return;
+                }
+                frag.local = sr->circuit;
+                // Silent-corruption site for tests/CI: a plausible but *wrong*
+                // synthesized circuit — status says converged, distance says
+                // fine, only an independent audit can tell. Deliberately not
+                // gated on the verifier, so verify=off demonstrably ships it.
+                if (util::fault::maybe_fail("synth.badcircuit") &&
+                    frag.local.num_qubits() > 0)
+                    frag.local.x(0);
+                if (audit_synth()) return;
+                // Recompute-once rung: the cached entry may be poisoned (a
+                // collision, a stale build's result, injected corruption) —
+                // evict exactly that value and re-search before giving up.
+                tracer_.add_counter("verify.synth_audit_failures");
+                verifier_.note_recompute();
+                synth_cache_.erase_if(key, sr);
+                sr = synth_cache_.get_or_compute(key, compute, cacheable);
+                frag.local = sr->circuit;
+                if (util::fault::maybe_fail("synth.badcircuit") &&
+                    frag.local.num_qubits() > 0)
+                    frag.local.x(0);
+                if (audit_synth()) {
+                    frag.status.cause = util::Cause::verify_failed;
+                    frag.status.detail = "bad synthesized circuit detected; recomputed";
+                    return;
+                }
+                frag.local = Circuit(0);
+                frag.use_original = true;
+                frag.status.cause = util::Cause::verify_failed;
+                frag.status.fallback_taken = true;
+                frag.status.detail = "synthesis audit failed after recompute";
+                tracer_.add_counter("robust.synth_fallbacks");
             } catch (const util::fault::InjectedFault& e) {
                 frag.skip = false;
                 frag.use_original = true;
@@ -277,7 +427,7 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
             {util::Stage::synthesis, i,
              "synth block " + std::to_string(i) + " (" +
                  std::to_string(blocks[i].qubits.size()) + "q)",
-             frag.status});
+             frag.status, frag.verify});
         if (!frag.status.ok()) res.degraded = true;
         if (frag.skip) continue;
         flat.append_mapped(frag.use_original ? blocks[i].body : frag.local,
@@ -289,7 +439,7 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
 
 std::vector<PulseJob> EpocCompiler::gate_fallback_jobs(
     const partition::CircuitBlock& blk, const qoc::LatencySearchOptions& lopt,
-    util::BlockStatus& status) {
+    util::BlockStatus& status, verify::Outcome& outcome, double& audit_err) {
     std::vector<PulseJob> out;
     for (const Gate& g : blk.body.gates()) {
         // Block bodies are local-indexed; map back to global qubit ids.
@@ -300,8 +450,9 @@ std::vector<PulseJob> EpocCompiler::gate_fallback_jobs(
         if (is_identity_unitary(gu)) continue;
         try {
             util::fault::maybe_throw("pulse.gate");
-            const std::shared_ptr<const qoc::LatencyResult> lr =
-                library_.get_or_generate(hamiltonian(g.arity()), gu, lopt);
+            const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+            std::shared_ptr<const qoc::LatencyResult> lr =
+                library_.get_or_generate(h, gu, lopt);
             if (!lr->feasible) {
                 // Bottom of the ladder for real pulse data: ship the
                 // best-so-far (below-threshold) pulse, flagged.
@@ -310,7 +461,18 @@ std::vector<PulseJob> EpocCompiler::gate_fallback_jobs(
                 status.fallback_taken = true;
                 tracer_.add_counter("qoc.infeasible_blocks");
             }
-            out.push_back(PulseJob{gq, lr->pulse.duration(), lr->pulse.fidelity, ""});
+            const AuditedPulse audited =
+                audit_pulse_result(std::move(lr), h, gu, lopt, status);
+            outcome = combine(outcome, audited.outcome);
+            audit_err += audited.audit_err;
+            double f = audited.result->pulse.fidelity;
+            if (!audited.resolved) {
+                // No finer rung below a single gate: ship the re-simulated
+                // fidelity in place of the untrustworthy recorded one.
+                f = audited.fidelity;
+                tracer_.add_counter("robust.untrusted_fidelity_shipped");
+            }
+            out.push_back(PulseJob{gq, audited.result->pulse.duration(), f, ""});
         } catch (const std::exception& e) {
             // Rung 3: a placeholder pulse with worst-case duration and zero
             // fidelity — structurally schedulable, and impossible to mistake
@@ -338,7 +500,7 @@ std::vector<PulseJob> EpocCompiler::gate_fallback_jobs(
 /// infeasible, degraded, or errored fall back to gate-by-gate pulses.
 std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
     const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity,
-    const util::Deadline& deadline, EpocResult& res) {
+    const util::Deadline& deadline, EpocResult& res, double& audit_err) {
     // Warm the Hamiltonian cache sequentially so the parallel loop only ever
     // takes the short lookup lock.
     for (const partition::CircuitBlock& blk : blocks)
@@ -372,9 +534,10 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
                 const Matrix u = partition::block_unitary(blk);
                 if (is_identity_unitary(u)) return;
                 util::fault::maybe_throw("pulse.block");
+                const qoc::BlockHamiltonian& ham =
+                    hamiltonian(static_cast<int>(blk.qubits.size()));
                 const std::shared_ptr<const qoc::LatencyResult> lr =
-                    library_.get_or_generate(
-                        hamiltonian(static_cast<int>(blk.qubits.size())), u, lopt);
+                    library_.get_or_generate(ham, u, lopt);
                 if (coarse_granularity &&
                     lopt.slot_granularity > opt_.latency.slot_granularity) {
                     // Regression guards for the cache-key collision: the coarse
@@ -388,8 +551,23 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
                         tracer_.add_counter("qoc.coarse_granularity_violations");
                 }
                 if (lr->feasible && lr->authoritative()) {
-                    frag.jobs.push_back(
-                        PulseJob{blk.qubits, lr->pulse.duration(), lr->pulse.fidelity, ""});
+                    const AuditedPulse audited =
+                        audit_pulse_result(lr, ham, u, lopt, frag.status);
+                    frag.verify = audited.outcome;
+                    if (audited.resolved) {
+                        frag.audit_err = audited.audit_err;
+                        frag.jobs.push_back(PulseJob{blk.qubits,
+                                                     audited.result->pulse.duration(),
+                                                     audited.result->pulse.fidelity, ""});
+                        return;
+                    }
+                    // Audit still failed after the recompute: fall to the
+                    // gate-by-gate rung (the rejected block pulse is not
+                    // shipped, so its audit error does not enter the budget).
+                    tracer_.add_counter("robust.pulse_block_fallbacks");
+                    frag.jobs =
+                        gate_fallback_jobs(blk, fine_opt, frag.status, frag.verify,
+                                           frag.audit_err);
                     return;
                 }
                 // Ladder rung 2: the block pulse is infeasible or degraded —
@@ -407,26 +585,30 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
                 }
                 frag.status.fallback_taken = true;
                 tracer_.add_counter("robust.pulse_block_fallbacks");
-                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status);
+                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status, frag.verify,
+                                               frag.audit_err);
             } catch (const util::fault::InjectedFault& e) {
                 frag.status.cause = util::Cause::injected;
                 frag.status.fallback_taken = true;
                 frag.status.detail = e.what();
                 tracer_.add_counter("robust.injected_faults");
                 tracer_.add_counter("robust.pulse_block_fallbacks");
-                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status);
+                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status, frag.verify,
+                                               frag.audit_err);
             } catch (const std::exception& e) {
                 frag.status.cause = util::Cause::exception;
                 frag.status.fallback_taken = true;
                 frag.status.detail = e.what();
                 tracer_.add_counter("robust.pulse_block_fallbacks");
-                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status);
+                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status, frag.verify,
+                                               frag.audit_err);
             } catch (...) {
                 frag.status.cause = util::Cause::exception;
                 frag.status.fallback_taken = true;
                 frag.status.detail = "unknown exception";
                 tracer_.add_counter("robust.pulse_block_fallbacks");
-                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status);
+                frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status, frag.verify,
+                                               frag.audit_err);
             }
         },
         opt_.cancel);
@@ -459,8 +641,9 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
             {util::Stage::pulse, i,
              std::string(coarse_granularity ? "grouped block " : "pulse block ") +
                  std::to_string(i) + " (" + std::to_string(blocks[i].qubits.size()) + "q)",
-             frag.status});
+             frag.status, frag.verify});
         if (!frag.status.ok()) res.degraded = true;
+        audit_err += frag.audit_err; // deterministic block-merge order
         if (frag.jobs.empty()) continue;
         const bool split = frag.jobs.size() > 1;
         for (std::size_t j = 0; j < frag.jobs.size(); ++j) {
@@ -476,6 +659,8 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
 
 EpocResult EpocCompiler::compile(const Circuit& c) {
     EpocResult res;
+    verifier_.begin_compile(); // per-compile audit tally
+    res.verify.level = verifier_.options().level;
     res.status = validate_input(c);
     res.threads_used = pool_.num_threads();
     if (!res.status.ok()) {
@@ -516,7 +701,23 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
                     const util::Tracer::Span span = tracer_.span("zx", "pipeline");
                     util::fault::maybe_throw("zx.fail");
                     zx::ZxOptimizeResult zr = zx::zx_optimize(c);
-                    current = std::move(zr.circuit);
+                    // Stage oracle: the rewritten circuit must still be the
+                    // input up to global phase. ZX is deterministic, so a
+                    // failed audit keeps the original circuit outright — a
+                    // re-run would reproduce the bug.
+                    const verify::Outcome vo =
+                        verifier_.check_circuit_equiv(c, zr.circuit, "zx");
+                    if (vo == verify::Outcome::failed) {
+                        res.block_reports.push_back(
+                            {util::Stage::zx, 0, "zx",
+                             {util::Stage::zx, util::Cause::verify_failed, true,
+                              "zx equivalence audit failed; original circuit kept"},
+                             vo});
+                        res.degraded = true;
+                        tracer_.add_counter("robust.zx_fallbacks");
+                    } else {
+                        current = std::move(zr.circuit);
+                    }
                 } catch (const std::exception& e) {
                     const bool injected =
                         dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr;
@@ -547,9 +748,24 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
             part_span.end();
             res.num_blocks = blocks.size();
             tracer_.add_counter("pipeline.blocks", blocks.size());
-            const util::Tracer::Span span = tracer_.span("synthesis", "pipeline");
-            current = synthesize_blocks(blocks, current.num_qubits(), res.synthesis_ms,
-                                        deadline, res);
+            // Stage oracle: the block list must reproduce the circuit it
+            // partitions. A failed audit skips synthesis entirely (the
+            // blocks are the synthesis input) and keeps `current`.
+            const verify::Outcome vo =
+                verifier_.check_blocks_equiv(current, blocks, "partition");
+            if (vo == verify::Outcome::failed) {
+                res.block_reports.push_back(
+                    {util::Stage::partition, 0, "partition",
+                     {util::Stage::partition, util::Cause::verify_failed, true,
+                      "partition equivalence audit failed; synthesis skipped"},
+                     vo});
+                res.degraded = true;
+                tracer_.add_counter("robust.partition_fallbacks");
+            } else {
+                const util::Tracer::Span span = tracer_.span("synthesis", "pipeline");
+                current = synthesize_blocks(blocks, current.num_qubits(),
+                                            res.synthesis_ms, deadline, res);
+            }
         } catch (const std::exception& e) {
             const bool injected =
                 dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr;
@@ -596,8 +812,9 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
                     const Matrix u = g.unitary();
                     if (is_identity_unitary(u)) return;
                     util::fault::maybe_throw("pulse.gate");
-                    const std::shared_ptr<const qoc::LatencyResult> lr =
-                        library_.get_or_generate(hamiltonian(g.arity()), u, fine_opt);
+                    const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+                    std::shared_ptr<const qoc::LatencyResult> lr =
+                        library_.get_or_generate(h, u, fine_opt);
                     if (!lr->feasible) {
                         // A single gate has no finer rung: ship the best
                         // below-threshold pulse, flagged.
@@ -610,8 +827,20 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
                                                 ? expiry_cause(deadline)
                                                 : util::Cause::nonfinite;
                     }
-                    frag.jobs.push_back(PulseJob{g.qubits, lr->pulse.duration(),
-                                                 lr->pulse.fidelity, kind_name(g.kind)});
+                    const AuditedPulse audited =
+                        audit_pulse_result(std::move(lr), h, u, fine_opt, frag.status);
+                    frag.verify = audited.outcome;
+                    frag.audit_err = audited.audit_err;
+                    double f = audited.result->pulse.fidelity;
+                    if (!audited.resolved) {
+                        // No finer rung below a single gate: ship with the
+                        // re-simulated fidelity instead of the recorded one.
+                        f = audited.fidelity;
+                        tracer_.add_counter("robust.untrusted_fidelity_shipped");
+                    }
+                    frag.jobs.push_back(PulseJob{g.qubits,
+                                                 audited.result->pulse.duration(), f,
+                                                 kind_name(g.kind)});
                 } catch (const std::exception& e) {
                     const bool injected =
                         dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr;
@@ -631,6 +860,7 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
             opt_.cancel);
         std::vector<PulseJob> fine_jobs;
         fine_jobs.reserve(current.size());
+        double fine_budget = 0.0; // audited |recorded - resim| sum, fine arm
         for (std::size_t i = 0; i < current.size(); ++i) {
             PulseFragment& frag = fine_frags[i];
             if (!frag.visited) {
@@ -648,8 +878,9 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
             res.block_reports.push_back({util::Stage::pulse, i,
                                          "gate " + std::to_string(i) + " (" +
                                              kind_name(current.gate(i).kind) + ")",
-                                         frag.status});
+                                         frag.status, frag.verify});
             if (!frag.status.ok()) res.degraded = true;
+            fine_budget += frag.audit_err; // deterministic gate-merge order
             for (PulseJob& job : frag.jobs) fine_jobs.push_back(std::move(job));
         }
         fine_span.end();
@@ -657,6 +888,7 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
         const PulseSchedule fine = schedule_asap(fine_jobs, c.num_qubits());
         sched_span.end();
 
+        double shipped_budget = fine_budget; // replaced if the grouped arm wins
         if (opt_.regroup_enabled && deadline.expired()) {
             // No budget left for a second arm: ship the fine-grained one.
             res.block_reports.push_back(
@@ -674,19 +906,38 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
                     regroup(current, opt_.regroup_opt);
                 regroup_span.end();
                 tracer_.add_counter("pipeline.regroup_blocks", groups.size());
-                util::Tracer::Span grouped_span =
-                    tracer_.span("pulses grouped", "pipeline");
-                const std::vector<PulseJob> jobs =
-                    pulse_jobs_for_blocks(groups, /*coarse_granularity=*/true, deadline,
-                                          res);
-                grouped_span.end();
-                util::Tracer::Span gs_span = tracer_.span("schedule asap", "pipeline");
-                const PulseSchedule grouped = schedule_asap(jobs, c.num_qubits());
-                gs_span.end();
-                const bool grouped_wins = grouped.latency <= fine.latency;
-                tracer_.add_counter(grouped_wins ? "pipeline.grouped_arm_wins"
-                                                 : "pipeline.fine_arm_wins");
-                res.schedule = grouped_wins ? grouped : fine;
+                // Stage oracle: the regrouped block-unitary product must
+                // still be the synthesized circuit. Deterministic stage, so a
+                // failed audit drops the grouped arm instead of re-running.
+                const verify::Outcome vo =
+                    verifier_.check_blocks_equiv(current, groups, "regroup");
+                if (vo == verify::Outcome::failed) {
+                    res.block_reports.push_back(
+                        {util::Stage::regroup, 0, "regroup",
+                         {util::Stage::regroup, util::Cause::verify_failed, true,
+                          "regroup equivalence audit failed; fine-grained arm kept"},
+                         vo});
+                    res.degraded = true;
+                    tracer_.add_counter("robust.regroup_fallbacks");
+                    res.schedule = fine;
+                } else {
+                    util::Tracer::Span grouped_span =
+                        tracer_.span("pulses grouped", "pipeline");
+                    double grouped_budget = 0.0;
+                    const std::vector<PulseJob> jobs =
+                        pulse_jobs_for_blocks(groups, /*coarse_granularity=*/true,
+                                              deadline, res, grouped_budget);
+                    grouped_span.end();
+                    util::Tracer::Span gs_span =
+                        tracer_.span("schedule asap", "pipeline");
+                    const PulseSchedule grouped = schedule_asap(jobs, c.num_qubits());
+                    gs_span.end();
+                    const bool grouped_wins = grouped.latency <= fine.latency;
+                    tracer_.add_counter(grouped_wins ? "pipeline.grouped_arm_wins"
+                                                     : "pipeline.fine_arm_wins");
+                    res.schedule = grouped_wins ? grouped : fine;
+                    if (grouped_wins) shipped_budget = grouped_budget;
+                }
             } catch (const std::exception& e) {
                 const bool injected =
                     dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr;
@@ -703,6 +954,7 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
         } else {
             res.schedule = fine;
         }
+        if (verifier_.enabled()) verifier_.set_error_budget(shipped_budget);
         res.qoc_ms = ms_since(t0);
     }
     res.num_pulses = res.schedule.pulses.size();
@@ -717,6 +969,7 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
         res.store_stats = store_->stats();
     }
     res.deadline_hit = deadline.armed() && deadline.expired();
+    res.verify = verifier_.summary();
     if (res.degraded) {
         // Surface the first failure as the compile-level status (the full
         // account is in block_reports).
@@ -751,6 +1004,18 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
             tracer_.set_counter("store.corrupt", res.store_stats.corrupt);
             tracer_.set_counter("store.evicted", res.store_stats.evicted);
             tracer_.set_counter("store.bytes", res.store_stats.bytes);
+            tracer_.set_counter("store.invalidated", res.store_stats.invalidated);
+        }
+        if (verifier_.enabled()) {
+            tracer_.set_counter("verify.checks", res.verify.checks);
+            tracer_.set_counter("verify.passed", res.verify.passed);
+            tracer_.set_counter("verify.failed", res.verify.failed);
+            tracer_.set_counter("verify.unverified", res.verify.unverified);
+            tracer_.set_counter("verify.skipped", res.verify.skipped);
+            tracer_.set_counter("verify.revalidations", res.verify.revalidations);
+            tracer_.set_counter("verify.revalidate_rejects",
+                                res.verify.revalidate_rejects);
+            tracer_.set_counter("verify.recomputes", res.verify.recomputes);
         }
         res.trace = tracer_.report();
     }

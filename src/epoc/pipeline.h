@@ -47,6 +47,7 @@
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
+#include "verify/verify.h"
 #include "zx/optimize.h"
 
 #include <map>
@@ -103,6 +104,18 @@ struct EpocOptions {
     /// Byte budget for the store directory (LRU-by-mtime compaction keeps it
     /// under this); <= 0 disables compaction. Ignored when no store is set.
     std::uint64_t pulse_store_max_bytes = 256ull << 20;
+    /// Independent output auditing (src/verify/verify.h): `off` disables
+    /// every check (the compile is bit-identical to a verifier-less build),
+    /// `sampled` audits stage equivalence always and per-block artifacts on a
+    /// deterministic subset, `full` audits everything. The default `unset`
+    /// resolves through the EPOC_VERIFY environment variable (off|sampled|
+    /// full), falling back to off — an explicitly set option always wins.
+    /// Audit failures never throw: they take the degradation ladder as
+    /// Cause::verify_failed (recompute once, then fall a rung).
+    verify::VerifyLevel verify_level = verify::VerifyLevel::unset;
+    /// Verifier tolerances and sampling knobs. Its `level` field is ignored —
+    /// the level always comes from `verify_level` above.
+    verify::VerifyOptions verify_opt;
 
     EpocOptions() {
         // Cheaper defaults than the standalone synthesizer: blocks repeat, the
@@ -124,6 +137,11 @@ struct BlockReport {
     std::size_t index = 0;
     std::string label; ///< human-readable, e.g. "synth block 3 (2q)"
     util::BlockStatus status;
+    /// What the independent audit concluded about this unit of work:
+    /// not_checked (verification off / sampled out), passed, failed (the
+    /// status then carries Cause::verify_failed), or unverified (the
+    /// verifier itself failed — the artifact shipped unaudited).
+    verify::Outcome verify = verify::Outcome::not_checked;
 };
 
 struct EpocResult {
@@ -184,6 +202,12 @@ struct EpocResult {
     util::BlockStatus status;
     /// True when the compile deadline (or cancel token) expired at any point.
     bool deadline_hit = false;
+    /// Per-compile verification tally: level, check/pass/fail/unverified
+    /// counts, store revalidations and rejects, recomputes, and the shipped
+    /// schedule's audited error budget (sum over audited pulses of
+    /// |recorded - re-simulated| fidelity). Level `off` with zero counts
+    /// unless verify_level resolved to sampled/full.
+    verify::VerifySummary verify;
     /// One entry per unit of per-block work, in deterministic block order:
     /// every synthesis block, every grouped-arm pulse block, every
     /// fine-grained gate pulse — clean or not ("every block accounted for").
@@ -209,8 +233,28 @@ public:
     /// that degraded under a tight budget genuinely re-attempts its blocks
     /// when re-run with more slack.
     void set_deadline_ms(double ms) { opt_.deadline_ms = ms; }
+    /// The compiler's verifier (enabled iff verify_level resolved to
+    /// sampled/full; see EpocOptions::verify_level).
+    const verify::Verifier& verifier() const { return verifier_; }
 
 private:
+    /// One pulse result through the schedule audit, with the recompute-once
+    /// rung applied. `result` is what to ship: the original on pass /
+    /// not-checked / unverified, the regenerated one after a cured failure.
+    struct AuditedPulse {
+        std::shared_ptr<const qoc::LatencyResult> result;
+        verify::Outcome outcome = verify::Outcome::not_checked;
+        /// |recorded - re-simulated| fidelity of the shipped result.
+        double audit_err = 0.0;
+        /// Re-simulated fidelity of the shipped result (== recorded within
+        /// tolerance whenever the audit passed).
+        double fidelity = 0.0;
+        /// False when the audit still failed after the recompute: the caller
+        /// must fall a rung, or — when no finer rung exists — ship with the
+        /// re-simulated fidelity instead of the untrustworthy recorded one.
+        bool resolved = true;
+    };
+
     const qoc::BlockHamiltonian& hamiltonian(int num_qubits);
     util::Cause expiry_cause(const util::Deadline& deadline) const;
     circuit::Circuit synthesize_blocks(const std::vector<partition::CircuitBlock>& blocks,
@@ -218,15 +262,28 @@ private:
                                        const util::Deadline& deadline, EpocResult& res);
     std::vector<PulseJob> pulse_jobs_for_blocks(
         const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity,
-        const util::Deadline& deadline, EpocResult& res);
+        const util::Deadline& deadline, EpocResult& res, double& audit_err);
     /// Ladder rung 2: one pulse per gate of `blk.body` (mapped to global
     /// qubits); rung 3 inside substitutes a placeholder job on failure.
+    /// Audited pulses fold their outcome into `outcome` (worst wins) and
+    /// their audit error into `audit_err`.
     std::vector<PulseJob> gate_fallback_jobs(const partition::CircuitBlock& blk,
                                              const qoc::LatencySearchOptions& lopt,
-                                             util::BlockStatus& status);
+                                             util::BlockStatus& status,
+                                             verify::Outcome& outcome, double& audit_err);
+    /// Schedule audit for one generated pulse (only called on feasible,
+    /// authoritative, sampled-in results): audit, recompute once on failure
+    /// via PulseLibrary::regenerate, re-audit. Updates `status` with
+    /// Cause::verify_failed when an audit failure was detected (cured or not).
+    AuditedPulse audit_pulse_result(std::shared_ptr<const qoc::LatencyResult> lr,
+                                    const qoc::BlockHamiltonian& h,
+                                    const linalg::Matrix& target,
+                                    const qoc::LatencySearchOptions& lopt,
+                                    util::BlockStatus& status);
 
     EpocOptions opt_;
     util::Tracer tracer_; ///< declared before library_, which holds a pointer
+    verify::Verifier verifier_; ///< declared after tracer_ (holds a pointer)
     util::ThreadPool pool_;
     /// Declared before library_, which holds a non-owning PulseTier pointer.
     std::unique_ptr<store::PulseStore> store_;

@@ -175,6 +175,18 @@ Pulse grape_optimize(const BlockHamiltonian& h, const Matrix& target, int num_sl
         }
     }
     best.nonfinite_reseeds = reseeds;
+    if (best_f < 0.0) {
+        // No iterate was ever scored: the deadline expired before the first
+        // forward pass, or every pass went non-finite within the retry
+        // budget. `best` still holds its initial amplitudes whose fidelity
+        // field is the default 0.0 — a number with no relation to the
+        // amplitudes' physics. The contract (which the verify layer audits)
+        // is that the returned fidelity always corresponds to the returned
+        // amplitudes, so score them here with the same overlap formula the
+        // optimizer uses.
+        const double f = std::abs(overlap(target, pulse_unitary(h, best))) / d;
+        best.fidelity = std::isfinite(f) ? f : 0.0;
+    }
     return best;
 }
 

@@ -2,6 +2,8 @@
 
 #include "util/fault_injection.h"
 
+#include <algorithm>
+
 namespace epoc::qoc {
 
 LatencyResult find_minimal_latency_pulse(const BlockHamiltonian& h, const Matrix& target,
@@ -79,6 +81,17 @@ LatencyResult find_minimal_latency_pulse(const BlockHamiltonian& h, const Matrix
         }
     }
     res.pulse = best;
+    if (util::fault::maybe_fail("latency.badpulse")) {
+        // Silent-corruption site: zero the amplitudes but keep the recorded
+        // fidelity and every status flag. Unlike the other sites, `injected`
+        // is deliberately NOT set — the result still looks authoritative, so
+        // checksums, cache keying, and the degradation ladder all wave it
+        // through. Only re-simulation (the verify layer's schedule audit and
+        // store revalidation) can catch it; this site exists to prove that
+        // it does.
+        for (auto& line : res.pulse.amplitudes)
+            std::fill(line.begin(), line.end(), 0.0);
+    }
     return res;
 }
 

@@ -57,11 +57,22 @@ std::shared_ptr<const LatencyResult> PulseLibrary::get_or_generate(
             // per key however many threads raced here.
             if (store_ != nullptr) {
                 if (std::optional<LatencyResult> stored = store_->load(key)) {
-                    // L2 hit: promote to memory verbatim. No GRAPE ran, so
-                    // none of the qoc.* generation counters move.
-                    store_hits_.fetch_add(1, std::memory_order_relaxed);
-                    if (tracer_ != nullptr) tracer_->add_counter("qoc.store_promotions");
-                    return std::move(*stored);
+                    if (!revalidator_ || revalidator_(key, h, target, *stored)) {
+                        // L2 hit: promote to memory verbatim. No GRAPE ran,
+                        // so none of the qoc.* generation counters move.
+                        store_hits_.fetch_add(1, std::memory_order_relaxed);
+                        if (tracer_ != nullptr)
+                            tracer_->add_counter("qoc.store_promotions");
+                        return std::move(*stored);
+                    }
+                    // Revalidation rejected the entry: its bytes were intact
+                    // (the load passed the checksum) but its physics is
+                    // wrong. Quarantine it in the tier and fall through to
+                    // GRAPE exactly as if the probe had missed.
+                    store_rejected_.fetch_add(1, std::memory_order_relaxed);
+                    if (tracer_ != nullptr)
+                        tracer_->add_counter("qoc.store_rejections");
+                    store_->invalidate(key);
                 }
                 store_misses_.fetch_add(1, std::memory_order_relaxed);
             }
@@ -105,6 +116,18 @@ std::shared_ptr<const LatencyResult> PulseLibrary::get_or_generate(
         // evicted, so a later compile with slack (or without injected faults)
         // re-attempts instead of being served a degraded "hit".
         [](const LatencyResult& r) { return r.authoritative(); });
+}
+
+std::shared_ptr<const LatencyResult> PulseLibrary::regenerate(
+    const BlockHamiltonian& h, const Matrix& target, const LatencySearchOptions& opt,
+    const std::shared_ptr<const LatencyResult>& bad) {
+    const std::string key = key_of(h, target, opt);
+    // Only the eviction winner touches the tier: a loser arriving after the
+    // winner's fresh result was written back must not quarantine that fresh
+    // entry. Losers fall straight through to get_or_generate, which waits on
+    // or hits the winner's replacement.
+    if (cache_.erase_if(key, bad) && store_ != nullptr) store_->invalidate(key);
+    return get_or_generate(h, target, opt);
 }
 
 std::shared_ptr<const LatencyResult> PulseLibrary::peek(

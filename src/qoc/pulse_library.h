@@ -40,6 +40,7 @@
 #include "util/trace.h"
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -59,6 +60,11 @@ public:
     /// Persist an authoritative result under `key` (best effort; callers
     /// never learn of a failed write). Must not throw.
     virtual void store(const std::string& key, const LatencyResult& result) = 0;
+    /// Drop (or quarantine) the entry under `key` so a later load misses.
+    /// Best effort; must not throw. Called when revalidation rejects an
+    /// entry whose bytes are intact but whose physics is wrong — damage a
+    /// checksum cannot see. Default: no-op, for tiers without eviction.
+    virtual void invalidate(const std::string& key) { (void)key; }
 };
 
 struct PulseLibraryStats {
@@ -79,6 +85,9 @@ struct PulseLibraryStats {
     std::size_t store_hits = 0;
     std::size_t store_misses = 0;
     std::size_t store_writes = 0;
+    /// Tier hits the revalidation hook rejected: invalidated in the tier,
+    /// counted as misses, and regenerated. Zero without a revalidator.
+    std::size_t store_rejected = 0;
     double hit_rate() const {
         const std::size_t total = hits + misses;
         return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -118,13 +127,35 @@ public:
     /// the probe/write-back protocol.
     void set_store(PulseTier* store) { store_ = store; }
 
+    /// Revalidation hook consulted on every L2 hit before it is promoted to
+    /// memory: return false to reject the entry (it is invalidated in the
+    /// tier, counted as a miss, and regenerated by GRAPE). Sampling policy
+    /// belongs to the hook — it sees the exact key. Must not throw; runs
+    /// inside the single-flight slot, so at most once per key per miss.
+    /// Kept as a std::function so qoc stays independent of the verify layer.
+    using Revalidator =
+        std::function<bool(const std::string& key, const BlockHamiltonian& h,
+                           const Matrix& target, const LatencyResult& result)>;
+    void set_revalidator(Revalidator hook) { revalidator_ = std::move(hook); }
+
+    /// Verify-triggered recompute: evict `bad` — the exact value an audit
+    /// rejected — from memory and the tier, then regenerate. Compare-and-
+    /// evict semantics: of N concurrent callers holding the same bad value,
+    /// one wins the eviction (and alone invalidates the tier, so a fresh
+    /// write-back is never quarantined by a straggler); the rest reuse the
+    /// winner's replacement via the ordinary single-flight path.
+    std::shared_ptr<const LatencyResult> regenerate(
+        const BlockHamiltonian& h, const Matrix& target, const LatencySearchOptions& opt,
+        const std::shared_ptr<const LatencyResult>& bad);
+
     std::size_t size() const { return cache_.size(); }
     PulseLibraryStats stats() const {
         const util::CacheStats s = cache_.stats();
-        PulseLibraryStats out{s.hits, s.misses, s.waits, s.uncacheable, 0, 0, 0};
+        PulseLibraryStats out{s.hits, s.misses, s.waits, s.uncacheable, 0, 0, 0, 0};
         out.store_hits = store_hits_.load(std::memory_order_relaxed);
         out.store_misses = store_misses_.load(std::memory_order_relaxed);
         out.store_writes = store_writes_.load(std::memory_order_relaxed);
+        out.store_rejected = store_rejected_.load(std::memory_order_relaxed);
         return out;
     }
     void reset_stats() {
@@ -132,6 +163,7 @@ public:
         store_hits_.store(0, std::memory_order_relaxed);
         store_misses_.store(0, std::memory_order_relaxed);
         store_writes_.store(0, std::memory_order_relaxed);
+        store_rejected_.store(0, std::memory_order_relaxed);
     }
 
 private:
@@ -141,9 +173,11 @@ private:
     bool phase_aware_;
     util::Tracer* tracer_ = nullptr;
     PulseTier* store_ = nullptr;
+    Revalidator revalidator_;
     std::atomic<std::size_t> store_hits_{0};
     std::atomic<std::size_t> store_misses_{0};
     std::atomic<std::size_t> store_writes_{0};
+    std::atomic<std::size_t> store_rejected_{0};
     util::ShardedFlightCache<LatencyResult> cache_;
 };
 

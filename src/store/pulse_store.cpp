@@ -209,6 +209,53 @@ void PulseStore::store(const std::string& key, const qoc::LatencyResult& result)
     if (over_budget > 0) compact();
 }
 
+void PulseStore::invalidate(const std::string& key) {
+    const std::filesystem::path p = entry_path(key);
+    std::error_code ec;
+    if (!std::filesystem::exists(p, ec) || ec) return;
+    quarantine(p);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.invalidated;
+}
+
+std::size_t PulseStore::corrupt_all_entries_for_test() {
+    std::size_t corrupted = 0;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (!is_entry_file(*it)) continue;
+        const std::optional<std::string> bytes = slurp(it->path());
+        if (!bytes || bytes->size() < kMinEntrySize) continue;
+        if (std::memcmp(bytes->data(), kMagic, sizeof(kMagic)) != 0) continue;
+        qoc::ByteReader header(bytes->data() + sizeof(kMagic),
+                               bytes->size() - sizeof(kMagic));
+        std::uint32_t version;
+        std::uint64_t key_len;
+        if (!header.get_u32(version) || version != kFormatVersion) continue;
+        if (!header.get_u64(key_len) || key_len > kMaxKeyBytes ||
+            key_len > header.remaining())
+            continue;
+        const char* key_begin = bytes->data() + sizeof(kMagic) + 4 + 8;
+        const std::string key(key_begin, static_cast<std::size_t>(key_len));
+        qoc::ByteReader body(key_begin + key_len,
+                             bytes->size() - (sizeof(kMagic) + 4 + 8) -
+                                 static_cast<std::size_t>(key_len) - 8);
+        std::uint64_t payload_len;
+        if (!body.get_u64(payload_len) || payload_len != body.remaining()) continue;
+        const std::string payload(key_begin + key_len + 8,
+                                  static_cast<std::size_t>(payload_len));
+        std::optional<qoc::LatencyResult> result = qoc::decode_latency_result(payload);
+        if (!result) continue;
+        // Zero the amplitudes, keep the recorded fidelity and every flag,
+        // republish through the ordinary writer: a valid, checksummed entry
+        // whose physics no longer matches its own metadata.
+        for (std::vector<double>& line : result->pulse.amplitudes)
+            std::fill(line.begin(), line.end(), 0.0);
+        if (write_impl(key, *result)) ++corrupted;
+    }
+    return corrupted;
+}
+
 bool PulseStore::write_impl(const std::string& key, const qoc::LatencyResult& result) {
     std::string blob;
     blob.append(kMagic, sizeof(kMagic));

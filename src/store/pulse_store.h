@@ -78,6 +78,10 @@ struct PulseStoreStats {
     std::size_t collisions = 0; ///< hash matched, key differed (counted in misses)
     std::size_t evicted = 0;    ///< entries deleted by compaction
     std::size_t io_errors = 0;  ///< read/write/rename failures (incl. injected)
+    /// Entries quarantined by invalidate(): bytes were intact (the load
+    /// passed every integrity check) but revalidation proved the physics
+    /// wrong. Disjoint from `corrupt`, which counts structural damage.
+    std::size_t invalidated = 0;
     std::uint64_t bytes = 0;    ///< entry bytes on disk, as last accounted
 };
 
@@ -99,6 +103,22 @@ public:
     /// outlive the process, whatever the caller thinks). Never throws;
     /// failures count as io_errors and leave no partial file behind.
     void store(const std::string& key, const qoc::LatencyResult& result) override;
+
+    /// qoc::PulseTier: quarantine the entry for `key` (same post-mortem
+    /// directory the corruption path uses) so later loads miss and the next
+    /// authoritative write re-publishes. Called when store revalidation
+    /// rejects an entry whose bytes are intact but whose physics is wrong.
+    /// Never throws; a missing entry is a no-op.
+    void invalidate(const std::string& key) override;
+
+    /// Test hook: rewrite every entry in place with zeroed pulse amplitudes
+    /// but the original recorded fidelity — then re-checksum. The result is
+    /// *post-checksum* corruption: magic, version, key, codec and checksum
+    /// all verify, so load() serves it as a clean hit and only re-simulation
+    /// (verify-layer revalidation) can catch it. Returns how many entries
+    /// were rewritten. Exists so tests and CI can prove that detection,
+    /// quarantine and recompute actually happen; never call it otherwise.
+    std::size_t corrupt_all_entries_for_test();
 
     /// Force a compaction pass now (also run automatically when a write
     /// pushes the directory over budget). Deletes oldest-mtime entries until

@@ -120,7 +120,9 @@ public:
                 }
                 slot->cv.notify_all();
                 std::lock_guard<std::mutex> lock(shard.mutex);
-                shard.table.erase(key);
+                const auto it = shard.table.find(key);
+                if (it != shard.table.end() && it->second == slot)
+                    shard.table.erase(it);
                 throw;
             }
             return slot->value;
@@ -134,6 +136,37 @@ public:
         }
         if (slot->error) std::rethrow_exception(slot->error);
         return slot->value;
+    }
+
+    /// Drop the entry under `key` so the next lookup recomputes. Safe against
+    /// an in-flight generation: the leader's slot is merely orphaned — it
+    /// still completes, hands its value to itself and its waiters, and its
+    /// own eviction/erase paths compare slot identity before touching the
+    /// table. Used by the verify layer to force a recompute after an audit
+    /// rejects a cached value.
+    void erase(const std::string& key) {
+        Shard& shard = shard_of(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.table.erase(key);
+    }
+
+    /// Compare-and-evict: drop the entry only if it currently holds exactly
+    /// `expected` (a completed value). Returns true when the erase happened.
+    /// Of N threads that observed one bad value, exactly one wins the erase —
+    /// and with it the right to invalidate downstream tiers — while the rest
+    /// fall through to a normal lookup that waits on or hits the winner's
+    /// replacement. This keeps verify-triggered recomputes single-flight.
+    bool erase_if(const std::string& key, const std::shared_ptr<const V>& expected) {
+        Shard& shard = shard_of(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.table.find(key);
+        if (it == shard.table.end()) return false;
+        {
+            std::lock_guard<std::mutex> slot_lock(it->second->mutex);
+            if (!it->second->ready || it->second->value != expected) return false;
+        }
+        shard.table.erase(it);
+        return true;
     }
 
     /// Lookup only; nullptr on miss or while the value is still being

@@ -34,6 +34,7 @@ enum class Cause {
     nonfinite,     ///< GRAPE fidelity/gradients went non-finite past retries
     invalid_input, ///< compile() boundary validation rejected the circuit
     injected,      ///< a fault-injection site fired (tests/chaos runs)
+    verify_failed, ///< an independent audit rejected the stage's output
 };
 
 inline const char* stage_name(Stage s) {
@@ -59,6 +60,7 @@ inline const char* cause_name(Cause c) {
         case Cause::nonfinite: return "nonfinite";
         case Cause::invalid_input: return "invalid_input";
         case Cause::injected: return "injected";
+        case Cause::verify_failed: return "verify_failed";
     }
     return "?";
 }

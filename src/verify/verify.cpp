@@ -1,0 +1,306 @@
+#include "verify/verify.h"
+
+#include "circuit/unitary.h"
+#include "linalg/phase.h"
+#include "qoc/grape.h"
+#include "qoc/pulse_io.h"
+#include "util/fault_injection.h"
+#include "zx/circuit_to_zx.h"
+#include "zx/tensor.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace epoc::verify {
+
+namespace {
+
+// Same finalizer the fault-injection %K@S trigger uses: a well-mixed 64-bit
+// hash so sampling is uniform even over structured ids (sequential block
+// indices, FNV digests of similar keys).
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void update_max(std::atomic<double>& slot, double v) {
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+// |tr(a^dagger b)| / (||a||_F ||b||_F): 1 iff b is a nonzero scalar multiple
+// of a. The ZX tensor evaluator keeps sqrt(2) factors from Hadamard edges, so
+// the cross-check must be invariant under arbitrary scalars, not just unit
+// phases — hs_fidelity is not enough here.
+double cosine_similarity(const linalg::Matrix& a, const linalg::Matrix& b) {
+    linalg::cplx tr{0.0, 0.0};
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            tr += std::conj(a(r, c)) * b(r, c);
+    const double na = a.frobenius_norm(), nb = b.frobenius_norm();
+    if (na <= 0.0 || nb <= 0.0) return 0.0;
+    return std::abs(tr) / (na * nb);
+}
+
+int interior_spiders(const zx::ZxGraph& g) {
+    int n = 0;
+    for (int v : g.vertices())
+        if (g.is_interior(v)) ++n;
+    return n;
+}
+
+} // namespace
+
+const char* level_name(VerifyLevel level) {
+    switch (level) {
+    case VerifyLevel::unset: return "unset";
+    case VerifyLevel::off: return "off";
+    case VerifyLevel::sampled: return "sampled";
+    case VerifyLevel::full: return "full";
+    }
+    return "?";
+}
+
+VerifyLevel level_from_name(const std::string& name) {
+    if (name == "off") return VerifyLevel::off;
+    if (name == "sampled") return VerifyLevel::sampled;
+    if (name == "full") return VerifyLevel::full;
+    throw std::invalid_argument("unknown verify level '" + name +
+                                "' (expected off|sampled|full)");
+}
+
+VerifyLevel level_from_env() {
+    const char* env = std::getenv("EPOC_VERIFY");
+    if (env == nullptr || *env == '\0') return VerifyLevel::off;
+    try {
+        return level_from_name(env);
+    } catch (const std::invalid_argument&) {
+        return VerifyLevel::off;
+    }
+}
+
+VerifyLevel resolve_level(VerifyLevel explicit_level) {
+    return explicit_level == VerifyLevel::unset ? level_from_env() : explicit_level;
+}
+
+const char* outcome_name(Outcome o) {
+    switch (o) {
+    case Outcome::not_checked: return "not_checked";
+    case Outcome::passed: return "passed";
+    case Outcome::failed: return "failed";
+    case Outcome::unverified: return "unverified";
+    }
+    return "?";
+}
+
+Verifier::Verifier(VerifyOptions opt, util::Tracer* tracer)
+    : opt_(opt), tracer_(tracer) {
+    opt_.level = resolve_level(opt_.level);
+    if (opt_.sample_period < 1) opt_.sample_period = 1;
+}
+
+void Verifier::begin_compile() {
+    checks_.store(0, std::memory_order_relaxed);
+    passed_.store(0, std::memory_order_relaxed);
+    failed_.store(0, std::memory_order_relaxed);
+    unverified_.store(0, std::memory_order_relaxed);
+    skipped_.store(0, std::memory_order_relaxed);
+    revalidations_.store(0, std::memory_order_relaxed);
+    revalidate_rejects_.store(0, std::memory_order_relaxed);
+    recomputes_.store(0, std::memory_order_relaxed);
+    max_error_.store(0.0, std::memory_order_relaxed);
+    error_budget_.store(0.0, std::memory_order_relaxed);
+}
+
+VerifySummary Verifier::summary() const {
+    VerifySummary s;
+    s.level = opt_.level;
+    s.checks = checks_.load(std::memory_order_relaxed);
+    s.passed = passed_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.unverified = unverified_.load(std::memory_order_relaxed);
+    s.skipped = skipped_.load(std::memory_order_relaxed);
+    s.revalidations = revalidations_.load(std::memory_order_relaxed);
+    s.revalidate_rejects = revalidate_rejects_.load(std::memory_order_relaxed);
+    s.recomputes = recomputes_.load(std::memory_order_relaxed);
+    s.error_budget = error_budget_.load(std::memory_order_relaxed);
+    s.max_fidelity_error = max_error_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void Verifier::set_error_budget(double budget) {
+    error_budget_.store(budget, std::memory_order_relaxed);
+}
+
+void Verifier::note_recompute() {
+    recomputes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Verifier::should_check(std::uint64_t stable_id) const {
+    if (!enabled()) return false;
+    if (full() || opt_.sample_period <= 1) return true;
+    return splitmix64(opt_.sample_seed ^ stable_id) %
+               static_cast<std::uint64_t>(opt_.sample_period) ==
+           0;
+}
+
+bool Verifier::should_check_key(const std::string& key) const {
+    if (!enabled()) return false;
+    return should_check(qoc::fnv1a64(key));
+}
+
+bool Verifier::should_check_unitary(const linalg::Matrix& u) const {
+    if (!enabled()) return false;
+    if (full()) return true; // skip the fingerprint cost when always checking
+    return should_check(qoc::fnv1a64(linalg::phase_canonical_key(u, 6)));
+}
+
+Outcome Verifier::record(Outcome o, const char* /*counter_hint*/) {
+    checks_.fetch_add(1, std::memory_order_relaxed);
+    switch (o) {
+    case Outcome::passed: passed_.fetch_add(1, std::memory_order_relaxed); break;
+    case Outcome::failed: failed_.fetch_add(1, std::memory_order_relaxed); break;
+    case Outcome::unverified:
+        unverified_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    case Outcome::not_checked: break;
+    }
+    return o;
+}
+
+void Verifier::count_skip() { skipped_.fetch_add(1, std::memory_order_relaxed); }
+
+Outcome Verifier::check_circuit_equiv(const circuit::Circuit& before,
+                                      const circuit::Circuit& after,
+                                      const char* what) {
+    if (!enabled()) return Outcome::not_checked;
+    if (before.num_qubits() > opt_.max_equiv_qubits ||
+        after.num_qubits() > opt_.max_equiv_qubits) {
+        count_skip();
+        return Outcome::not_checked;
+    }
+    auto span = tracer_ != nullptr
+                    ? tracer_->span(std::string("verify.equiv ") + what, "verify")
+                    : util::Tracer::Span();
+    try {
+        util::fault::maybe_throw("verify.equiv");
+        const linalg::Matrix ub = circuit::circuit_unitary(before);
+        const linalg::Matrix ua = circuit::circuit_unitary(after);
+        bool ok = ub.rows() == ua.rows() &&
+                  linalg::phase_invariant_distance(ub, ua) <= opt_.equiv_tol;
+        // Third, independent evaluator: the brute-force ZX tensor semantics.
+        // Exponential in interior spiders, so full mode only and tiny
+        // diagrams only; a disagreement here flags a bug in circuit_unitary
+        // itself, which the two-way check above cannot see.
+        if (ok && full()) {
+            const zx::ZxGraph g = zx::circuit_to_zx(after);
+            if (interior_spiders(g) <= opt_.max_tensor_interior) {
+                const linalg::Matrix m = zx::zx_to_matrix(g);
+                ok = m.rows() == ua.rows() &&
+                     cosine_similarity(ua, m) >= 1.0 - opt_.equiv_tol;
+            }
+        }
+        return record(ok ? Outcome::passed : Outcome::failed, what);
+    } catch (...) {
+        return record(Outcome::unverified, what);
+    }
+}
+
+Outcome Verifier::check_blocks_equiv(const circuit::Circuit& segment,
+                                     const std::vector<partition::CircuitBlock>& blocks,
+                                     const char* what) {
+    if (!enabled()) return Outcome::not_checked;
+    const int n = segment.num_qubits();
+    if (n > opt_.max_equiv_qubits) {
+        count_skip();
+        return Outcome::not_checked;
+    }
+    auto span = tracer_ != nullptr
+                    ? tracer_->span(std::string("verify.equiv ") + what, "verify")
+                    : util::Tracer::Span();
+    try {
+        util::fault::maybe_throw("verify.equiv");
+        linalg::Matrix u = linalg::Matrix::identity(std::size_t{1} << n);
+        for (const partition::CircuitBlock& blk : blocks)
+            circuit::apply_gate(u, partition::block_unitary(blk), blk.qubits, n);
+        const linalg::Matrix ref = circuit::circuit_unitary(segment);
+        const bool ok = linalg::phase_invariant_distance(ref, u) <= opt_.equiv_tol;
+        return record(ok ? Outcome::passed : Outcome::failed, what);
+    } catch (...) {
+        return record(Outcome::unverified, what);
+    }
+}
+
+Outcome Verifier::check_synthesized_block(const linalg::Matrix& target,
+                                          const circuit::Circuit& local,
+                                          double distance_tol) {
+    if (!enabled()) return Outcome::not_checked;
+    if (local.num_qubits() > opt_.max_equiv_qubits) {
+        count_skip();
+        return Outcome::not_checked;
+    }
+    auto span = tracer_ != nullptr ? tracer_->span("verify.equiv synth", "verify")
+                                   : util::Tracer::Span();
+    try {
+        util::fault::maybe_throw("verify.equiv");
+        const linalg::Matrix u = circuit::circuit_unitary(local);
+        const bool ok = u.rows() == target.rows() &&
+                        linalg::phase_invariant_distance(target, u) <= distance_tol;
+        return record(ok ? Outcome::passed : Outcome::failed, "synth");
+    } catch (...) {
+        return record(Outcome::unverified, "synth");
+    }
+}
+
+Outcome Verifier::audit_pulse(const qoc::BlockHamiltonian& h,
+                              const linalg::Matrix& target,
+                              const qoc::LatencyResult& lr, double* abs_error,
+                              double* resim_fidelity) {
+    if (abs_error != nullptr) *abs_error = 0.0;
+    if (resim_fidelity != nullptr) *resim_fidelity = lr.pulse.fidelity;
+    if (!enabled()) return Outcome::not_checked;
+    auto span = tracer_ != nullptr ? tracer_->span("verify.simulate", "verify")
+                                   : util::Tracer::Span();
+    try {
+        util::fault::maybe_throw("verify.simulate");
+        const linalg::Matrix u = qoc::pulse_unitary(h, lr.pulse);
+        double f = linalg::hs_fidelity(target, u);
+        if (!std::isfinite(f)) f = 0.0;
+        const double err = std::abs(lr.pulse.fidelity - f);
+        if (abs_error != nullptr) *abs_error = err;
+        if (resim_fidelity != nullptr) *resim_fidelity = f;
+        update_max(max_error_, err);
+        return record(err <= opt_.fidelity_tol ? Outcome::passed : Outcome::failed,
+                      "simulate");
+    } catch (...) {
+        return record(Outcome::unverified, "simulate");
+    }
+}
+
+bool Verifier::revalidate(const qoc::BlockHamiltonian& h, const linalg::Matrix& target,
+                          const qoc::LatencyResult& lr) {
+    revalidations_.fetch_add(1, std::memory_order_relaxed);
+    auto span = tracer_ != nullptr ? tracer_->span("verify.revalidate", "verify")
+                                   : util::Tracer::Span();
+    try {
+        util::fault::maybe_throw("verify.revalidate");
+        const linalg::Matrix u = qoc::pulse_unitary(h, lr.pulse);
+        double f = linalg::hs_fidelity(target, u);
+        if (!std::isfinite(f)) f = 0.0;
+        const bool ok = std::abs(lr.pulse.fidelity - f) <= opt_.fidelity_tol;
+        if (!ok) revalidate_rejects_.fetch_add(1, std::memory_order_relaxed);
+        return ok;
+    } catch (...) {
+        // A broken verifier must never reject a good store entry: accept and
+        // count the entry as explicitly unaudited.
+        unverified_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+}
+
+} // namespace epoc::verify

@@ -6,9 +6,14 @@
 #include "circuit/peephole.h"
 #include "circuit/routing.h"
 #include "circuit/unitary.h"
+#include "epoc/export.h"
+#include "epoc/pipeline.h"
+#include "epoc/regroup.h"
 #include "linalg/phase.h"
+#include "partition/partition.h"
 #include "qoc/grape.h"
 #include "qoc/latency_search.h"
+#include "qoc/pulse_io.h"
 #include "zx/optimize.h"
 
 #include <gtest/gtest.h>
@@ -114,6 +119,64 @@ TEST(Properties, PeepholeIsIdempotent) {
     const Circuit once = circuit::peephole_optimize(c);
     const Circuit twice = circuit::peephole_optimize(once);
     EXPECT_EQ(once.size(), twice.size());
+}
+
+TEST(Properties, RegroupBlockProductMatchesCircuitUnitary) {
+    // Regrouping is a semantic no-op: embedding each regrouped block's
+    // unitary back onto its global qubits, in block order, must reproduce
+    // the original circuit's unitary up to global phase. This is exactly the
+    // oracle the verify layer runs as check_blocks_equiv("regroup", ...).
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        bench::RandomCircuitSpec spec;
+        spec.seed = seed * 13 + 3;
+        spec.num_qubits = 3 + static_cast<int>(seed % 3); // 3, 4, 5 qubits
+        spec.num_gates = 22;
+        const Circuit c = bench::random_circuit(spec);
+        const int nq = c.num_qubits();
+        const auto groups = core::regroup(c, {/*max_qubits=*/3, /*max_gates=*/8});
+        ASSERT_FALSE(groups.empty()) << seed;
+        linalg::Matrix u = linalg::Matrix::identity(std::size_t{1} << nq);
+        for (const auto& blk : groups)
+            circuit::apply_gate(u, partition::block_unitary(blk), blk.qubits, nq);
+        EXPECT_TRUE(equal_up_to_global_phase(u, circuit_unitary(c), 1e-6)) << seed;
+    }
+}
+
+TEST(Properties, RegroupEquivalenceHoldsAcrossThreadCounts) {
+    // The same property checked in vivo: a full-verify compile re-derives the
+    // regroup (and zx/partition) equivalences internally, and both the audit
+    // verdicts and the shipped schedule must be identical whether the block
+    // loops ran on 1, 2 or 8 workers.
+    bench::RandomCircuitSpec spec;
+    spec.seed = 41;
+    spec.num_qubits = 4;
+    spec.num_gates = 16;
+    const Circuit c = bench::random_circuit(spec);
+    std::uint64_t first_digest = 0;
+    std::size_t first_checks = 0;
+    bool have_first = false;
+    for (const int threads : {1, 2, 8}) {
+        core::EpocOptions opt;
+        opt.latency.fidelity_threshold = 0.99;
+        opt.latency.grape.max_iterations = 120;
+        opt.qsearch.threshold = 1e-4;
+        opt.qsearch.instantiate.restarts = 2;
+        opt.num_threads = threads;
+        opt.verify_level = verify::VerifyLevel::full;
+        core::EpocCompiler compiler(opt);
+        const core::EpocResult r = compiler.compile(c);
+        EXPECT_EQ(r.verify.failed, 0u) << threads;
+        EXPECT_GT(r.verify.checks, 0u) << threads;
+        const std::uint64_t d = qoc::fnv1a64(core::schedule_to_json(r.schedule));
+        if (!have_first) {
+            first_digest = d;
+            first_checks = r.verify.checks;
+            have_first = true;
+            continue;
+        }
+        EXPECT_EQ(d, first_digest) << threads;
+        EXPECT_EQ(r.verify.checks, first_checks) << threads;
+    }
 }
 
 TEST(Properties, TranspileIdempotentOnNativeCircuits) {

@@ -2,7 +2,14 @@
 // raise QasmError (with a line number), never crash or silently mis-parse.
 #include "circuit/qasm.h"
 
+#include "bench_circuits/generators.h"
+
 #include <gtest/gtest.h>
+
+#include <cstddef>
+#include <random>
+#include <string>
+#include <vector>
 
 namespace {
 
@@ -137,6 +144,87 @@ outer q[0],q[1];
 TEST(QasmRobustness, DeepExpressionNesting) {
     const Circuit c = parse_qasm("qreg q[1]; rz(-(((pi/2)+1)*2 - sqrt(4))) q[0];");
     EXPECT_NEAR(c.gate(0).params[0], -((3.14159265358979312 / 2 + 1) * 2 - 2), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fuzz smoke test: ~1k seeded mutations of well-formed
+// programs. The contract under fuzz is binary — parse_qasm either returns a
+// circuit or throws QasmError. Any other exception, or a crash, fails (and
+// the ASan CI job additionally turns latent memory errors into hard
+// failures). The corpus and the mutator are fully deterministic (fixed seed,
+// no time/address dependence), so a failure here reproduces everywhere.
+
+std::vector<std::string> fuzz_corpus() {
+    std::vector<std::string> corpus = {
+        "qreg q[3]; h q[0]; cx q[0],q[1]; rz(pi/4) q[2]; cx q[1],q[2];",
+        "qreg a[2]; qreg b[2]; creg c[2];\n"
+        "gate g(x) p,q { rz(x) p; cx p,q; }\n"
+        "g(0.5) a[0],b[1]; barrier a; measure a -> c;",
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n"
+        "u3(pi/2,0,pi) q[0];\ncx q[0],q[1];\n",
+    };
+    // Real emitted programs: round-trip the benchmark suite through to_qasm
+    // so the mutator starts from everything the exporter can produce.
+    for (const auto& nc : epoc::bench::figure_suite())
+        corpus.push_back(to_qasm(nc.circuit));
+    return corpus;
+}
+
+std::string mutate(const std::string& base, std::mt19937_64& rng) {
+    static const char kInserts[] = "qh;[](){},.\"\\/*-+0x\n\t ";
+    std::string s = base;
+    const int edits = 1 + static_cast<int>(rng() % 4);
+    for (int e = 0; e < edits; ++e) {
+        if (s.empty()) s.push_back(';'); // (assignment trips GCC12 -Wrestrict)
+        const std::size_t pos = rng() % s.size();
+        switch (rng() % 5) {
+        case 0: // flip a byte (any value: embedded NUL, high-bit, ...)
+            s[pos] = static_cast<char>(rng() % 256);
+            break;
+        case 1: // truncate
+            s.resize(pos);
+            break;
+        case 2: { // duplicate a slice onto a random point
+            const std::size_t len = std::min<std::size_t>(rng() % 32, s.size() - pos);
+            const std::string slice = s.substr(pos, len);
+            s.insert(rng() % (s.size() + 1), slice);
+            break;
+        }
+        case 3: // splice a token boundary character
+            s.insert(pos, 1, kInserts[rng() % (sizeof(kInserts) - 1)]);
+            break;
+        default: { // swap two regions (token reordering)
+            const std::size_t other = rng() % s.size();
+            std::swap(s[pos], s[other]);
+            break;
+        }
+        }
+    }
+    return s;
+}
+
+TEST(QasmFuzz, SeededMutationsParseOrRaiseQasmErrorNeverCrash) {
+    const std::vector<std::string> corpus = fuzz_corpus();
+    ASSERT_FALSE(corpus.empty());
+    std::mt19937_64 rng(0x45504F43); // "EPOC": fixed seed, deterministic run
+    const int kCases = 1000;
+    int parsed = 0, rejected = 0;
+    for (int i = 0; i < kCases; ++i) {
+        const std::string input = mutate(corpus[i % corpus.size()], rng);
+        try {
+            const Circuit c = parse_qasm(input);
+            (void)c.size(); // the returned circuit must at least be readable
+            ++parsed;
+        } catch (const QasmError&) {
+            ++rejected; // the one sanctioned failure mode
+        }
+        // Anything else (std::bad_alloc aside) propagates and fails the test.
+    }
+    EXPECT_EQ(parsed + rejected, kCases);
+    // Sanity on the mutator itself: it must exercise both outcomes, or the
+    // corpus/mutations have gone degenerate and the test is vacuous.
+    EXPECT_GT(parsed, 0) << "every mutation broke the program";
+    EXPECT_GT(rejected, 0) << "no mutation ever broke the program";
 }
 
 } // namespace

@@ -6,10 +6,13 @@
 #include "circuit/circuit.h"
 #include "circuit/unitary.h"
 #include "linalg/phase.h"
+#include "util/deadline.h"
+#include "util/fault_injection.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 namespace {
 
@@ -360,6 +363,82 @@ TEST(Grape, WarmStartShapeMismatchSurfaced) {
     const Pulse q = grape_optimize(h, epoc::circuit::pauli_x(), 8, good);
     EXPECT_TRUE(q.warm_start_applied);
     EXPECT_FALSE(q.warm_start_mismatch);
+}
+
+// ---------------------------------------------------------------------------
+// Fidelity/amplitude consistency: whatever path a search exits through
+// (feasible, infeasible, timed out, nonfinite-aborted), the recorded fidelity
+// must be the fidelity OF THE RETURNED AMPLITUDES — re-simulating the pulse
+// must reproduce it to float noise. The verify layer's schedule audit flags
+// any pulse violating this as corrupt, so a drifting pair here would turn
+// every degraded compile into a (false) verification failure.
+
+struct LocalFaultGuard {
+    explicit LocalFaultGuard(const std::string& spec) {
+        epoc::util::fault::configure(spec);
+    }
+    ~LocalFaultGuard() { epoc::util::fault::clear(); }
+};
+
+double resim_error(const BlockHamiltonian& h, const Matrix& target, const Pulse& p) {
+    double f = epoc::linalg::hs_fidelity(target, pulse_unitary(h, p));
+    if (!std::isfinite(f)) f = 0.0;
+    return std::abs(p.fidelity - f);
+}
+
+TEST(LatencySearch, FeasibleFidelityMatchesReturnedAmplitudes) {
+    const auto h = make_block_hamiltonian(1);
+    LatencySearchOptions opt;
+    opt.fidelity_threshold = 0.99;
+    const auto r = find_minimal_latency_pulse(h, epoc::circuit::pauli_x(), opt);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LT(resim_error(h, epoc::circuit::pauli_x(), r.pulse), 1e-9);
+}
+
+TEST(LatencySearch, InfeasibleFidelityMatchesReturnedAmplitudes) {
+    // The infeasible exit ships the best bracket probe; its recorded fidelity
+    // must still belong to the shipped amplitudes, not to some probe the
+    // search later overwrote.
+    const auto h = make_block_hamiltonian(2);
+    LatencySearchOptions opt;
+    opt.max_slots = 1; // even a CX cannot land in one slot
+    opt.fidelity_threshold = 0.999;
+    opt.grape.max_iterations = 40;
+    Circuit cx(2);
+    cx.cx(0, 1);
+    const Matrix target = epoc::circuit::circuit_unitary(cx);
+    const auto r = find_minimal_latency_pulse(h, target, opt);
+    ASSERT_FALSE(r.feasible);
+    EXPECT_LT(resim_error(h, target, r.pulse), 1e-9);
+}
+
+TEST(LatencySearch, TimedOutFidelityMatchesReturnedAmplitudes) {
+    // A pre-expired deadline forces the earliest best-effort exit.
+    const auto h = make_block_hamiltonian(1);
+    const auto deadline = epoc::util::Deadline::after_ms(0.0);
+    ASSERT_TRUE(deadline.expired());
+    LatencySearchOptions opt;
+    opt.fidelity_threshold = 0.99;
+    opt.deadline = &deadline;
+    const auto r = find_minimal_latency_pulse(h, epoc::circuit::pauli_x(), opt);
+    EXPECT_TRUE(r.timed_out);
+    EXPECT_FALSE(r.authoritative());
+    EXPECT_LT(resim_error(h, epoc::circuit::pauli_x(), r.pulse), 1e-9);
+}
+
+TEST(LatencySearch, NonfiniteAbortFidelityMatchesReturnedAmplitudes) {
+    // grape.nonfinite=* aborts every GRAPE run after re-randomizing: the
+    // regression this pins is the abort path returning re-randomized
+    // amplitudes with the fidelity of the pre-abort iterate.
+    const auto h = make_block_hamiltonian(1);
+    const LocalFaultGuard g("grape.nonfinite=*");
+    LatencySearchOptions opt;
+    opt.fidelity_threshold = 0.99;
+    opt.grape.max_iterations = 30;
+    const auto r = find_minimal_latency_pulse(h, epoc::circuit::pauli_x(), opt);
+    EXPECT_TRUE(r.pulse.nonfinite_aborted);
+    EXPECT_FALSE(r.authoritative());
+    EXPECT_LT(resim_error(h, epoc::circuit::pauli_x(), r.pulse), 1e-9);
 }
 
 } // namespace
