@@ -111,7 +111,10 @@ int main() {
                                             // hold under the same chaos
                                             "latency.badpulse", "synth.badcircuit",
                                             "verify.equiv",     "verify.simulate",
-                                            "verify.revalidate"};
+                                            "verify.revalidate",
+                                            // plan-cache path: a broken plan
+                                            // must degrade to a cold compile
+                                            "plan.lookup",      "plan.instantiate"};
     for (int seed = 1; seed <= 4; ++seed) {
         std::string spec;
         for (const std::string& s : sites)
@@ -123,6 +126,8 @@ int main() {
             // sampled: the always-on tier — the corruption sites above are
             // inert without it, and a broken verifier must stay harmless.
             chaos_opt.verify_level = verify::VerifyLevel::sampled;
+            // plan cache on, so the plan.* sites are live paths, not no-ops.
+            chaos_opt.plan_cache = true;
             const core::EpocResult r = timed_compile(std::move(chaos_opt), c, wall);
             if (r.degraded) ++degraded_runs;
             if (r.num_pulses == 0 || r.latency_ns <= 0.0) {

@@ -25,6 +25,12 @@
 //   re-simulation can catch) *before* compiling. Against a warm directory
 //   with --verify=full, CI asserts detection (rejected/invalidated > 0) and
 //   digest equality with the clean run.
+//   --sweep replaces the one-shot comparison with the variational demo: a
+//   QAOA angle sweep compiled incrementally through the plan cache. Prints
+//   grep-friendly `sweep-*` lines — plan hits on every iteration after the
+//   first, bit-identical schedules vs per-iteration fresh cold compiles
+//   (warm start off), and the warm-vs-cold total GRAPE iteration counts —
+//   the assertions the CI variational job scripts against.
 #include "bench_circuits/generators.h"
 #include "epoc/baselines.h"
 #include "epoc/export.h"
@@ -32,11 +38,82 @@
 #include "qoc/pulse_io.h"
 #include "util/fault_injection.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+
+namespace {
+
+/// The --sweep variational demo: one QAOA structure, `iters` angle updates,
+/// compiled incrementally. Returns non-zero when any sweep contract breaks.
+int run_sweep() {
+    using namespace epoc;
+    constexpr int kIters = 8;
+    const auto qaoa = [](int i) {
+        const double gamma = 0.8 + 0.002 * i;
+        const double beta = 0.4 - 0.001 * i;
+        circuit::Circuit c(2);
+        c.h(0).h(1);
+        c.rzz(gamma, 0, 1);
+        c.rx(beta, 0).rx(beta, 1);
+        return c;
+    };
+    core::EpocOptions base;
+    base.latency.fidelity_threshold = 0.99;
+    base.latency.grape.max_iterations = 120;
+    base.qsearch.threshold = 1e-4;
+    base.qsearch.instantiate.restarts = 2;
+    base.plan_cache = true;
+
+    // Reproducible mode: warm start off, every plan hit checked bit-identical
+    // against a fresh cold compile at the same angles.
+    core::EpocOptions ropt = base;
+    ropt.plan_warm_start = false;
+    core::EpocCompiler planned(ropt);
+    int hits = 0;
+    bool digests_equal = true;
+    std::uint64_t last_digest = 0;
+    for (int i = 0; i < kIters; ++i) {
+        const core::EpocResult r = planned.compile(qaoa(i));
+        if (r.plan_hit) ++hits;
+        core::EpocCompiler fresh(ropt);
+        const core::EpocResult cold = fresh.compile(qaoa(i));
+        last_digest = qoc::fnv1a64(core::schedule_to_json(r.schedule));
+        digests_equal = digests_equal &&
+                        last_digest == qoc::fnv1a64(core::schedule_to_json(cold.schedule));
+    }
+
+    // Warm-vs-cold GRAPE work for the same sweep (counters accumulate across
+    // compiles, so the final report totals the run).
+    std::uint64_t grape_iters[2] = {0, 0};
+    for (const bool warm : {false, true}) {
+        core::EpocOptions wopt = base;
+        wopt.plan_warm_start = warm;
+        wopt.trace_enabled = true;
+        core::EpocCompiler compiler(wopt);
+        for (int i = 0; i < kIters; ++i)
+            grape_iters[warm ? 1 : 0] =
+                compiler.compile(qaoa(i)).trace.counter("qoc.grape_iterations");
+    }
+
+    std::printf("sweep-iterations: %d\n", kIters);
+    std::printf("sweep-plan-hits: %d/%d\n", hits, kIters - 1);
+    std::printf("sweep-digest-equal: %d\n", digests_equal ? 1 : 0);
+    std::printf("sweep-grape-iterations: warm=%llu cold=%llu\n",
+                static_cast<unsigned long long>(grape_iters[1]),
+                static_cast<unsigned long long>(grape_iters[0]));
+    std::printf("sweep-warm-reduced: %d\n", grape_iters[1] < grape_iters[0] ? 1 : 0);
+    std::printf("schedule-digest: %016llx\n",
+                static_cast<unsigned long long>(last_digest));
+    return (hits == kIters - 1 && digests_equal && grape_iters[1] < grape_iters[0])
+               ? 0
+               : 1;
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
     using namespace epoc;
@@ -45,6 +122,7 @@ int main(int argc, char** argv) {
     double deadline_ms = 0.0;
     verify::VerifyLevel verify_level = verify::VerifyLevel::unset;
     bool corrupt_store = false;
+    bool sweep = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
@@ -62,10 +140,13 @@ int main(int argc, char** argv) {
             }
         } else if (std::strcmp(argv[i], "--corrupt-store-entries") == 0) {
             corrupt_store = true;
+        } else if (std::strcmp(argv[i], "--sweep") == 0) {
+            sweep = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--trace out.json] [--deadline-ms N] [--store DIR] "
-                         "[--verify off|sampled|full] [--corrupt-store-entries]\n",
+                         "[--verify off|sampled|full] [--corrupt-store-entries] "
+                         "[--sweep]\n",
                          argv[0]);
             return 2;
         }
@@ -75,6 +156,7 @@ int main(int argc, char** argv) {
         return 2;
     }
     util::fault::configure_from_env();
+    if (sweep) return run_sweep();
 
     const circuit::Circuit c = bench::simon(2);
     std::printf("program: simon (%d qubits, %zu gates, depth %d)\n\n", c.num_qubits(),

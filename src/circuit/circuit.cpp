@@ -30,6 +30,14 @@ void Circuit::add(Gate g) {
     gates_.push_back(std::move(g));
 }
 
+void Circuit::set_gate_params(std::size_t i, std::vector<double> params) {
+    Gate& g = gates_.at(i);
+    if (kind_num_params(g.kind) > static_cast<int>(params.size()))
+        throw std::invalid_argument("Circuit::set_gate_params: missing params for " +
+                                    kind_name(g.kind));
+    g.params = std::move(params);
+}
+
 Circuit& Circuit::emit(GateKind k, std::vector<int> qs, std::vector<double> ps) {
     add(Gate(k, std::move(qs), std::move(ps)));
     return *this;

@@ -25,6 +25,13 @@ public:
     /// Append a gate; validates qubit indices and arity.
     void add(Gate g);
 
+    /// Replace gate i's parameter vector (same validation as add: the kind's
+    /// declared parameter count must still be covered). The structural parts
+    /// of the gate — kind, qubits, attached matrix — are immutable; this is
+    /// the plan-cache binding hook (circuit/structure.h), not a general
+    /// editor.
+    void set_gate_params(std::size_t i, std::vector<double> params);
+
     // Convenience builders (return *this for chaining).
     Circuit& x(int q) { return emit(GateKind::X, {q}); }
     Circuit& y(int q) { return emit(GateKind::Y, {q}); }

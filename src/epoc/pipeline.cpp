@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cmath>
 #include <optional>
+#include <stdexcept>
 
 namespace epoc::core {
 
@@ -65,6 +66,15 @@ verify::Outcome combine(verify::Outcome a, verify::Outcome b) {
     };
     return rank(a) >= rank(b) ? a : b;
 }
+
+/// Thrown out of build_plan on *any* degradation (deadline expiry, injected
+/// fault, failed stage audit, a degraded synthesis block): the plan cache's
+/// single-flight slot is erased by the throw and the compile falls back to
+/// the ordinary cold pipeline, whose ladder handles the condition honestly.
+/// Only clean plans are ever cached — the cache-poisoning rule for plans.
+struct PlanDegraded : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
 
 /// compile() boundary validation: structural problems are reported as a
 /// structured status instead of surfacing as a deep std::out_of_range from
@@ -498,9 +508,12 @@ std::vector<PulseJob> EpocCompiler::gate_fallback_jobs(
 /// order in the returned job list. `coarse_granularity` applies the wide-block
 /// slot coarsening used by the regrouped arm. Blocks whose pulse is
 /// infeasible, degraded, or errored fall back to gate-by-gate pulses.
+/// `warm` (plan path only) seeds GRAPE from — and deposits amplitudes back
+/// into — the plan's per-block-index warm slots.
 std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
     const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity,
-    const util::Deadline& deadline, EpocResult& res, double& audit_err) {
+    const util::Deadline& deadline, EpocResult& res, double& audit_err,
+    const WarmSlots* warm) {
     // Warm the Hamiltonian cache sequentially so the parallel loop only ever
     // takes the short lookup lock.
     for (const partition::CircuitBlock& blk : blocks)
@@ -536,8 +549,20 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
                 util::fault::maybe_throw("pulse.block");
                 const qoc::BlockHamiltonian& ham =
                     hamiltonian(static_cast<int>(blk.qubits.size()));
+                if (warm != nullptr) {
+                    // Seed a library miss's GRAPE run with the previous
+                    // iterate's amplitudes for this structural block. The
+                    // library key excludes the seed, so hits are unaffected.
+                    std::vector<std::vector<double>> seed = warm->get(i);
+                    if (!seed.empty()) {
+                        lopt.grape.warm_amplitudes = std::move(seed);
+                        tracer_.add_counter("qoc.warm_starts");
+                    }
+                }
                 const std::shared_ptr<const qoc::LatencyResult> lr =
                     library_.get_or_generate(ham, u, lopt);
+                if (warm != nullptr && lr->feasible && lr->authoritative())
+                    warm->put(i, lr->pulse.amplitudes);
                 if (coarse_granularity &&
                     lopt.slot_granularity > opt_.latency.slot_granularity) {
                     // Regression guards for the cache-key collision: the coarse
@@ -657,33 +682,122 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
     return jobs;
 }
 
-EpocResult EpocCompiler::compile(const Circuit& c) {
-    EpocResult res;
-    verifier_.begin_compile(); // per-compile audit tally
-    res.verify.level = verifier_.options().level;
-    res.status = validate_input(c);
-    res.threads_used = pool_.num_threads();
-    if (!res.status.ok()) {
-        // Structured rejection: an empty result, never a deep out_of_range.
-        res.schedule.num_qubits = std::max(0, c.num_qubits());
-        return res;
+std::vector<PulseJob> EpocCompiler::fine_pulse_jobs(const Circuit& current,
+                                                    const util::Deadline& deadline,
+                                                    EpocResult& res, double& audit_err,
+                                                    const WarmSlots* warm) {
+    qoc::LatencySearchOptions fine_opt = opt_.latency;
+    fine_opt.deadline = &deadline;
+    fine_opt.grape.deadline = &deadline;
+
+    for (const Gate& g : current.gates()) hamiltonian(g.arity());
+    util::Tracer::Span fine_span = tracer_.span("pulses fine-grained", "pipeline");
+    std::vector<PulseFragment> fine_frags(current.size());
+    pool_.parallel_for(
+        current.size(),
+        [&](std::size_t i) {
+            const Gate& g = current.gate(i);
+            PulseFragment& frag = fine_frags[i];
+            frag.visited = true;
+            const util::Tracer::Span span = tracer_.span(
+                "pulse gate " + std::to_string(i) + " (" + kind_name(g.kind) + ")",
+                "qoc");
+            try {
+                const Matrix u = g.unitary();
+                if (is_identity_unitary(u)) return;
+                util::fault::maybe_throw("pulse.gate");
+                const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+                qoc::LatencySearchOptions lopt = fine_opt;
+                if (warm != nullptr) {
+                    // Plan path: seed a library miss's GRAPE run with the
+                    // previous iterate's amplitudes for this gate slot. The
+                    // library key excludes the seed, so hits are unaffected.
+                    std::vector<std::vector<double>> seed = warm->get(i);
+                    if (!seed.empty()) {
+                        lopt.grape.warm_amplitudes = std::move(seed);
+                        tracer_.add_counter("qoc.warm_starts");
+                    }
+                }
+                std::shared_ptr<const qoc::LatencyResult> lr =
+                    library_.get_or_generate(h, u, lopt);
+                if (warm != nullptr && lr->feasible && lr->authoritative())
+                    warm->put(i, lr->pulse.amplitudes);
+                if (!lr->feasible) {
+                    // A single gate has no finer rung: ship the best
+                    // below-threshold pulse, flagged.
+                    frag.status.cause = util::Cause::infeasible;
+                    frag.status.fallback_taken = true;
+                    tracer_.add_counter("qoc.infeasible_blocks");
+                } else if (!lr->authoritative()) {
+                    frag.status.cause = lr->injected ? util::Cause::injected
+                                        : lr->timed_out
+                                            ? expiry_cause(deadline)
+                                            : util::Cause::nonfinite;
+                }
+                // Audit (and any verify-triggered regenerate) under the
+                // un-seeded options: the cache key is identical either way,
+                // and a recompute must not re-run a possibly-bad seed.
+                const AuditedPulse audited =
+                    audit_pulse_result(std::move(lr), h, u, fine_opt, frag.status);
+                frag.verify = audited.outcome;
+                frag.audit_err = audited.audit_err;
+                double f = audited.result->pulse.fidelity;
+                if (!audited.resolved) {
+                    // No finer rung below a single gate: ship with the
+                    // re-simulated fidelity instead of the recorded one.
+                    f = audited.fidelity;
+                    tracer_.add_counter("robust.untrusted_fidelity_shipped");
+                }
+                frag.jobs.push_back(PulseJob{g.qubits,
+                                             audited.result->pulse.duration(), f,
+                                             kind_name(g.kind)});
+            } catch (const std::exception& e) {
+                const bool injected =
+                    dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr;
+                frag.status.cause =
+                    injected ? util::Cause::injected : util::Cause::exception;
+                frag.status.fallback_taken = true;
+                frag.status.detail = e.what();
+                const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+                frag.jobs.push_back(PulseJob{
+                    g.qubits,
+                    h.dt * static_cast<double>(std::max(1, opt_.latency.max_slots)),
+                    0.0, kind_name(g.kind)});
+                if (injected) tracer_.add_counter("robust.injected_faults");
+                tracer_.add_counter("robust.placeholder_pulses");
+            }
+        },
+        opt_.cancel);
+    std::vector<PulseJob> fine_jobs;
+    fine_jobs.reserve(current.size());
+    for (std::size_t i = 0; i < current.size(); ++i) {
+        PulseFragment& frag = fine_frags[i];
+        if (!frag.visited) {
+            frag.status.cause = util::Cause::cancelled;
+            frag.status.fallback_taken = true;
+            frag.status.detail = "cancelled before the gate ran";
+            const Gate& g = current.gate(i);
+            const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+            frag.jobs.push_back(PulseJob{
+                g.qubits,
+                h.dt * static_cast<double>(std::max(1, opt_.latency.max_slots)), 0.0,
+                kind_name(g.kind)});
+            tracer_.add_counter("robust.placeholder_pulses");
+        }
+        res.block_reports.push_back({util::Stage::pulse, i,
+                                     "gate " + std::to_string(i) + " (" +
+                                         kind_name(current.gate(i).kind) + ")",
+                                     frag.status, frag.verify});
+        if (!frag.status.ok()) res.degraded = true;
+        audit_err += frag.audit_err; // deterministic gate-merge order
+        for (PulseJob& job : frag.jobs) fine_jobs.push_back(std::move(job));
     }
-    res.depth_original = c.depth();
-    res.gates_original = c.size();
-    const auto t_start = std::chrono::steady_clock::now();
-    if (c.empty()) {
-        // A trivially valid empty schedule; skip the pipeline entirely.
-        res.schedule.num_qubits = c.num_qubits();
-        res.compile_ms = ms_since(t_start);
-        return res;
-    }
+    fine_span.end();
+    return fine_jobs;
+}
 
-    util::Deadline deadline;
-    if (opt_.deadline_ms > 0.0) deadline = util::Deadline::after_ms(opt_.deadline_ms);
-    deadline.link(opt_.cancel);
-
-    util::Tracer::Span compile_span = tracer_.span("compile", "pipeline");
-
+void EpocCompiler::cold_compile(const Circuit& c, const util::Deadline& deadline,
+                                EpocResult& res) {
     // 1. Graph-based depth optimization. Failure or a spent budget keeps the
     // original circuit: ZX is a pure optimization.
     Circuit current = c;
@@ -792,98 +906,8 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
     {
         const auto t0 = std::chrono::steady_clock::now();
 
-        qoc::LatencySearchOptions fine_opt = opt_.latency;
-        fine_opt.deadline = &deadline;
-        fine_opt.grape.deadline = &deadline;
-
-        for (const Gate& g : current.gates()) hamiltonian(g.arity());
-        util::Tracer::Span fine_span = tracer_.span("pulses fine-grained", "pipeline");
-        std::vector<PulseFragment> fine_frags(current.size());
-        pool_.parallel_for(
-            current.size(),
-            [&](std::size_t i) {
-                const Gate& g = current.gate(i);
-                PulseFragment& frag = fine_frags[i];
-                frag.visited = true;
-                const util::Tracer::Span span = tracer_.span(
-                    "pulse gate " + std::to_string(i) + " (" + kind_name(g.kind) + ")",
-                    "qoc");
-                try {
-                    const Matrix u = g.unitary();
-                    if (is_identity_unitary(u)) return;
-                    util::fault::maybe_throw("pulse.gate");
-                    const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
-                    std::shared_ptr<const qoc::LatencyResult> lr =
-                        library_.get_or_generate(h, u, fine_opt);
-                    if (!lr->feasible) {
-                        // A single gate has no finer rung: ship the best
-                        // below-threshold pulse, flagged.
-                        frag.status.cause = util::Cause::infeasible;
-                        frag.status.fallback_taken = true;
-                        tracer_.add_counter("qoc.infeasible_blocks");
-                    } else if (!lr->authoritative()) {
-                        frag.status.cause = lr->injected ? util::Cause::injected
-                                            : lr->timed_out
-                                                ? expiry_cause(deadline)
-                                                : util::Cause::nonfinite;
-                    }
-                    const AuditedPulse audited =
-                        audit_pulse_result(std::move(lr), h, u, fine_opt, frag.status);
-                    frag.verify = audited.outcome;
-                    frag.audit_err = audited.audit_err;
-                    double f = audited.result->pulse.fidelity;
-                    if (!audited.resolved) {
-                        // No finer rung below a single gate: ship with the
-                        // re-simulated fidelity instead of the recorded one.
-                        f = audited.fidelity;
-                        tracer_.add_counter("robust.untrusted_fidelity_shipped");
-                    }
-                    frag.jobs.push_back(PulseJob{g.qubits,
-                                                 audited.result->pulse.duration(), f,
-                                                 kind_name(g.kind)});
-                } catch (const std::exception& e) {
-                    const bool injected =
-                        dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr;
-                    frag.status.cause =
-                        injected ? util::Cause::injected : util::Cause::exception;
-                    frag.status.fallback_taken = true;
-                    frag.status.detail = e.what();
-                    const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
-                    frag.jobs.push_back(PulseJob{
-                        g.qubits,
-                        h.dt * static_cast<double>(std::max(1, opt_.latency.max_slots)),
-                        0.0, kind_name(g.kind)});
-                    if (injected) tracer_.add_counter("robust.injected_faults");
-                    tracer_.add_counter("robust.placeholder_pulses");
-                }
-            },
-            opt_.cancel);
-        std::vector<PulseJob> fine_jobs;
-        fine_jobs.reserve(current.size());
         double fine_budget = 0.0; // audited |recorded - resim| sum, fine arm
-        for (std::size_t i = 0; i < current.size(); ++i) {
-            PulseFragment& frag = fine_frags[i];
-            if (!frag.visited) {
-                frag.status.cause = util::Cause::cancelled;
-                frag.status.fallback_taken = true;
-                frag.status.detail = "cancelled before the gate ran";
-                const Gate& g = current.gate(i);
-                const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
-                frag.jobs.push_back(PulseJob{
-                    g.qubits,
-                    h.dt * static_cast<double>(std::max(1, opt_.latency.max_slots)), 0.0,
-                    kind_name(g.kind)});
-                tracer_.add_counter("robust.placeholder_pulses");
-            }
-            res.block_reports.push_back({util::Stage::pulse, i,
-                                         "gate " + std::to_string(i) + " (" +
-                                             kind_name(current.gate(i).kind) + ")",
-                                         frag.status, frag.verify});
-            if (!frag.status.ok()) res.degraded = true;
-            fine_budget += frag.audit_err; // deterministic gate-merge order
-            for (PulseJob& job : frag.jobs) fine_jobs.push_back(std::move(job));
-        }
-        fine_span.end();
+        std::vector<PulseJob> fine_jobs = fine_pulse_jobs(current, deadline, res, fine_budget);
         util::Tracer::Span sched_span = tracer_.span("schedule asap", "pipeline");
         const PulseSchedule fine = schedule_asap(fine_jobs, c.num_qubits());
         sched_span.end();
@@ -957,6 +981,264 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
         if (verifier_.enabled()) verifier_.set_error_budget(shipped_budget);
         res.qoc_ms = ms_since(t0);
     }
+}
+
+CompilationPlan EpocCompiler::build_plan(const Circuit& c,
+                                         const circuit::StrippedCircuit& stripped,
+                                         const util::Deadline& deadline) {
+    const util::Tracer::Span span = tracer_.span("plan build", "pipeline");
+    CompilationPlan plan;
+    plan.key = stripped.key;
+    plan.num_qubits = c.num_qubits();
+    plan.num_slots = stripped.params.size();
+    plan.depth_original = c.depth();
+
+    // Parametric gates are reuse barriers: ZX, partition and synthesis run
+    // only over the maximal parameter-free program-order segments between
+    // them, which makes every cached stage product angle-independent by
+    // construction. The parametric gates themselves pass through stamped
+    // with slot sentinels (circuit/structure.h), in exactly the slot order
+    // strip_parameters assigned, so the bindings recovered by scanning the
+    // finished skeleton line up with the stripped angle vector.
+    Circuit skeleton(c.num_qubits());
+    Circuit zx_only(c.num_qubits()); // post-ZX, pre-synthesis (diagnostics)
+    Circuit segment(c.num_qubits());
+    std::size_t slot = 0;
+    EpocResult scratch; // synthesize_blocks reporting sink; never shipped
+    const auto process_segment = [&] {
+        if (segment.empty()) return;
+        Circuit seg = std::move(segment);
+        segment = Circuit(c.num_qubits());
+        if (deadline.expired()) throw PlanDegraded("plan build: budget spent");
+        if (opt_.use_zx) {
+            zx::ZxOptimizeResult zr = zx::zx_optimize(seg);
+            // The same stage oracles a cold compile runs guard the build; a
+            // failure aborts the plan instead of caching a degraded one.
+            if (verifier_.check_circuit_equiv(seg, zr.circuit, "zx") ==
+                verify::Outcome::failed)
+                throw PlanDegraded("plan build: zx equivalence audit failed");
+            seg = std::move(zr.circuit);
+        }
+        zx_only.append(seg);
+        if (opt_.use_synthesis) {
+            const std::vector<partition::CircuitBlock> blocks =
+                partition::greedy_partition(seg, opt_.partition);
+            plan.partition_blocks += blocks.size();
+            if (verifier_.check_blocks_equiv(seg, blocks, "partition") ==
+                verify::Outcome::failed)
+                throw PlanDegraded("plan build: partition equivalence audit failed");
+            double synth_ms = 0.0;
+            seg = synthesize_blocks(blocks, c.num_qubits(), synth_ms, deadline, scratch);
+            if (scratch.degraded)
+                throw PlanDegraded("plan build: degraded synthesis block");
+        }
+        skeleton.append(seg);
+    };
+    for (const Gate& g : c.gates()) {
+        // Mirror strip_parameters' structural/parametric split exactly, so
+        // the sentinel slot numbering matches the stripped angle vector.
+        const bool structural_unitary = g.is_explicit_unitary() && g.matrix != nullptr;
+        const int np = circuit::kind_num_params(g.kind);
+        if (structural_unitary || np <= 0) {
+            segment.add(g);
+            continue;
+        }
+        process_segment();
+        Gate sg = g;
+        if (sg.params.size() < static_cast<std::size_t>(np))
+            sg.params.resize(static_cast<std::size_t>(np), 0.0);
+        for (int p = 0; p < np; ++p)
+            sg.params[static_cast<std::size_t>(p)] = circuit::slot_sentinel(slot++);
+        zx_only.add(sg);
+        skeleton.add(sg);
+    }
+    process_segment();
+    if (slot != stripped.params.size())
+        throw PlanDegraded("plan build: slot count mismatch against the stripped key");
+
+    plan.depth_after_zx = zx_only.depth();
+    plan.skeleton = std::move(skeleton);
+    plan.fine_bindings = circuit::scan_bindings(plan.skeleton);
+    if (opt_.regroup_enabled) {
+        // Regroup is structure-only (it never reads parameter values), so it
+        // runs directly on the sentinel skeleton; each group keeps the
+        // bindings needed to re-instantiate its body from a fresh angle
+        // vector.
+        const std::vector<partition::CircuitBlock> groups =
+            regroup(plan.skeleton, opt_.regroup_opt);
+        plan.groups.reserve(groups.size());
+        for (const partition::CircuitBlock& blk : groups)
+            plan.groups.push_back(PlanGroup{blk, circuit::scan_bindings(blk.body)});
+    }
+    tracer_.add_counter("plan.cached_blocks", plan.groups.size());
+    return plan;
+}
+
+bool EpocCompiler::instantiate_plan(const CompilationPlan& plan,
+                                    const std::vector<double>& params, bool is_hit,
+                                    const util::Deadline& deadline, EpocResult& res) {
+    util::fault::maybe_throw("plan.instantiate");
+    // Bind the fresh angles into copies of the plan's template artifacts.
+    // bind_parameters throws on a stale binding (caught by the caller and
+    // treated as a plan failure) — a half-bound circuit is never shipped.
+    Circuit skel = plan.skeleton;
+    circuit::bind_parameters(skel, plan.fine_bindings, params);
+    std::vector<partition::CircuitBlock> groups;
+    groups.reserve(plan.groups.size());
+    for (const PlanGroup& pg : plan.groups) {
+        partition::CircuitBlock blk = pg.block;
+        circuit::bind_parameters(blk.body, pg.bindings, params);
+        groups.push_back(std::move(blk));
+    }
+    // Instantiation oracle: the same blocks-equivalence check a cold compile
+    // runs over its fresh regroup layout, pointed at the reused one. Runs
+    // before `res` is touched, so a stale or doctored plan is rejected while
+    // the cold fallback is still pristine.
+    if (!groups.empty() &&
+        verifier_.check_plan_layout(skel, groups) == verify::Outcome::failed)
+        return false;
+
+    res.plan_hit = is_hit;
+    if (is_hit) {
+        res.plan_blocks_reused = groups.empty() ? plan.partition_blocks : groups.size();
+        tracer_.add_counter("plan.blocks_reinstantiated", res.plan_blocks_reused);
+    }
+    res.depth_after_zx = plan.depth_after_zx;
+    res.num_blocks = plan.partition_blocks;
+    tracer_.add_counter("pipeline.blocks", plan.partition_blocks);
+    res.synthesized = skel;
+    res.synthesized_gates = skel.size();
+
+    // Pulse stage: the same two-arm evaluation as the cold pipeline, with
+    // per-slot warm starting when enabled (advisory only — see plan_cache.h).
+    const auto t0 = std::chrono::steady_clock::now();
+    double fine_budget = 0.0;
+    const WarmSlots* fine_warm = opt_.plan_warm_start ? &plan.fine_warm : nullptr;
+    std::vector<PulseJob> fine_jobs =
+        fine_pulse_jobs(skel, deadline, res, fine_budget, fine_warm);
+    util::Tracer::Span sched_span = tracer_.span("schedule asap", "pipeline");
+    const PulseSchedule fine = schedule_asap(fine_jobs, skel.num_qubits());
+    sched_span.end();
+
+    double shipped_budget = fine_budget;
+    if (!groups.empty() && deadline.expired()) {
+        // No budget left for the second arm: ship the fine-grained one.
+        res.block_reports.push_back(
+            {util::Stage::regroup, 0, "regroup",
+             {util::Stage::regroup, expiry_cause(deadline), true,
+              "skipped: budget spent"}});
+        res.degraded = true;
+        tracer_.add_counter("robust.deadline_skips");
+        res.schedule = fine;
+    } else if (!groups.empty()) {
+        util::Tracer::Span grouped_span = tracer_.span("pulses grouped", "pipeline");
+        double grouped_budget = 0.0;
+        const WarmSlots* group_warm = opt_.plan_warm_start ? &plan.group_warm : nullptr;
+        const std::vector<PulseJob> jobs =
+            pulse_jobs_for_blocks(groups, /*coarse_granularity=*/true, deadline, res,
+                                  grouped_budget, group_warm);
+        grouped_span.end();
+        util::Tracer::Span gs_span = tracer_.span("schedule asap", "pipeline");
+        const PulseSchedule grouped = schedule_asap(jobs, skel.num_qubits());
+        gs_span.end();
+        const bool grouped_wins = grouped.latency <= fine.latency;
+        tracer_.add_counter(grouped_wins ? "pipeline.grouped_arm_wins"
+                                         : "pipeline.fine_arm_wins");
+        res.schedule = grouped_wins ? grouped : fine;
+        if (grouped_wins) shipped_budget = grouped_budget;
+    } else {
+        res.schedule = fine;
+    }
+    if (verifier_.enabled()) verifier_.set_error_budget(shipped_budget);
+    res.qoc_ms = ms_since(t0);
+    return true;
+}
+
+bool EpocCompiler::try_plan_compile(const Circuit& c, const util::Deadline& deadline,
+                                    EpocResult& res) {
+    try {
+        const util::Tracer::Span span = tracer_.span("plan", "pipeline");
+        util::fault::maybe_throw("plan.lookup");
+        const circuit::StrippedCircuit stripped = circuit::strip_parameters(c);
+        for (int attempt = 0; attempt < 2; ++attempt) {
+            bool built = false;
+            const std::shared_ptr<const CompilationPlan> plan =
+                plan_cache_.get_or_build(
+                    stripped.key, [&] { return build_plan(c, stripped, deadline); },
+                    &built);
+            if (built) {
+                tracer_.add_counter("plan.misses");
+                tracer_.add_counter("plan.builds");
+            } else {
+                tracer_.add_counter("plan.hits");
+            }
+            if (instantiate_plan(*plan, stripped.params, !built, deadline, res))
+                return true;
+            // The instantiation oracle rejected the cached layout (stale or
+            // doctored): compare-and-evict exactly this plan, rebuild once,
+            // then give up and go cold.
+            plan_cache_.erase_if(stripped.key, plan);
+            tracer_.add_counter("plan.evictions");
+            verifier_.note_recompute();
+            if (built) break; // our own fresh build failed its oracle
+        }
+    } catch (const util::fault::InjectedFault&) {
+        tracer_.add_counter("robust.injected_faults");
+    } catch (const std::exception&) {
+        // PlanDegraded, a stale binding, or anything else on the plan path:
+        // fall back to the cold pipeline, whose ladder reports any real
+        // degradation honestly.
+    } catch (...) {
+    }
+    return false;
+}
+
+EpocResult EpocCompiler::compile(const Circuit& c) {
+    EpocResult res;
+    verifier_.begin_compile(); // per-compile audit tally
+    res.verify.level = verifier_.options().level;
+    res.status = validate_input(c);
+    res.threads_used = pool_.num_threads();
+    if (!res.status.ok()) {
+        // Structured rejection: an empty result, never a deep out_of_range.
+        res.schedule.num_qubits = std::max(0, c.num_qubits());
+        return res;
+    }
+    res.depth_original = c.depth();
+    res.gates_original = c.size();
+    const auto t_start = std::chrono::steady_clock::now();
+    if (c.empty()) {
+        // A trivially valid empty schedule; skip the pipeline entirely.
+        res.schedule.num_qubits = c.num_qubits();
+        res.compile_ms = ms_since(t_start);
+        return res;
+    }
+
+    util::Deadline deadline;
+    if (opt_.deadline_ms > 0.0) deadline = util::Deadline::after_ms(opt_.deadline_ms);
+    deadline.link(opt_.cancel);
+
+    util::Tracer::Span compile_span = tracer_.span("compile", "pipeline");
+
+    bool planned = false;
+    if (opt_.plan_cache) {
+        // Plan path: reuse (or build) the structure-keyed compilation plan.
+        // It assembles into a scratch result committed only on success, so
+        // any plan failure leaves a pristine state for the cold fallback.
+        EpocResult scratch;
+        scratch.verify.level = res.verify.level;
+        scratch.status = res.status;
+        scratch.threads_used = res.threads_used;
+        scratch.depth_original = res.depth_original;
+        scratch.gates_original = res.gates_original;
+        planned = try_plan_compile(c, deadline, scratch);
+        if (planned)
+            res = std::move(scratch);
+        else
+            tracer_.add_counter("robust.plan_fallbacks");
+    }
+    if (!planned) cold_compile(c, deadline, res);
+
     res.num_pulses = res.schedule.pulses.size();
     res.latency_ns = res.schedule.latency;
     res.esp = res.schedule.esp;

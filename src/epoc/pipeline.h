@@ -36,6 +36,8 @@
 #pragma once
 
 #include "circuit/circuit.h"
+#include "circuit/structure.h"
+#include "epoc/plan_cache.h"
 #include "epoc/regroup.h"
 #include "epoc/scheduler.h"
 #include "qoc/pulse_library.h"
@@ -116,6 +118,25 @@ struct EpocOptions {
     /// Verifier tolerances and sampling knobs. Its `level` field is ignored —
     /// the level always comes from `verify_level` above.
     verify::VerifyOptions verify_opt;
+    /// Incremental variational compilation (epoc/plan_cache.h): key each
+    /// compile on the circuit's parameter-stripped structure and cache the
+    /// structural pipeline product (ZX + partition + synthesis + regroup as a
+    /// slot-sentinel skeleton). A repeat structure with fresh angles binds the
+    /// cached plan and goes straight to pulse generation; the first compile of
+    /// a structure builds (and verifies) the plan. Any plan-path failure —
+    /// a degraded build, a failed instantiation oracle, an injected fault —
+    /// falls back to the ordinary cold pipeline; plan compiles never throw
+    /// where cold compiles would not.
+    bool plan_cache = false;
+    /// Warm-start GRAPE on plan compiles: a pulse-library miss for a plan
+    /// block seeds the optimizer with the previous iterate's amplitudes for
+    /// that structural slot (AccQOC-style MST seeding across a parameter
+    /// sweep). Advisory only — never part of a cache key, never persisted to
+    /// the L2 store, and a warm run that stalls below target is cold-rescued
+    /// (qoc/grape.h) — so it can only trade iterations, not fidelity or
+    /// reproducibility of the *cold* path. Disable for bit-exact
+    /// cross-compiler digest comparisons. Ignored unless plan_cache is on.
+    bool plan_warm_start = true;
 
     EpocOptions() {
         // Cheaper defaults than the standalone synthesizer: blocks repeat, the
@@ -202,6 +223,15 @@ struct EpocResult {
     util::BlockStatus status;
     /// True when the compile deadline (or cancel token) expired at any point.
     bool deadline_hit = false;
+    /// True when this compile reused a cached CompilationPlan (plan_cache on,
+    /// the structure key hit, and the instantiation oracle passed). False on
+    /// the structure's first compile (the plan *build*) and on any fallback
+    /// to the cold pipeline.
+    bool plan_hit = false;
+    /// Number of plan blocks re-instantiated from the cached layout on a plan
+    /// hit (the regroup groups, or the partition blocks when regrouping is
+    /// off). Zero on builds and cold compiles.
+    std::size_t plan_blocks_reused = 0;
     /// Per-compile verification tally: level, check/pass/fail/unverified
     /// counts, store revalidations and rejects, recomputes, and the shipped
     /// schedule's audited error budget (sum over audited pulses of
@@ -236,6 +266,11 @@ public:
     /// The compiler's verifier (enabled iff verify_level resolved to
     /// sampled/full; see EpocOptions::verify_level).
     const verify::Verifier& verifier() const { return verifier_; }
+    /// The compilation plan cache (populated only when EpocOptions::plan_cache
+    /// is on). Exposed for inspection and for the verify test battery, which
+    /// plants doctored plans through PlanCache::replace to prove the
+    /// instantiation oracle rejects them.
+    PlanCache& plan_cache() { return plan_cache_; }
 
 private:
     /// One pulse result through the schedule audit, with the recompute-once
@@ -262,7 +297,41 @@ private:
                                        const util::Deadline& deadline, EpocResult& res);
     std::vector<PulseJob> pulse_jobs_for_blocks(
         const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity,
-        const util::Deadline& deadline, EpocResult& res, double& audit_err);
+        const util::Deadline& deadline, EpocResult& res, double& audit_err,
+        const WarmSlots* warm = nullptr);
+    /// The fine-grained pulse arm: one pulse per gate of `current`, in
+    /// parallel, merged in gate order (reports + audit errors included). The
+    /// shared implementation of the cold pipeline's always-on fine arm and
+    /// the plan path's fine arm; `warm` (optional, plan path only) seeds and
+    /// collects per-gate-index warm-start amplitudes.
+    std::vector<PulseJob> fine_pulse_jobs(const circuit::Circuit& current,
+                                          const util::Deadline& deadline, EpocResult& res,
+                                          double& audit_err,
+                                          const WarmSlots* warm = nullptr);
+    /// Build a CompilationPlan for `c` (whose structure key is
+    /// `stripped.key`): ZX + partition + synthesis over the maximal
+    /// parameter-free segments, parametric gates carried through as slot
+    /// sentinels, then regroup over the assembled skeleton. Throws (so the
+    /// single-flight slot is erased and the compile goes cold) on *any*
+    /// degradation — only clean plans are ever cached.
+    CompilationPlan build_plan(const circuit::Circuit& c,
+                               const circuit::StrippedCircuit& stripped,
+                               const util::Deadline& deadline);
+    /// Bind `params` into `plan` and run the pulse stage on the result.
+    /// Returns false — before touching `res` — when the instantiation oracle
+    /// rejects the plan's layout (stale/doctored entry); the caller evicts
+    /// and rebuilds. `is_hit` is false on the build compile.
+    bool instantiate_plan(const CompilationPlan& plan, const std::vector<double>& params,
+                          bool is_hit, const util::Deadline& deadline, EpocResult& res);
+    /// The whole plan path: strip, lookup-or-build, instantiate, with the
+    /// evict-and-rebuild-once rung on an oracle failure. Never throws; false
+    /// means "run the cold pipeline" (res is untouched then).
+    bool try_plan_compile(const circuit::Circuit& c, const util::Deadline& deadline,
+                          EpocResult& res);
+    /// The ordinary (non-plan) pipeline: ZX -> partition/synthesis -> pulse
+    /// arms, filling `res` up to (but not including) the common result tail.
+    void cold_compile(const circuit::Circuit& c, const util::Deadline& deadline,
+                      EpocResult& res);
     /// Ladder rung 2: one pulse per gate of `blk.body` (mapped to global
     /// qubits); rung 3 inside substitutes a placeholder job on failure.
     /// Audited pulses fold their outcome into `outcome` (worst wins) and
@@ -289,6 +358,7 @@ private:
     std::unique_ptr<store::PulseStore> store_;
     qoc::PulseLibrary library_;
     util::ShardedFlightCache<synthesis::SynthesisResult> synth_cache_;
+    PlanCache plan_cache_;
     std::mutex hams_mutex_;
     std::map<int, qoc::BlockHamiltonian> hams_;
 };

@@ -175,6 +175,27 @@ Pulse grape_optimize(const BlockHamiltonian& h, const Matrix& target, int num_sl
         }
     }
     best.nonfinite_reseeds = reseeds;
+    if (best.warm_start_applied && !best.timed_out && !best.nonfinite_aborted &&
+        best_f >= 0.0 && best_f < opt.target_fidelity) {
+        // Cold rescue: a warm start is a hint, not a contract. When the
+        // seeded trajectory stalls below the target (a too-different warm
+        // pulse can park the optimizer in its donor's basin), re-run from the
+        // ordinary random init and keep the better pulse — so warm starting
+        // can reduce iterations but never degrade the fidelity a cold run
+        // would have reached. The rescue winner reports itself cold
+        // (warm_start_applied=false), which also keeps it eligible for the
+        // persistent store.
+        GrapeOptions cold = opt;
+        cold.warm_amplitudes.clear();
+        Pulse rescued = grape_optimize(h, target, num_slots, cold);
+        // Bill the rescue's work to whichever pulse ships: iteration counts
+        // feed the qoc.grape_iterations accounting.
+        rescued.grape_iterations += best.grape_iterations;
+        if (rescued.fidelity > best.fidelity) return rescued;
+        best.grape_iterations = rescued.grape_iterations;
+        best.timed_out = best.timed_out || rescued.timed_out;
+        return best;
+    }
     if (best_f < 0.0) {
         // No iterate was ever scored: the deadline expired before the first
         // forward pass, or every pass went non-finite within the retry

@@ -36,7 +36,10 @@ struct GrapeOptions {
     /// pulse, resampled to the requested slot count when lengths differ.
     /// Empty disables warm starting. The outer size must equal the
     /// Hamiltonian's control count; a mismatched shape falls back to a cold
-    /// start and is reported via Pulse::warm_start_mismatch.
+    /// start and is reported via Pulse::warm_start_mismatch. A warm-seeded
+    /// run that converges below target_fidelity (without timing out) is
+    /// automatically re-run cold and the better pulse wins, so a bad seed can
+    /// cost iterations but never fidelity.
     std::vector<std::vector<double>> warm_amplitudes;
 };
 

@@ -105,10 +105,20 @@ std::shared_ptr<const LatencyResult> PulseLibrary::get_or_generate(
             }
             // Write-back: only authoritative results reach disk — the same
             // poisoning rule the `cacheable` predicate enforces for memory,
-            // applied before the entry can outlive the process.
+            // applied before the entry can outlive the process. Warm-started
+            // results additionally stay process-local: their trajectory
+            // depended on seed amplitudes the key does not encode, so
+            // persisting them would hand a later cold process a
+            // seed-dependent pulse under a seed-independent key.
             if (store_ != nullptr && res.authoritative()) {
-                store_->store(key, res);
-                store_writes_.fetch_add(1, std::memory_order_relaxed);
+                if (res.pulse.warm_start_applied) {
+                    store_warm_skipped_.fetch_add(1, std::memory_order_relaxed);
+                    if (tracer_ != nullptr)
+                        tracer_->add_counter("qoc.store_warm_skips");
+                } else {
+                    store_->store(key, res);
+                    store_writes_.fetch_add(1, std::memory_order_relaxed);
+                }
             }
             return res;
         },

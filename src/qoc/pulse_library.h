@@ -16,7 +16,12 @@
 // and the wide-block slot coarsening silently never applied on hits).
 // GrapeOptions::warm_amplitudes is deliberately *excluded*: a warm start only
 // seeds the optimizer on a miss, and AccQOC-style MST construction relies on
-// later exact-option lookups hitting the warm-started entry.
+// later exact-option lookups hitting the warm-started entry. The flip side of
+// that exclusion is a persistence rule: warm-started results stay in memory
+// (the MST reliance above) but are never written to the L2 tier — a pulse
+// whose trajectory depended on seed amplitudes that are not part of its key
+// must not outlive the process under a key that promises seed-independence.
+// A later cold process would load it where a cold generation was promised.
 //
 // The library is thread-safe: the parallel pipeline stages hammer it from
 // every worker. Lookups are sharded-lock reads; misses are single-flight (two
@@ -88,6 +93,11 @@ struct PulseLibraryStats {
     /// Tier hits the revalidation hook rejected: invalidated in the tier,
     /// counted as misses, and regenerated. Zero without a revalidator.
     std::size_t store_rejected = 0;
+    /// Authoritative results withheld from the tier because the GRAPE run was
+    /// warm-started: warm seeds are not part of the key, so seed-dependent
+    /// pulses never persist across processes (see header). Zero when warm
+    /// starting is off or every warm run was cold-rescued.
+    std::size_t store_warm_skipped = 0;
     double hit_rate() const {
         const std::size_t total = hits + misses;
         return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -156,6 +166,7 @@ public:
         out.store_misses = store_misses_.load(std::memory_order_relaxed);
         out.store_writes = store_writes_.load(std::memory_order_relaxed);
         out.store_rejected = store_rejected_.load(std::memory_order_relaxed);
+        out.store_warm_skipped = store_warm_skipped_.load(std::memory_order_relaxed);
         return out;
     }
     void reset_stats() {
@@ -164,6 +175,7 @@ public:
         store_misses_.store(0, std::memory_order_relaxed);
         store_writes_.store(0, std::memory_order_relaxed);
         store_rejected_.store(0, std::memory_order_relaxed);
+        store_warm_skipped_.store(0, std::memory_order_relaxed);
     }
 
 private:
@@ -178,6 +190,7 @@ private:
     std::atomic<std::size_t> store_misses_{0};
     std::atomic<std::size_t> store_writes_{0};
     std::atomic<std::size_t> store_rejected_{0};
+    std::atomic<std::size_t> store_warm_skipped_{0};
     util::ShardedFlightCache<LatencyResult> cache_;
 };
 

@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace {
 
 using namespace epoc::core;
@@ -192,6 +195,59 @@ TEST(Baselines, AccqocWithoutMstMatchesPulseCount) {
     AccqocLikeCompiler a(with_mst), b(without);
     const Circuit c = epoc::bench::ghz(4);
     EXPECT_EQ(a.compile(c).num_pulses, b.compile(c).num_pulses);
+}
+
+TEST(Pipeline, VariationalAngleSweepReusesThePlan) {
+    // The variational outer loop: one circuit structure, 50 angle updates.
+    // After the first (plan-building) compile every iteration must be a plan
+    // hit, and warm-starting GRAPE from the previous iterate's pulses must cut
+    // the total optimizer iterations without costing fidelity.
+    constexpr int kIters = 50;
+    const auto qaoa = [](double gamma, double beta) {
+        Circuit c(2);
+        c.h(0).h(1);
+        c.rzz(gamma, 0, 1);
+        c.rx(beta, 0).rx(beta, 1);
+        return c;
+    };
+    const auto sweep = [&](bool warm, std::vector<double>& esp_out) {
+        EpocOptions opt = cheap_options();
+        opt.plan_cache = true;
+        opt.plan_warm_start = warm;
+        opt.trace_enabled = true;
+        EpocCompiler compiler(opt);
+        std::uint64_t total_grape_iters = 0;
+        for (int i = 0; i < kIters; ++i) {
+            const double gamma = 0.8 + 0.002 * i;
+            const double beta = 0.4 - 0.001 * i;
+            const EpocResult r = compiler.compile(qaoa(gamma, beta));
+            EXPECT_EQ(r.plan_hit, i > 0) << "warm=" << warm << " iter=" << i;
+            EXPECT_FALSE(r.degraded);
+            EXPECT_GT(r.esp, 0.9) << "warm=" << warm << " iter=" << i;
+            esp_out.push_back(r.esp);
+            // Counters accumulate across compiles; the last report totals the
+            // whole sweep.
+            total_grape_iters = r.trace.counter("qoc.grape_iterations");
+        }
+        return total_grape_iters;
+    };
+
+    std::vector<double> warm_esp, cold_esp;
+    const std::uint64_t warm_iters = sweep(true, warm_esp);
+    const std::uint64_t cold_iters = sweep(false, cold_esp);
+
+    // Warm seeds must save real optimizer work across the sweep...
+    EXPECT_LT(warm_iters, cold_iters);
+    // ...without costing fidelity. Both runs stop once every pulse clears the
+    // fidelity threshold; a cold run typically *overshoots* the threshold a
+    // little more than a warm one (more gradient steps past convergence), so
+    // exact esp equality is not the contract. The contract is: the warm
+    // iterate never lands materially below its cold counterpart — the GRAPE
+    // cold-rescue re-runs any warm seed that converges under the target, so a
+    // bad seed can cost iterations but never a below-threshold pulse.
+    ASSERT_EQ(warm_esp.size(), cold_esp.size());
+    for (std::size_t i = 0; i < warm_esp.size(); ++i)
+        EXPECT_GE(warm_esp[i], cold_esp[i] - 5e-3) << "iter=" << i;
 }
 
 } // namespace

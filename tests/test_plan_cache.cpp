@@ -1,0 +1,192 @@
+// Property tests for the compilation plan cache (epoc/plan_cache.h) and its
+// keying substrate (circuit/structure.h): structure keys must be invariant
+// under angle changes and sensitive to every structural edit, and a plan-hit
+// compile must be bit-identical to a cold compile of the same angles.
+#include "circuit/structure.h"
+#include "epoc/export.h"
+#include "epoc/pipeline.h"
+#include "qoc/pulse_io.h"
+
+#include "bench_circuits/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace {
+
+using namespace epoc::core;
+using epoc::circuit::Circuit;
+using epoc::circuit::StrippedCircuit;
+using epoc::circuit::strip_parameters;
+
+EpocOptions cheap_options() {
+    EpocOptions opt;
+    opt.latency.fidelity_threshold = 0.99;
+    opt.latency.grape.max_iterations = 120;
+    opt.qsearch.threshold = 1e-4;
+    opt.qsearch.instantiate.restarts = 2;
+    return opt;
+}
+
+/// A one-layer QAOA-style template over 2 qubits: the canonical "same
+/// structure, different angles" workload.
+Circuit qaoa2(double gamma, double beta) {
+    Circuit c(2);
+    c.h(0).h(1);
+    c.rzz(gamma, 0, 1);
+    c.rx(beta, 0).rx(beta, 1);
+    return c;
+}
+
+std::uint64_t digest(const PulseSchedule& s) {
+    return epoc::qoc::fnv1a64(schedule_to_json(s));
+}
+
+TEST(StructureKey, AngleChangesKeepTheKeyAndMoveTheParams) {
+    const StrippedCircuit a = strip_parameters(qaoa2(0.3, 0.7));
+    const StrippedCircuit b = strip_parameters(qaoa2(1.1, -0.2));
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.parametric_gates, 3u);
+    ASSERT_EQ(a.params.size(), 3u);
+    EXPECT_DOUBLE_EQ(a.params[0], 0.3);
+    EXPECT_DOUBLE_EQ(a.params[1], 0.7);
+    EXPECT_DOUBLE_EQ(a.params[2], 0.7);
+    EXPECT_DOUBLE_EQ(b.params[0], 1.1);
+    EXPECT_DOUBLE_EQ(b.params[1], -0.2);
+}
+
+TEST(StructureKey, EveryStructuralEditChangesTheKey) {
+    const std::string base = strip_parameters(qaoa2(0.3, 0.7)).key;
+
+    // Different gate kind at one position.
+    Circuit kind(2);
+    kind.h(0).h(1).rzz(0.3, 0, 1).ry(0.7, 0).rx(0.7, 1);
+    EXPECT_NE(strip_parameters(kind).key, base);
+
+    // Different qubit wiring.
+    Circuit wiring(2);
+    wiring.h(0).h(1).rzz(0.3, 1, 0).rx(0.7, 0).rx(0.7, 1);
+    EXPECT_NE(strip_parameters(wiring).key, base);
+
+    // Different gate order.
+    Circuit order(2);
+    order.h(1).h(0).rzz(0.3, 0, 1).rx(0.7, 0).rx(0.7, 1);
+    EXPECT_NE(strip_parameters(order).key, base);
+
+    // Wider register, identical gate list.
+    Circuit wider(3);
+    wider.h(0).h(1).rzz(0.3, 0, 1).rx(0.7, 0).rx(0.7, 1);
+    EXPECT_NE(strip_parameters(wider).key, base);
+
+    // One gate more.
+    Circuit longer = qaoa2(0.3, 0.7);
+    longer.h(0);
+    EXPECT_NE(strip_parameters(longer).key, base);
+}
+
+TEST(StructureKey, SentinelsRoundTrip) {
+    for (const std::size_t slot : {0u, 1u, 7u, 4096u}) {
+        const double v = epoc::circuit::slot_sentinel(slot);
+        EXPECT_TRUE(epoc::circuit::is_slot_sentinel(v));
+        EXPECT_EQ(epoc::circuit::sentinel_slot(v), slot);
+    }
+    EXPECT_FALSE(epoc::circuit::is_slot_sentinel(0.0));
+    EXPECT_FALSE(epoc::circuit::is_slot_sentinel(3.14159));
+    EXPECT_FALSE(epoc::circuit::is_slot_sentinel(-2.0));
+}
+
+TEST(StructureKey, ScanAndBindRecoverTheOriginalAngles) {
+    // Build a sentinel template by hand, then bind a fresh angle vector.
+    Circuit templ(2);
+    templ.h(0);
+    templ.rzz(epoc::circuit::slot_sentinel(0), 0, 1);
+    templ.rx(epoc::circuit::slot_sentinel(1), 0);
+    const auto bindings = epoc::circuit::scan_bindings(templ);
+    ASSERT_EQ(bindings.size(), 2u);
+    EXPECT_EQ(bindings[0].gate, 1u);
+    EXPECT_EQ(bindings[1].gate, 2u);
+
+    Circuit bound = templ;
+    epoc::circuit::bind_parameters(bound, bindings, {0.25, -1.5});
+    EXPECT_DOUBLE_EQ(bound.gate(1).params[0], 0.25);
+    EXPECT_DOUBLE_EQ(bound.gate(2).params[0], -1.5);
+
+    // A stale binding (value vector too short) must throw, never half-bind.
+    EXPECT_THROW(epoc::circuit::bind_parameters(bound, bindings, {0.25}),
+                 std::out_of_range);
+}
+
+TEST(PlanCache, SecondCompileOfAStructureIsAPlanHit) {
+    EpocOptions opt = cheap_options();
+    opt.plan_cache = true;
+    EpocCompiler compiler(opt);
+
+    const EpocResult first = compiler.compile(qaoa2(0.4, 0.9));
+    EXPECT_FALSE(first.plan_hit); // the build compile
+    EXPECT_FALSE(first.degraded);
+    EXPECT_EQ(compiler.plan_cache().size(), 1u);
+
+    const EpocResult second = compiler.compile(qaoa2(1.3, -0.6));
+    EXPECT_TRUE(second.plan_hit);
+    EXPECT_GT(second.plan_blocks_reused, 0u);
+    EXPECT_FALSE(second.degraded);
+    EXPECT_GT(second.esp, 0.9);
+
+    // A structural edit misses: new build, no false sharing.
+    Circuit other = qaoa2(1.3, -0.6);
+    other.cx(0, 1);
+    const EpocResult third = compiler.compile(other);
+    EXPECT_FALSE(third.plan_hit);
+    EXPECT_EQ(compiler.plan_cache().size(), 2u);
+}
+
+TEST(PlanCache, PlanHitBitIdenticalToColdCompileAcrossThreadCounts) {
+    // The reuse contract: a plan-hit compile at angles theta must produce the
+    // exact schedule a fresh compiler (which builds the plan itself) produces
+    // at theta — for every thread count. Warm starting is off: it is the one
+    // deliberately iteration-dependent knob (advisory seeds), and this test
+    // pins the reproducible path.
+    for (const int threads : {1, 2, 8}) {
+        EpocOptions opt = cheap_options();
+        opt.plan_cache = true;
+        opt.plan_warm_start = false;
+        opt.num_threads = threads;
+
+        EpocCompiler warmed(opt);
+        (void)warmed.compile(qaoa2(0.4, 0.9)); // builds the plan
+        const EpocResult hit = warmed.compile(qaoa2(1.3, -0.6));
+        EXPECT_TRUE(hit.plan_hit) << "threads=" << threads;
+
+        EpocCompiler fresh(opt);
+        const EpocResult cold = fresh.compile(qaoa2(1.3, -0.6));
+        EXPECT_FALSE(cold.plan_hit) << "threads=" << threads;
+
+        EXPECT_EQ(digest(hit.schedule), digest(cold.schedule))
+            << "threads=" << threads;
+        EXPECT_EQ(hit.latency_ns, cold.latency_ns) << "threads=" << threads;
+        EXPECT_EQ(hit.esp, cold.esp) << "threads=" << threads;
+        EXPECT_EQ(hit.synthesized_gates, cold.synthesized_gates);
+    }
+}
+
+TEST(PlanCache, AngleFreeCircuitMatchesThePlanlessPipeline) {
+    // With no parametric gates the single param-free segment is the whole
+    // circuit, so the plan path must reproduce the ordinary pipeline exactly.
+    EpocOptions opt = cheap_options();
+    EpocCompiler plain(opt);
+    const EpocResult off = plain.compile(epoc::bench::ghz(3));
+
+    opt.plan_cache = true;
+    opt.plan_warm_start = false;
+    EpocCompiler planned(opt);
+    const EpocResult build = planned.compile(epoc::bench::ghz(3));
+    const EpocResult hit = planned.compile(epoc::bench::ghz(3));
+
+    EXPECT_TRUE(hit.plan_hit);
+    EXPECT_EQ(digest(off.schedule), digest(build.schedule));
+    EXPECT_EQ(digest(off.schedule), digest(hit.schedule));
+}
+
+} // namespace

@@ -417,6 +417,34 @@ TEST(Resilience, EveryInjectionSiteStillYieldsAValidCompile) {
     }
 }
 
+TEST(Resilience, BrokenPlanCacheDegradesToColdCompileNotThrow) {
+    // The plan cache is an accelerator, never a dependency: a fault anywhere
+    // on the plan path (lookup or instantiation) must silently drop the
+    // compile onto the ordinary cold pipeline, whose output is clean — not
+    // degraded, and certainly not an exception.
+    for (const std::string site : {"plan.lookup", "plan.instantiate"}) {
+        const FaultGuard g(site + "=*");
+        EpocOptions opt = cheap_options();
+        opt.plan_cache = true;
+        opt.trace_enabled = true;
+        EpocCompiler compiler(opt);
+        Circuit c(2);
+        c.h(0).h(1).rzz(0.5, 0, 1).rx(0.3, 0).rx(0.3, 1);
+        EpocResult r;
+        ASSERT_NO_THROW(r = compiler.compile(c)) << site;
+        EXPECT_FALSE(r.plan_hit) << site;
+        EXPECT_GT(r.num_pulses, 0u) << site;
+        EXPECT_GT(r.latency_ns, 0.0) << site;
+        EXPECT_FALSE(r.degraded) << site; // the cold path saw no fault
+        EXPECT_GT(r.trace.counter("robust.plan_fallbacks"), 0u) << site;
+        // The site fires on every arrival, so later compiles keep falling
+        // back — and keep succeeding.
+        ASSERT_NO_THROW(r = compiler.compile(c)) << site;
+        EXPECT_FALSE(r.plan_hit) << site;
+        EXPECT_GT(r.num_pulses, 0u) << site;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Deadlines and cancellation at the compile() level.
 

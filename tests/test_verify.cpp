@@ -18,6 +18,7 @@
 
 #include "bench_circuits/generators.h"
 #include "circuit/gate.h"
+#include "circuit/structure.h"
 #include "circuit/unitary.h"
 #include "epoc/export.h"
 #include "epoc/pipeline.h"
@@ -525,6 +526,64 @@ TEST(VerifyStore, BrokenRevalidatorAcceptsButPulseAuditStillCatches) {
     EXPECT_GT(r.verify.failed, 0u); // ...but the pulse audit caught it
     EXPECT_GE(r.verify.recomputes, 1u);
     EXPECT_EQ(digest(r), clean_digest);
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache: doctored entries must be detected at instantiation, evicted,
+// and rebuilt — never shipped.
+
+TEST(VerifyPlanCache, DoctoredPlanIsDetectedEvictedAndRebuilt) {
+    const auto qaoa = [](double gamma, double beta) {
+        Circuit c(2);
+        c.h(0).h(1);
+        c.rzz(gamma, 0, 1);
+        c.rx(beta, 0).rx(beta, 1);
+        return c;
+    };
+    EpocOptions opt = cheap_options(1, VerifyLevel::full);
+    opt.plan_cache = true;
+    opt.plan_warm_start = false; // pin the reproducible path for digests
+
+    // The reference: a clean compile at the victim angles.
+    EpocCompiler clean(opt);
+    (void)clean.compile(qaoa(0.4, 0.9));
+    const std::uint64_t clean_digest = digest(clean.compile(qaoa(1.3, -0.6)));
+
+    // Build an honest plan, then doctor its cached regroup layout: a stale
+    // block body whose unitary no longer merges to the skeleton's.
+    EpocCompiler victim(opt);
+    (void)victim.compile(qaoa(0.4, 0.9));
+    const std::string key = circuit::strip_parameters(qaoa(0.4, 0.9)).key;
+    const auto honest = victim.plan_cache().peek(key);
+    ASSERT_NE(honest, nullptr);
+    ASSERT_FALSE(honest->groups.empty());
+    core::CompilationPlan doctored;
+    doctored.key = honest->key;
+    doctored.num_qubits = honest->num_qubits;
+    doctored.num_slots = honest->num_slots;
+    doctored.skeleton = honest->skeleton;
+    doctored.fine_bindings = honest->fine_bindings;
+    doctored.groups = honest->groups;
+    doctored.depth_original = honest->depth_original;
+    doctored.depth_after_zx = honest->depth_after_zx;
+    doctored.partition_blocks = honest->partition_blocks;
+    doctored.groups.front().block.body.x(0); // plausible layout, wrong unitary
+    victim.plan_cache().replace(key, std::move(doctored));
+
+    // The next compile must catch the tampering before any pulse work,
+    // compare-and-evict the entry, rebuild it, and ship the clean artifact.
+    const EpocResult r = victim.compile(qaoa(1.3, -0.6));
+    EXPECT_GT(r.verify.failed, 0u);
+    EXPECT_GE(r.verify.recomputes, 1u);
+    EXPECT_FALSE(r.plan_hit); // the rebuilt plan, not the doctored one
+    EXPECT_EQ(digest(r), clean_digest);
+
+    // The rebuilt entry is honest: the following compile is an ordinary hit
+    // with the same bytes.
+    const EpocResult again = victim.compile(qaoa(1.3, -0.6));
+    EXPECT_TRUE(again.plan_hit);
+    EXPECT_EQ(again.verify.failed, 0u); // the tally resets per compile
+    EXPECT_EQ(digest(again), clean_digest);
 }
 
 } // namespace
