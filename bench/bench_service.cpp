@@ -1,0 +1,136 @@
+// Compile-service throughput: jobs/sec through an in-process epocd daemon as
+// the client count grows.
+//
+// A fixed four-circuit workload (the soak set) is first compiled once in
+// library mode to measure the sequential baseline and the unique-work miss
+// count. Then for each client count N the daemon is started fresh and N
+// client threads each push the full workload for a few rounds, pipelined over
+// their own connection. Because all clients share one compiler, every block
+// after the first encounter is a library hit — the steady-state rate measures
+// scheduling + cache lookups + wire overhead, not GRAPE. The dedup invariant
+// (daemon misses == one client's unique misses) is asserted on every row.
+//
+// Usage: bench_service [--rounds N] [--executors N]
+#include "service/daemon.h"
+
+#include "bench_circuits/generators.h"
+#include "circuit/qasm.h"
+#include "epoc/export.h"
+#include "epoc/pipeline.h"
+#include "qoc/pulse_io.h"
+#include "service/client.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+namespace {
+
+using namespace epoc;
+using Clock = std::chrono::steady_clock;
+
+core::EpocOptions fast_options() {
+    core::EpocOptions opt;
+    opt.latency.fidelity_threshold = 0.99;
+    opt.latency.grape.max_iterations = 120;
+    opt.qsearch.threshold = 1e-4;
+    opt.qsearch.instantiate.restarts = 2;
+    return opt;
+}
+
+std::vector<std::string> workload() {
+    return {circuit::to_qasm(bench::ghz(4)), circuit::to_qasm(bench::qft(3)),
+            circuit::to_qasm(bench::bv(5)), circuit::to_qasm(bench::wstate(4))};
+}
+
+double ms_since(Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    int rounds = 4;
+    int executors = 4;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--rounds") == 0) rounds = std::atoi(argv[i + 1]);
+        if (std::strcmp(argv[i], "--executors") == 0)
+            executors = std::atoi(argv[i + 1]);
+    }
+
+    const std::vector<std::string> circuits = workload();
+
+    // Sequential library-mode baseline, and the unique-work denominator.
+    core::EpocCompiler local(fast_options());
+    const auto t0 = Clock::now();
+    for (int r = 0; r < rounds; ++r)
+        for (const std::string& qasm : circuits)
+            local.compile(circuit::parse_qasm(qasm));
+    const double seq_ms = ms_since(t0);
+    const std::size_t unique_misses = local.library().stats().misses;
+    const int jobs_per_client = rounds * static_cast<int>(circuits.size());
+    std::printf("compile service throughput (executors=%d, %d jobs/client)\n\n",
+                executors, jobs_per_client);
+    std::printf("%8s %8s %10s %10s %12s %10s\n", "clients", "jobs", "wall-ms",
+                "jobs/sec", "vs-seq", "dedup-ok");
+    std::printf("%8s %8d %10.1f %10.1f %12s %10s\n", "(seq)", jobs_per_client,
+                seq_ms, 1000.0 * jobs_per_client / seq_ms, "1.00x", "-");
+
+    for (const int clients : {1, 2, 4}) {
+        service::DaemonOptions opt;
+        opt.socket_path = "/tmp/epoc_bench_service_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(clients) + ".sock";
+        opt.num_executors = executors;
+        opt.compiler = fast_options();
+        service::EpocDaemon daemon(opt);
+        daemon.start();
+
+        std::atomic<int> failures{0};
+        const auto t1 = Clock::now();
+        std::vector<std::thread> threads;
+        for (int c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                try {
+                    service::EpocClient client(opt.socket_path);
+                    std::vector<std::uint64_t> ids;
+                    for (int r = 0; r < rounds; ++r)
+                        for (const std::string& qasm : circuits)
+                            ids.push_back(client.submit(
+                                qasm, "bench" + std::to_string(c)));
+                    for (const std::uint64_t id : ids)
+                        if (client.wait_for(id).status != service::JobStatus::ok)
+                            failures.fetch_add(1);
+                } catch (...) {
+                    failures.fetch_add(1);
+                }
+            });
+        }
+        for (std::thread& th : threads) th.join();
+        const double wall_ms = ms_since(t1);
+
+        std::uint64_t daemon_misses = 0;
+        {
+            service::EpocClient probe(opt.socket_path);
+            for (const auto& [k, v] : probe.status().counters)
+                if (k == "qoc.library_misses") daemon_misses = v;
+        }
+        daemon.stop();
+
+        const int total_jobs = clients * jobs_per_client;
+        const double jobs_per_sec = 1000.0 * total_jobs / wall_ms;
+        const double speedup =
+            (seq_ms * clients) / wall_ms; // vs running each client serially
+        const bool dedup_ok = failures.load() == 0 && daemon_misses == unique_misses;
+        std::printf("%8d %8d %10.1f %10.1f %11.2fx %10s\n", clients, total_jobs,
+                    wall_ms, jobs_per_sec, speedup, dedup_ok ? "yes" : "NO");
+    }
+    return 0;
+}

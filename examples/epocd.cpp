@@ -1,0 +1,86 @@
+// epocd: the EPOC compile-service daemon.
+//
+// Starts a long-running compile service on a local (AF_UNIX) socket and
+// serves jobs from any number of epocd_client processes until one of them
+// sends a shutdown request. All clients share one compiler — one pulse
+// library, synthesis cache and plan cache — so identical blocks from
+// different clients are GRAPE'd exactly once (the status endpoint's
+// qoc.library_misses counts unique work, not requests).
+//
+// Usage: epocd --socket PATH [options]
+//   --socket PATH       listening socket path (default /tmp/epocd.sock)
+//   --executors N       concurrent compile jobs (default 2)
+//   --threads N         compiler worker threads per job batch (default 0 =
+//                       hardware concurrency)
+//   --max-pending N     admission bound on queued+running jobs (default 256)
+//   --store DIR         attach the persistent pulse store
+//   --fast              cheap search settings (CI/smoke: same flag on the
+//                       client keeps library-mode digests comparable)
+//
+// Exits 0 on a clean client-requested shutdown; prints the final counter
+// snapshot on the way out.
+#include "service/daemon.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+namespace {
+
+void apply_fast_options(epoc::core::EpocOptions& opt) {
+    // Must match epocd_client's --fast exactly: digest comparisons between
+    // daemon compiles and the client's local library-mode compiles are only
+    // meaningful when both compilers run the same search configuration.
+    opt.latency.fidelity_threshold = 0.99;
+    opt.latency.grape.max_iterations = 120;
+    opt.qsearch.threshold = 1e-4;
+    opt.qsearch.instantiate.restarts = 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    epoc::service::DaemonOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value) {
+            opt.socket_path = argv[++i];
+        } else if (arg == "--executors" && has_value) {
+            opt.num_executors = std::atoi(argv[++i]);
+        } else if (arg == "--threads" && has_value) {
+            opt.compiler.num_threads = std::atoi(argv[++i]);
+        } else if (arg == "--max-pending" && has_value) {
+            opt.admission.max_pending =
+                static_cast<std::size_t>(std::atol(argv[++i]));
+        } else if (arg == "--store" && has_value) {
+            opt.compiler.pulse_store_dir = argv[++i];
+        } else if (arg == "--fast") {
+            apply_fast_options(opt.compiler);
+        } else {
+            std::fprintf(stderr, "epocd: unknown or incomplete option: %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    try {
+        epoc::service::EpocDaemon daemon(opt);
+        daemon.start();
+        std::printf("epocd: listening on %s (executors=%d)\n",
+                    daemon.socket_path().c_str(), opt.num_executors);
+        std::fflush(stdout);
+        daemon.wait(); // until a client's shutdown request
+        std::printf("epocd: shutdown requested, draining\n");
+        daemon.stop();
+        for (const auto& [key, value] : daemon.status().counters)
+            std::printf("epocd: %s = %llu\n", key.c_str(),
+                        static_cast<unsigned long long>(value));
+        std::printf("epocd: clean exit\n");
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "epocd: fatal: %s\n", e.what());
+        return 1;
+    }
+}

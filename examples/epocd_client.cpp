@@ -1,0 +1,274 @@
+// epocd_client: exercise a running epocd daemon.
+//
+// Modes (all need --socket PATH, default /tmp/epocd.sock):
+//
+//   --qasm FILE         compile one QASM file, print the response
+//   --soak              the CI soak workload: compile a fixed circuit set
+//                       locally (library mode) for baseline digests, then
+//                       submit the same circuits to the daemon repeatedly
+//                       with mixed priorities — plus a pair of
+//                       deliberately-infeasible-deadline jobs — and assert:
+//                       every job got a response, compiled digests are
+//                       bit-identical to library mode, infeasible jobs were
+//                       shed (not errored). Prints grep-friendly soak-*
+//                       lines; exit 0 iff every assertion held.
+//   --expect-dedup      assert the daemon's library misses equal the unique
+//                       work of ONE local compile of the soak set (cross-
+//                       client dedup: N clients' identical blocks were
+//                       GRAPE'd once), and that hits landed. Run after soak.
+//   --status            print the daemon's counter snapshot
+//   --shutdown          ask the daemon to exit
+//
+// Common options:
+//   --tenant NAME       accounting bucket (default "default")
+//   --fast              cheap search settings — must match the daemon's
+//   --retry-ms N        keep retrying the initial connect for N ms (default
+//                       5000; lets CI start daemon and client back-to-back)
+#include "service/client.h"
+
+#include "bench_circuits/generators.h"
+#include "circuit/qasm.h"
+#include "epoc/export.h"
+#include "epoc/pipeline.h"
+#include "qoc/pulse_io.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace epoc;
+
+void apply_fast_options(core::EpocOptions& opt) {
+    // Keep in lockstep with epocd's --fast (digest comparability).
+    opt.latency.fidelity_threshold = 0.99;
+    opt.latency.grape.max_iterations = 120;
+    opt.qsearch.threshold = 1e-4;
+    opt.qsearch.instantiate.restarts = 2;
+}
+
+/// The soak circuit set, as (name, qasm) — shared blocks across circuits and
+/// across the clients running this same workload are the dedup fodder.
+std::vector<std::pair<std::string, std::string>> soak_circuits() {
+    std::vector<std::pair<std::string, std::string>> out;
+    out.emplace_back("ghz4", circuit::to_qasm(bench::ghz(4)));
+    out.emplace_back("qft3", circuit::to_qasm(bench::qft(3)));
+    out.emplace_back("bv5", circuit::to_qasm(bench::bv(5)));
+    out.emplace_back("wstate4", circuit::to_qasm(bench::wstate(4)));
+    return out;
+}
+
+std::uint64_t local_digest(core::EpocCompiler& compiler, const std::string& qasm) {
+    const core::EpocResult r = compiler.compile(circuit::parse_qasm(qasm));
+    return qoc::fnv1a64(core::schedule_to_json(r.schedule));
+}
+
+std::unique_ptr<service::EpocClient> connect_with_retry(const std::string& path,
+                                                        int retry_ms) {
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(retry_ms);
+    for (;;) {
+        try {
+            return std::make_unique<service::EpocClient>(path);
+        } catch (const std::exception&) {
+            if (std::chrono::steady_clock::now() >= give_up) throw;
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+    }
+}
+
+std::uint64_t counter(const service::StatusResponse& s, const std::string& key) {
+    for (const auto& [k, v] : s.counters)
+        if (k == key) return v;
+    return 0;
+}
+
+int run_soak(service::EpocClient& client, const core::EpocOptions& local_opt,
+             const std::string& tenant) {
+    const auto circuits = soak_circuits();
+
+    // Library-mode ground truth: one private in-process compiler.
+    core::EpocCompiler local(local_opt);
+    std::map<std::string, std::uint64_t> baseline;
+    for (const auto& [name, qasm] : circuits)
+        baseline[name] = local_digest(local, qasm);
+
+    // Pipeline the daemon jobs: several rounds, priorities alternating so
+    // the fair queue sees mixed levels, everything submitted before anything
+    // is collected (responses arrive out of order; ids correlate).
+    constexpr int kRounds = 3;
+    std::vector<std::pair<std::uint64_t, std::string>> in_flight; // id, name
+    for (int round = 0; round < kRounds; ++round)
+        for (std::size_t i = 0; i < circuits.size(); ++i) {
+            const std::int32_t priority = static_cast<std::int32_t>(i % 2);
+            in_flight.emplace_back(
+                client.submit(circuits[i].second, tenant, priority),
+                circuits[i].first);
+        }
+    // Two jobs whose budget is spent on arrival: the admission controller
+    // must shed them as responses, never as errors or hangs.
+    const std::uint64_t doomed_a =
+        client.submit(circuits[0].second, tenant, 0, 0.0001);
+    const std::uint64_t doomed_b =
+        client.submit(circuits[1].second, tenant, 1, 0.0001);
+
+    int failures = 0;
+    int ok_jobs = 0;
+    for (const auto& [id, name] : in_flight) {
+        const service::JobResponse resp = client.wait_for(id);
+        if (resp.status != service::JobStatus::ok) {
+            std::printf("soak-FAIL: %s -> %s (%s)\n", name.c_str(),
+                        service::job_status_name(resp.status),
+                        resp.detail.c_str());
+            ++failures;
+            continue;
+        }
+        if (resp.degraded) {
+            std::printf("soak-FAIL: %s degraded: %s\n", name.c_str(),
+                        resp.detail.c_str());
+            ++failures;
+            continue;
+        }
+        if (resp.digest != baseline[name]) {
+            std::printf("soak-FAIL: %s digest %016llx != local %016llx\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(resp.digest),
+                        static_cast<unsigned long long>(baseline[name]));
+            ++failures;
+            continue;
+        }
+        ++ok_jobs;
+    }
+    for (const std::uint64_t id : {doomed_a, doomed_b}) {
+        const service::JobResponse resp = client.wait_for(id);
+        if (resp.status != service::JobStatus::shed_deadline) {
+            std::printf("soak-FAIL: doomed job %llu -> %s, want shed_deadline\n",
+                        static_cast<unsigned long long>(id),
+                        service::job_status_name(resp.status));
+            ++failures;
+        }
+    }
+
+    std::printf("soak-jobs: %zu ok: %d shed: 2 failures: %d\n", in_flight.size(),
+                ok_jobs, failures);
+    std::printf("soak-digest-match: %d\n", failures == 0 ? 1 : 0);
+    std::printf("local-library-misses: %zu\n", local.library().stats().misses);
+    return failures == 0 ? 0 : 1;
+}
+
+int run_expect_dedup(service::EpocClient& client,
+                     const core::EpocOptions& local_opt) {
+    // Unique work in the soak set, measured locally: one compile of each
+    // circuit on a fresh compiler misses once per unique pulse key.
+    core::EpocCompiler local(local_opt);
+    for (const auto& [name, qasm] : soak_circuits())
+        local_digest(local, qasm);
+    const std::size_t unique_misses = local.library().stats().misses;
+
+    const service::StatusResponse s = client.status();
+    const std::uint64_t daemon_misses = counter(s, "qoc.library_misses");
+    const std::uint64_t daemon_hits = counter(s, "qoc.library_hits");
+    std::printf("dedup-unique-misses: %zu daemon-misses: %llu daemon-hits: %llu\n",
+                unique_misses, static_cast<unsigned long long>(daemon_misses),
+                static_cast<unsigned long long>(daemon_hits));
+    // Single-flight makes the daemon's miss count equal the unique key count
+    // however many clients raced: more misses means dedup broke, fewer means
+    // work was skipped. Hits must exist because every client after the first
+    // (and every repeat round) reuses the same entries.
+    const bool ok = daemon_misses == unique_misses && daemon_hits > 0;
+    std::printf("dedup-ok: %d\n", ok ? 1 : 0);
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string socket_path = "/tmp/epocd.sock";
+    std::string tenant = "default";
+    std::string qasm_file;
+    std::string mode = "qasm";
+    int retry_ms = 5000;
+    core::EpocOptions local_opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value) {
+            socket_path = argv[++i];
+        } else if (arg == "--tenant" && has_value) {
+            tenant = argv[++i];
+        } else if (arg == "--qasm" && has_value) {
+            qasm_file = argv[++i];
+            mode = "qasm";
+        } else if (arg == "--soak") {
+            mode = "soak";
+        } else if (arg == "--expect-dedup") {
+            mode = "expect-dedup";
+        } else if (arg == "--status") {
+            mode = "status";
+        } else if (arg == "--shutdown") {
+            mode = "shutdown";
+        } else if (arg == "--fast") {
+            apply_fast_options(local_opt);
+        } else if (arg == "--retry-ms" && has_value) {
+            retry_ms = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr, "epocd_client: unknown option: %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    try {
+        const auto client = connect_with_retry(socket_path, retry_ms);
+        if (mode == "soak") return run_soak(*client, local_opt, tenant);
+        if (mode == "expect-dedup") return run_expect_dedup(*client, local_opt);
+        if (mode == "status") {
+            for (const auto& [key, value] : client->status().counters)
+                std::printf("%s = %llu\n", key.c_str(),
+                            static_cast<unsigned long long>(value));
+            return 0;
+        }
+        if (mode == "shutdown") {
+            client->shutdown_server();
+            std::printf("shutdown acknowledged\n");
+            return 0;
+        }
+        if (qasm_file.empty()) {
+            std::fprintf(stderr,
+                         "epocd_client: pass --qasm FILE, --soak, "
+                         "--expect-dedup, --status or --shutdown\n");
+            return 2;
+        }
+        std::ifstream in(qasm_file);
+        if (!in) {
+            std::fprintf(stderr, "epocd_client: cannot read %s\n",
+                         qasm_file.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        const service::JobResponse resp = client->compile(text.str(), tenant);
+        std::printf("status: %s%s\n", service::job_status_name(resp.status),
+                    resp.degraded ? " (degraded)" : "");
+        if (!resp.detail.empty()) std::printf("detail: %s\n", resp.detail.c_str());
+        std::printf("digest: %016llx\nlatency-ns: %.3f\nesp: %.6f\n"
+                    "pulses: %llu\ncompile-ms: %.1f\n",
+                    static_cast<unsigned long long>(resp.digest),
+                    resp.latency_ns, resp.esp,
+                    static_cast<unsigned long long>(resp.num_pulses),
+                    resp.compile_ms);
+        return resp.status == service::JobStatus::ok ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "epocd_client: %s\n", e.what());
+        return 1;
+    }
+}

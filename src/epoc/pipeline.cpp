@@ -77,8 +77,10 @@ struct PlanDegraded : std::runtime_error {
 };
 
 /// compile() boundary validation: structural problems are reported as a
-/// structured status instead of surfacing as a deep std::out_of_range from
-/// schedule_asap (or a bad_alloc from a negative qubit count).
+/// structured status up front (a bad_alloc from a negative qubit count, gates
+/// off the register). schedule_asap itself no longer throws on out-of-range
+/// qubits — it drops and counts them — but rejecting malformed input here
+/// keeps the whole pipeline from wasting a synthesis pass on it.
 util::BlockStatus validate_input(const Circuit& c) {
     util::BlockStatus st;
     st.stage = util::Stage::input;
@@ -161,9 +163,13 @@ const qoc::BlockHamiltonian& EpocCompiler::hamiltonian(int num_qubits) {
 }
 
 util::Cause EpocCompiler::expiry_cause(const util::Deadline& deadline) const {
-    (void)deadline;
-    return (opt_.cancel != nullptr && opt_.cancel->cancelled()) ? util::Cause::cancelled
-                                                                : util::Cause::timeout;
+    // The deadline carries the per-call token (which may be opt_.cancel or a
+    // CompileCallOptions override): ask it, not the configured default, so a
+    // daemon job cancelled by its own client is reported as cancelled even
+    // while other jobs' tokens stay untouched.
+    const util::CancelToken* token = deadline.token();
+    return (token != nullptr && token->cancelled()) ? util::Cause::cancelled
+                                                    : util::Cause::timeout;
 }
 
 EpocCompiler::AuditedPulse EpocCompiler::audit_pulse_result(
@@ -419,7 +425,7 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
                 tracer_.add_counter("robust.synth_fallbacks");
             }
         },
-        opt_.cancel);
+        deadline.token());
 
     // Deterministic merge: block order, not completion order.
     Circuit flat(num_qubits);
@@ -636,7 +642,7 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
                                                frag.audit_err);
             }
         },
-        opt_.cancel);
+        deadline.token());
 
     std::vector<PulseJob> jobs;
     jobs.reserve(blocks.size());
@@ -767,7 +773,7 @@ std::vector<PulseJob> EpocCompiler::fine_pulse_jobs(const Circuit& current,
                 tracer_.add_counter("robust.placeholder_pulses");
             }
         },
-        opt_.cancel);
+        deadline.token());
     std::vector<PulseJob> fine_jobs;
     fine_jobs.reserve(current.size());
     for (std::size_t i = 0; i < current.size(); ++i) {
@@ -978,6 +984,18 @@ void EpocCompiler::cold_compile(const Circuit& c, const util::Deadline& deadline
         } else {
             res.schedule = fine;
         }
+        if (res.schedule.dropped_jobs > 0) {
+            // The shipped schedule refused jobs addressing out-of-register
+            // qubits (schedule_asap drops instead of throwing): report it as
+            // a §4e schedule-stage degradation so callers see the partial
+            // schedule for what it is.
+            res.block_reports.push_back(
+                {util::Stage::schedule, 0, "schedule",
+                 {util::Stage::schedule, util::Cause::invalid_input, true,
+                  res.schedule.drop_detail}});
+            res.degraded = true;
+            tracer_.add_counter("robust.dropped_jobs", res.schedule.dropped_jobs);
+        }
         if (verifier_.enabled()) verifier_.set_error_budget(shipped_budget);
         res.qoc_ms = ms_since(t0);
     }
@@ -1149,6 +1167,15 @@ bool EpocCompiler::instantiate_plan(const CompilationPlan& plan,
     } else {
         res.schedule = fine;
     }
+    if (res.schedule.dropped_jobs > 0) {
+        // Same §4e accounting as the cold path: out-of-register jobs were
+        // dropped by schedule_asap, so the shipped schedule is degraded.
+        res.block_reports.push_back({util::Stage::schedule, 0, "schedule",
+                                     {util::Stage::schedule, util::Cause::invalid_input,
+                                      true, res.schedule.drop_detail}});
+        res.degraded = true;
+        tracer_.add_counter("robust.dropped_jobs", res.schedule.dropped_jobs);
+    }
     if (verifier_.enabled()) verifier_.set_error_budget(shipped_budget);
     res.qoc_ms = ms_since(t0);
     return true;
@@ -1193,7 +1220,9 @@ bool EpocCompiler::try_plan_compile(const Circuit& c, const util::Deadline& dead
     return false;
 }
 
-EpocResult EpocCompiler::compile(const Circuit& c) {
+EpocResult EpocCompiler::compile(const Circuit& c) { return compile(c, {}); }
+
+EpocResult EpocCompiler::compile(const Circuit& c, const CompileCallOptions& call) {
     EpocResult res;
     verifier_.begin_compile(); // per-compile audit tally
     res.verify.level = verifier_.options().level;
@@ -1215,8 +1244,9 @@ EpocResult EpocCompiler::compile(const Circuit& c) {
     }
 
     util::Deadline deadline;
-    if (opt_.deadline_ms > 0.0) deadline = util::Deadline::after_ms(opt_.deadline_ms);
-    deadline.link(opt_.cancel);
+    const double budget_ms = call.deadline_ms >= 0.0 ? call.deadline_ms : opt_.deadline_ms;
+    if (budget_ms > 0.0) deadline = util::Deadline::after_ms(budget_ms);
+    deadline.link(call.cancel != nullptr ? call.cancel : opt_.cancel);
 
     util::Tracer::Span compile_span = tracer_.span("compile", "pipeline");
 

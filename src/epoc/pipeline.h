@@ -244,13 +244,42 @@ struct EpocResult {
     std::vector<BlockReport> block_reports;
 };
 
+/// Per-call overrides for one compile() invocation. The compile-service
+/// daemon runs many concurrent requests through one EpocCompiler, and each
+/// request carries its own budget and cancellation — state that cannot live
+/// on the shared EpocOptions.
+struct CompileCallOptions {
+    /// Wall-clock budget for this call, in milliseconds. Negative means
+    /// "use EpocOptions::deadline_ms"; 0 means unlimited (like the option).
+    double deadline_ms = -1.0;
+    /// Cancellation for this call (non-owning; must outlive the call).
+    /// nullptr falls back to EpocOptions::cancel.
+    const util::CancelToken* cancel = nullptr;
+};
+
 /// Stateful compiler: the pulse library and synthesis cache persist across
 /// compile() calls, mirroring the paper's reusable pulse database.
+///
+/// Concurrency: compile() may be called from any number of threads at once
+/// on one compiler — the serving precondition. All shared state is either
+/// immutable after construction (options), internally synchronized (thread
+/// pool, tracer, Hamiltonian map) or single-flight caches, and per-call
+/// state (deadline, result assembly) lives on the caller's stack; identical
+/// circuits compiled concurrently are bit-identical to sequential runs
+/// (asserted in tests/test_concurrent_compile.cpp). One caveat: the
+/// verifier's per-compile tally (EpocResult::verify) is reset at each
+/// compile() entry, so under concurrent *verifying* compiles the per-result
+/// tallies interleave — counts stay race-free and conservation still holds
+/// in aggregate, but attribute them to "the compiler since somebody's
+/// begin", not to one call. Schedules and reports are unaffected.
 class EpocCompiler {
 public:
     explicit EpocCompiler(EpocOptions opt = {});
 
     EpocResult compile(const circuit::Circuit& c);
+    /// compile() with per-call deadline/cancellation overrides; see
+    /// CompileCallOptions. compile(c) is compile(c, {}).
+    EpocResult compile(const circuit::Circuit& c, const CompileCallOptions& call);
 
     qoc::PulseLibrary& library() { return library_; }
     /// The persistent pulse store, nullptr when persistence is off.
@@ -261,7 +290,9 @@ public:
     /// Change the wall-clock budget for subsequent compile() calls (<= 0
     /// means unlimited). Because degraded entries are never cached, a compile
     /// that degraded under a tight budget genuinely re-attempts its blocks
-    /// when re-run with more slack.
+    /// when re-run with more slack. NOT safe against in-flight compile()
+    /// calls on other threads — concurrent callers pass per-call budgets via
+    /// CompileCallOptions instead (the daemon does).
     void set_deadline_ms(double ms) { opt_.deadline_ms = ms; }
     /// The compiler's verifier (enabled iff verify_level resolved to
     /// sampled/full; see EpocOptions::verify_level).

@@ -1,7 +1,6 @@
 #include "epoc/scheduler.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace epoc::core {
 
@@ -16,13 +15,30 @@ double PulseSchedule::utilization() const {
 PulseSchedule schedule_asap(const std::vector<PulseJob>& jobs, int num_qubits) {
     PulseSchedule s;
     s.num_qubits = num_qubits;
-    std::vector<double> free_at(static_cast<std::size_t>(num_qubits), 0.0);
-    for (const PulseJob& job : jobs) {
+    std::vector<double> free_at(static_cast<std::size_t>(std::max(0, num_qubits)), 0.0);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const PulseJob& job = jobs[j];
         double start = 0.0;
+        bool in_range = true;
         for (const int q : job.qubits) {
-            if (q < 0 || q >= num_qubits)
-                throw std::out_of_range("schedule_asap: qubit out of range");
+            if (q < 0 || q >= num_qubits) {
+                in_range = false;
+                break;
+            }
             start = std::max(start, free_at[static_cast<std::size_t>(q)]);
+        }
+        if (!in_range) {
+            // A job addressing a line the register does not have cannot be
+            // placed; drop it (recorded, never thrown) and keep scheduling
+            // the rest — a degraded-but-valid schedule beats an exception
+            // escaping compile()'s never-throws contract.
+            ++s.dropped_jobs;
+            if (s.drop_detail.empty())
+                s.drop_detail = "job " + std::to_string(j) +
+                                (job.label.empty() ? "" : " (" + job.label + ")") +
+                                " addresses a qubit outside register of width " +
+                                std::to_string(num_qubits);
+            continue;
         }
         const double end = start + job.duration;
         for (const int q : job.qubits) free_at[static_cast<std::size_t>(q)] = end;

@@ -6,6 +6,7 @@
 // pulse fidelities.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -29,13 +30,24 @@ struct PulseSchedule {
     double latency = 0.0; ///< ns
     double esp = 1.0;     ///< product of pulse fidelities
     int num_qubits = 0;
+    /// Jobs the scheduler refused because they addressed a qubit outside
+    /// [0, num_qubits): dropped from the schedule (and from esp/latency)
+    /// instead of thrown. Nonzero only on malformed input — the pipeline
+    /// surfaces it as a Stage::schedule / Cause::invalid_input degradation.
+    std::size_t dropped_jobs = 0;
+    /// Human-readable account of the first dropped job, empty when none.
+    std::string drop_detail;
 
     /// Fraction of (latency * num_qubits) covered by pulses: the qubit-line
     /// utilization the paper's parallelism argument is about.
     double utilization() const;
 };
 
-/// Schedule jobs in order (ASAP semantics).
+/// Schedule jobs in order (ASAP semantics). Never throws: a job addressing a
+/// qubit outside the register is dropped and counted on
+/// PulseSchedule::dropped_jobs (the compile() never-throws contract reaches
+/// through here — the historical std::out_of_range escaped it), so the
+/// returned schedule is always valid for the jobs that were schedulable.
 PulseSchedule schedule_asap(const std::vector<PulseJob>& jobs, int num_qubits);
 
 } // namespace epoc::core

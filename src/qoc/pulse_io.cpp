@@ -90,6 +90,13 @@ bool ByteReader::get_f64(double& v) {
     return true;
 }
 
+bool ByteReader::get_bytes(std::string& out, std::size_t n) {
+    if (remaining() < n) return false;
+    out.assign(reinterpret_cast<const char*>(data_) + pos_, n);
+    pos_ += n;
+    return true;
+}
+
 void encode_pulse(std::string& out, const Pulse& p) {
     put_u32(out, static_cast<std::uint32_t>(p.amplitudes.size()));
     for (const std::vector<double>& line : p.amplitudes) {

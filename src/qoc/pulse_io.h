@@ -59,6 +59,10 @@ public:
     bool get_u32(std::uint32_t& v);
     bool get_u64(std::uint64_t& v);
     bool get_f64(double& v);
+    /// Copy the next `n` raw bytes into `out` (replacing its contents).
+    /// False without consuming anything when fewer than `n` remain — the
+    /// caller's length field must be validated against the actual buffer.
+    bool get_bytes(std::string& out, std::size_t n);
 
     std::size_t remaining() const { return size_ - pos_; }
     bool done() const { return pos_ == size_; }

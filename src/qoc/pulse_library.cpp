@@ -56,6 +56,7 @@ std::shared_ptr<const LatencyResult> PulseLibrary::get_or_generate(
             // thread count, and the store sees at most one read and one write
             // per key however many threads raced here.
             if (store_ != nullptr) {
+                bool rejected = false;
                 if (std::optional<LatencyResult> stored = store_->load(key)) {
                     if (!revalidator_ || revalidator_(key, h, target, *stored)) {
                         // L2 hit: promote to memory verbatim. No GRAPE ran,
@@ -68,13 +69,18 @@ std::shared_ptr<const LatencyResult> PulseLibrary::get_or_generate(
                     // Revalidation rejected the entry: its bytes were intact
                     // (the load passed the checksum) but its physics is
                     // wrong. Quarantine it in the tier and fall through to
-                    // GRAPE exactly as if the probe had missed.
+                    // GRAPE exactly as if the probe had missed — but count it
+                    // *only* as a rejection: hits + misses + rejections must
+                    // partition the probes (the historical double count of
+                    // rejections as misses made per-tenant dashboards
+                    // irreconcilable: counted outcomes exceeded probes).
+                    rejected = true;
                     store_rejected_.fetch_add(1, std::memory_order_relaxed);
                     if (tracer_ != nullptr)
                         tracer_->add_counter("qoc.store_rejections");
                     store_->invalidate(key);
                 }
-                store_misses_.fetch_add(1, std::memory_order_relaxed);
+                if (!rejected) store_misses_.fetch_add(1, std::memory_order_relaxed);
             }
             util::Tracer::Span span;
             if (tracer_ != nullptr)

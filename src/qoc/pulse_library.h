@@ -84,14 +84,18 @@ struct PulseLibraryStats {
     /// compile with more slack re-attempts them. Zero on clean runs.
     std::size_t uncached_degraded = 0;
     /// L2-tier activity, all zero when no tier is attached. Every memory miss
-    /// is exactly one tier hit or tier miss; every tier miss that generated
-    /// an authoritative result is one tier write. A tier hit means the GRAPE
-    /// latency search was skipped entirely for that entry.
+    /// is exactly one tier probe, and probes partition exactly:
+    ///   misses == store_hits + store_misses + store_rejected
+    /// (the reconciliation invariant per-tenant dashboards sum over). Every
+    /// tier miss or rejection that generated an authoritative result is one
+    /// tier write. A tier hit means the GRAPE latency search was skipped
+    /// entirely for that entry.
     std::size_t store_hits = 0;
     std::size_t store_misses = 0;
     std::size_t store_writes = 0;
-    /// Tier hits the revalidation hook rejected: invalidated in the tier,
-    /// counted as misses, and regenerated. Zero without a revalidator.
+    /// Tier hits the revalidation hook rejected: invalidated in the tier and
+    /// regenerated. Disjoint from store_misses (a probe is a hit, a miss, or
+    /// a rejection — never two of them). Zero without a revalidator.
     std::size_t store_rejected = 0;
     /// Authoritative results withheld from the tier because the GRAPE run was
     /// warm-started: warm seeds are not part of the key, so seed-dependent

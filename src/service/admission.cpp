@@ -1,0 +1,99 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+namespace epoc::service {
+
+AdmissionController::AdmissionController(AdmissionOptions opt) : opt_(opt) {}
+
+Verdict AdmissionController::submit(Job&& job) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TenantCounters& tc = tenants_[job.request.tenant];
+    ++tc.submitted;
+    if (closed_) return Verdict::closed;
+    if (queued_ + in_flight_ >= opt_.max_pending) {
+        ++tc.rejected_overload;
+        return Verdict::rejected_overload;
+    }
+    // Feasibility gate: an armed deadline with (almost) nothing left cannot
+    // produce anything but a placeholder artifact — shed it at the door. A
+    // fired cancel token zeroes remaining_ms() (the satellite-2 fix), so
+    // already-dead jobs shed here too instead of occupying an executor.
+    if (job.deadline.armed() && job.deadline.remaining_ms() < opt_.min_feasible_ms) {
+        ++tc.shed_deadline;
+        return Verdict::shed_deadline;
+    }
+    ++tc.admitted;
+    Level& level = levels_[job.request.priority];
+    std::deque<Job>& q = level.by_tenant[job.request.tenant];
+    if (q.empty()) level.order.push_back(job.request.tenant);
+    q.push_back(std::move(job));
+    ++level.jobs;
+    ++queued_;
+    peak_pending_ = std::max<std::uint64_t>(peak_pending_, queued_ + in_flight_);
+    ready_.notify_one();
+    return Verdict::admitted;
+}
+
+bool AdmissionController::next(Job& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || queued_ > 0; });
+    if (queued_ == 0) return false; // closed and drained
+
+    // Highest non-empty priority level, then the level's tenant rotation.
+    auto lit = levels_.begin();
+    while (lit->second.jobs == 0) ++lit; // queued_ > 0 guarantees one exists
+    Level& level = lit->second;
+    if (level.next >= level.order.size()) level.next = 0;
+    const std::string tenant = level.order[level.next];
+    std::deque<Job>& q = level.by_tenant[tenant];
+    out = std::move(q.front());
+    q.pop_front();
+    --level.jobs;
+    --queued_;
+    ++in_flight_;
+    if (q.empty()) {
+        // Tenant exhausted at this level: drop it from the rotation without
+        // advancing past whoever slid into its slot.
+        level.by_tenant.erase(tenant);
+        level.order.erase(level.order.begin() +
+                          static_cast<std::ptrdiff_t>(level.next));
+    } else {
+        ++level.next; // served this tenant; the next one gets the next turn
+    }
+    if (level.jobs == 0) levels_.erase(lit);
+    return true;
+}
+
+void AdmissionController::finish(const Job& job, const JobResponse& resp) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    TenantCounters& tc = tenants_[job.request.tenant];
+    switch (resp.status) {
+    case JobStatus::ok:
+        ++tc.completed;
+        if (resp.degraded) ++tc.degraded;
+        break;
+    case JobStatus::cancelled: ++tc.cancelled; break;
+    case JobStatus::shed_deadline: ++tc.shed_deadline; break;
+    default: ++tc.failed; break;
+    }
+}
+
+void AdmissionController::close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    ready_.notify_all();
+}
+
+AdmissionSnapshot AdmissionController::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AdmissionSnapshot s;
+    s.queued = queued_;
+    s.in_flight = in_flight_;
+    s.peak_pending = peak_pending_;
+    s.tenants = tenants_;
+    return s;
+}
+
+} // namespace epoc::service

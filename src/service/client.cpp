@@ -1,0 +1,103 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace epoc::service {
+
+EpocClient::EpocClient(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw std::runtime_error("epocd client: socket(): " +
+                                 std::string(std::strerror(errno)));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd_);
+        throw std::runtime_error("epocd client: socket path too long: " +
+                                 socket_path);
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error("epocd client: connect " + socket_path + ": " +
+                                 err);
+    }
+}
+
+EpocClient::~EpocClient() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t EpocClient::submit(const std::string& qasm,
+                                 const std::string& tenant,
+                                 std::int32_t priority, double deadline_ms) {
+    JobRequest req;
+    req.id = next_id_++;
+    req.tenant = tenant;
+    req.priority = priority;
+    req.deadline_ms = deadline_ms;
+    req.qasm = qasm;
+    if (!write_frame(fd_, encode_job_request(req)))
+        throw std::runtime_error("epocd client: connection lost on submit");
+    return req.id;
+}
+
+JobResponse EpocClient::wait_for(std::uint64_t id) {
+    for (;;) {
+        const auto it = pending_.find(id);
+        if (it != pending_.end()) {
+            JobResponse resp = std::move(it->second);
+            pending_.erase(it);
+            return resp;
+        }
+        std::string payload;
+        if (!read_frame(fd_, payload))
+            throw std::runtime_error(
+                "epocd client: connection lost awaiting response");
+        std::optional<JobResponse> resp = decode_job_response(payload);
+        if (!resp)
+            throw std::runtime_error("epocd client: malformed response frame");
+        pending_[resp->id] = std::move(*resp);
+    }
+}
+
+JobResponse EpocClient::compile(const std::string& qasm,
+                                const std::string& tenant,
+                                std::int32_t priority, double deadline_ms) {
+    return wait_for(submit(qasm, tenant, priority, deadline_ms));
+}
+
+std::string EpocClient::transact(MsgType expect) {
+    std::string payload;
+    if (!read_frame(fd_, payload))
+        throw std::runtime_error("epocd client: connection lost");
+    if (peek_type(payload) != expect)
+        throw std::runtime_error("epocd client: unexpected response type");
+    return payload;
+}
+
+StatusResponse EpocClient::status() {
+    if (!write_frame(fd_, encode_status_request()))
+        throw std::runtime_error("epocd client: connection lost on status");
+    const std::string payload = transact(MsgType::status_response);
+    std::optional<StatusResponse> s = decode_status_response(payload);
+    if (!s) throw std::runtime_error("epocd client: malformed status frame");
+    return *s;
+}
+
+void EpocClient::shutdown_server() {
+    if (!write_frame(fd_, encode_shutdown_request()))
+        throw std::runtime_error("epocd client: connection lost on shutdown");
+    transact(MsgType::shutdown_response);
+}
+
+} // namespace epoc::service

@@ -1,0 +1,61 @@
+// Client for the epocd compile service.
+//
+// A thin, blocking wrapper over the wire protocol: connect once, then either
+// call compile() synchronously or pipeline with submit()/wait_for() —
+// submit any number of jobs, then collect results in any order (the daemon
+// responds out of submission order; the client buffers responses by id).
+//
+// One EpocClient is ONE socket and is not thread-safe: share a process-wide
+// compile stream by giving each thread its own client (the daemon's caches
+// dedupe across connections anyway — that is the service's whole point).
+#pragma once
+
+#include "service/protocol.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace epoc::service {
+
+class EpocClient {
+public:
+    /// Connect to a running daemon. Throws std::runtime_error when the
+    /// socket cannot be reached.
+    explicit EpocClient(const std::string& socket_path);
+    ~EpocClient();
+
+    EpocClient(const EpocClient&) = delete;
+    EpocClient& operator=(const EpocClient&) = delete;
+
+    /// Enqueue one compile job; returns the id to pass to wait_for(). Ids
+    /// are assigned by the client, unique per connection. Throws on a dead
+    /// connection.
+    std::uint64_t submit(const std::string& qasm, const std::string& tenant,
+                         std::int32_t priority = 0, double deadline_ms = 0.0);
+
+    /// Block until the response for `id` arrives (earlier-arriving responses
+    /// for other ids are buffered). Throws on a dead connection or protocol
+    /// corruption — never on a failed *job* (failures are JobStatus values).
+    JobResponse wait_for(std::uint64_t id);
+
+    /// submit() + wait_for() in one call.
+    JobResponse compile(const std::string& qasm, const std::string& tenant,
+                        std::int32_t priority = 0, double deadline_ms = 0.0);
+
+    /// Fetch the daemon's counter snapshot. Must not be called with job
+    /// responses still uncollected (single request/response stream).
+    StatusResponse status();
+
+    /// Ask the daemon to shut down; returns once the daemon acknowledges.
+    void shutdown_server();
+
+private:
+    std::string transact(MsgType expect);
+
+    int fd_ = -1;
+    std::uint64_t next_id_ = 1;
+    std::map<std::uint64_t, JobResponse> pending_; ///< buffered by id
+};
+
+} // namespace epoc::service

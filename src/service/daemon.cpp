@@ -1,0 +1,390 @@
+#include "service/daemon.h"
+
+#include "circuit/qasm.h"
+#include "epoc/export.h"
+#include "qoc/pulse_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace epoc::service {
+
+/// Per-client connection state. The reader thread owns the fd's read side;
+/// executors write responses through send(), serialized by write_mutex (jobs
+/// finish out of submission order, so responses from several executors can
+/// target one connection at once). The fd is closed only under write_mutex
+/// with `open` already false, so no writer can race the close or hit a
+/// recycled descriptor.
+struct EpocDaemon::Connection {
+    int fd = -1;
+    std::thread reader;
+    std::mutex write_mutex;
+    bool open = true; // guarded by write_mutex
+    /// Cancel tokens of every job this client submitted; fired on
+    /// disconnect so the client's queued/in-flight work stops consuming
+    /// the service. weak_ptr: a finished job's token may be long gone.
+    std::mutex tokens_mutex;
+    std::vector<std::weak_ptr<util::CancelToken>> job_tokens;
+
+    bool send(const std::string& payload) {
+        std::lock_guard<std::mutex> lock(write_mutex);
+        if (!open) return false;
+        return write_frame(fd, payload);
+    }
+
+    void fire_tokens() {
+        std::lock_guard<std::mutex> lock(tokens_mutex);
+        for (const auto& weak : job_tokens)
+            if (const auto token = weak.lock()) token->cancel();
+        job_tokens.clear();
+    }
+
+    void close_fd() {
+        std::lock_guard<std::mutex> lock(write_mutex);
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+        open = false;
+    }
+};
+
+EpocDaemon::EpocDaemon(DaemonOptions opt)
+    : opt_(std::move(opt)), admission_(opt_.admission) {
+    // Per-job deadlines/cancellation arrive with each request; a configured
+    // compiler-wide budget would silently cap every client.
+    opt_.compiler.deadline_ms = 0.0;
+    opt_.compiler.cancel = nullptr;
+    compiler_ = std::make_unique<core::EpocCompiler>(opt_.compiler);
+    opt_.num_executors = std::max(1, opt_.num_executors);
+}
+
+EpocDaemon::~EpocDaemon() { stop(); }
+
+void EpocDaemon::start() {
+    if (running_.exchange(true)) return;
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        running_.store(false);
+        throw std::runtime_error("epocd: socket(): " +
+                                 std::string(std::strerror(errno)));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.socket_path.size() >= sizeof(addr.sun_path)) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        running_.store(false);
+        throw std::runtime_error("epocd: socket path too long: " +
+                                 opt_.socket_path);
+    }
+    std::strncpy(addr.sun_path, opt_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(opt_.socket_path.c_str()); // stale socket from a crashed daemon
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        running_.store(false);
+        throw std::runtime_error("epocd: bind/listen " + opt_.socket_path +
+                                 ": " + err);
+    }
+    for (int i = 0; i < opt_.num_executors; ++i)
+        executors_.emplace_back([this] { executor_loop(); });
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void EpocDaemon::wait() {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+void EpocDaemon::stop() {
+    if (!running_.exchange(false)) return;
+    {
+        std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        shutdown_requested_ = true;
+        shutdown_cv_.notify_all();
+    }
+    // 1. No new jobs; executors will drain what is queued (answering each —
+    //    a fired token makes run_job return `cancelled` without compiling).
+    admission_.close();
+    // 2. Cancel everything in flight so the drain is fast: compiles wind
+    //    down through the degradation ladder at the next poll.
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        for (const auto& conn : conns_) conn->fire_tokens();
+    }
+    for (std::thread& t : executors_) t.join();
+    executors_.clear();
+    // 3. Wake and reap the accept thread. The close happens only after the
+    //    join: closing while accept() still blocks on the fd would let the
+    //    kernel recycle the descriptor under it.
+    const int lfd = listen_fd_.exchange(-1);
+    if (lfd >= 0) ::shutdown(lfd, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (lfd >= 0) ::close(lfd);
+    // 4. Wake the readers (EOF) and reap the connections.
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        conns.swap(conns_);
+    }
+    for (const auto& conn : conns) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+        if (conn->reader.joinable()) conn->reader.join();
+        conn->close_fd();
+    }
+    ::unlink(opt_.socket_path.c_str());
+}
+
+void EpocDaemon::accept_loop() {
+    for (;;) {
+        const int lfd = listen_fd_.load();
+        if (lfd < 0) return; // stop() already took the socket back
+        const int fd = ::accept(lfd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return; // listen socket closed (stop()) or fatal — either way out
+        }
+        if (!running_.load()) {
+            ::close(fd);
+            return;
+        }
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            conns_.push_back(conn);
+        }
+        conn->reader = std::thread([this, conn] { serve_connection(conn); });
+    }
+}
+
+void EpocDaemon::serve_connection(std::shared_ptr<Connection> conn) {
+    std::string payload;
+    while (read_frame(conn->fd, payload)) {
+        const std::optional<MsgType> type = peek_type(payload);
+        if (!type) {
+            bad_frames_.fetch_add(1, std::memory_order_relaxed);
+            break; // framing is lost; drop the connection
+        }
+        switch (*type) {
+        case MsgType::job_request: {
+            std::optional<JobRequest> req = decode_job_request(payload);
+            if (!req) {
+                bad_frames_.fetch_add(1, std::memory_order_relaxed);
+                break;
+            }
+            handle_job_request(conn, std::move(*req));
+            break;
+        }
+        case MsgType::status_request:
+            status_requests_.fetch_add(1, std::memory_order_relaxed);
+            conn->send(encode_status_response(status()));
+            break;
+        case MsgType::shutdown_request: {
+            conn->send(encode_shutdown_response());
+            std::lock_guard<std::mutex> lock(shutdown_mutex_);
+            shutdown_requested_ = true;
+            shutdown_cv_.notify_all();
+            break; // keep serving; the wait()er drives the actual stop()
+        }
+        default:
+            // Response types are client-bound; a client sending one is
+            // confused but harmless.
+            bad_frames_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+    }
+    // Disconnect: the client can no longer receive results, so its
+    // outstanding jobs only burn shared capacity — cancel them.
+    conn->fire_tokens();
+    {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        conn->open = false;
+    }
+}
+
+void EpocDaemon::handle_job_request(const std::shared_ptr<Connection>& conn,
+                                    JobRequest&& req) {
+    Job job;
+    job.request = std::move(req);
+    job.cancel = std::make_shared<util::CancelToken>();
+    if (job.request.deadline_ms > 0.0)
+        job.deadline = util::Deadline::after_ms(job.request.deadline_ms);
+    job.deadline.link(job.cancel.get());
+    job.enqueued_at = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(conn->tokens_mutex);
+        conn->job_tokens.emplace_back(job.cancel);
+    }
+    const std::uint64_t id = job.request.id;
+    std::weak_ptr<Connection> weak_conn = conn;
+    job.respond = [weak_conn](const JobResponse& resp) {
+        if (const auto c = weak_conn.lock()) c->send(encode_job_response(resp));
+    };
+
+    const Verdict verdict = admission_.submit(std::move(job));
+    if (verdict == Verdict::admitted) return;
+    JobResponse resp;
+    resp.id = id;
+    switch (verdict) {
+    case Verdict::shed_deadline:
+        resp.status = JobStatus::shed_deadline;
+        resp.detail = "deadline infeasible at admission";
+        break;
+    case Verdict::rejected_overload:
+        resp.status = JobStatus::rejected_overload;
+        resp.detail = "service at capacity";
+        break;
+    default:
+        resp.status = JobStatus::cancelled;
+        resp.detail = "service shutting down";
+        break;
+    }
+    conn->send(encode_job_response(resp));
+}
+
+void EpocDaemon::executor_loop() {
+    Job job;
+    while (admission_.next(job)) {
+        const JobResponse resp = run_job(job);
+        // Account before answering: a client that probes the status endpoint
+        // right after its response must see its own job in the counters.
+        admission_.finish(job, resp);
+        job.respond(resp);
+        job = Job{}; // drop the token/responder refs before blocking again
+    }
+}
+
+JobResponse EpocDaemon::run_job(Job& job) {
+    JobResponse resp;
+    resp.id = job.request.id;
+    try {
+        if (job.cancel->cancelled()) {
+            resp.status = JobStatus::cancelled;
+            resp.detail = "cancelled while queued";
+            return resp;
+        }
+        // Late feasibility check: the admission gate passed, but the queue
+        // wait may have eaten the budget since.
+        if (job.deadline.armed() &&
+            job.deadline.remaining_ms() < opt_.admission.min_feasible_ms) {
+            resp.status = JobStatus::shed_deadline;
+            resp.detail = "budget exhausted while queued";
+            return resp;
+        }
+        circuit::Circuit circuit(0);
+        try {
+            circuit = circuit::parse_qasm(job.request.qasm);
+        } catch (const circuit::QasmError& e) {
+            resp.status = JobStatus::invalid_input;
+            resp.detail = e.what();
+            return resp;
+        }
+        core::CompileCallOptions call;
+        call.cancel = job.cancel.get();
+        // Hand the compile whatever budget survived the queue (0 = none
+        // requested = unlimited).
+        call.deadline_ms =
+            job.request.deadline_ms > 0.0 ? job.deadline.remaining_ms() : 0.0;
+        const core::EpocResult r = compiler_->compile(circuit, call);
+
+        resp.degraded = r.degraded;
+        resp.deadline_hit = r.deadline_hit;
+        resp.plan_hit = r.plan_hit;
+        resp.digest = qoc::fnv1a64(core::schedule_to_json(r.schedule));
+        resp.latency_ns = r.latency_ns;
+        resp.esp = r.esp;
+        resp.compile_ms = r.compile_ms;
+        resp.num_pulses = r.num_pulses;
+        resp.blocks_total = r.block_reports.size();
+        resp.blocks_degraded = static_cast<std::uint64_t>(
+            std::count_if(r.block_reports.begin(), r.block_reports.end(),
+                          [](const core::BlockReport& b) { return !b.status.ok(); }));
+        if (!r.status.ok() && !r.degraded) {
+            // Boundary validation rejected the circuit outright (the result
+            // is empty): that is the client's input, not a degradation.
+            resp.status = JobStatus::invalid_input;
+            resp.detail = r.status.detail;
+        } else if (job.cancel->cancelled()) {
+            resp.status = JobStatus::cancelled;
+            resp.detail = "cancelled mid-compile";
+        } else {
+            resp.status = JobStatus::ok;
+            if (!r.status.ok()) resp.detail = r.status.detail;
+        }
+        return resp;
+    } catch (const std::exception& e) {
+        // compile() promises not to throw; this is the belt-and-braces rung
+        // that keeps the executor alive and the client answered regardless.
+        resp.status = JobStatus::error;
+        resp.detail = e.what();
+        return resp;
+    } catch (...) {
+        resp.status = JobStatus::error;
+        resp.detail = "unknown exception";
+        return resp;
+    }
+}
+
+StatusResponse EpocDaemon::status() const {
+    StatusResponse s;
+    const AdmissionSnapshot a = admission_.snapshot();
+    auto put = [&s](const std::string& key, std::uint64_t v) {
+        s.counters.emplace_back(key, v);
+    };
+    put("service.connections",
+        connections_accepted_.load(std::memory_order_relaxed));
+    put("service.bad_frames", bad_frames_.load(std::memory_order_relaxed));
+    put("service.status_requests",
+        status_requests_.load(std::memory_order_relaxed));
+    put("service.queued", a.queued);
+    put("service.in_flight", a.in_flight);
+    put("service.peak_pending", a.peak_pending);
+    for (const auto& [tenant, tc] : a.tenants) {
+        const std::string p = "service.tenant." + tenant + ".";
+        put(p + "submitted", tc.submitted);
+        put(p + "admitted", tc.admitted);
+        put(p + "completed", tc.completed);
+        put(p + "degraded", tc.degraded);
+        put(p + "shed_deadline", tc.shed_deadline);
+        put(p + "rejected_overload", tc.rejected_overload);
+        put(p + "cancelled", tc.cancelled);
+        put(p + "failed", tc.failed);
+    }
+    // Shared-compiler counters: these aggregate over ALL tenants (the caches
+    // are shared — that sharing is the dedup the service exists for, so
+    // per-tenant attribution of a hit would be arbitrary).
+    const qoc::PulseLibraryStats lib = compiler_->library().stats();
+    put("qoc.library_hits", lib.hits);
+    put("qoc.library_misses", lib.misses);
+    put("qoc.single_flight_waits", lib.single_flight_waits);
+    put("qoc.uncached_degraded", lib.uncached_degraded);
+    put("qoc.store_hits", lib.store_hits);
+    put("qoc.store_misses", lib.store_misses);
+    put("qoc.store_rejected", lib.store_rejected);
+    put("qoc.store_writes", lib.store_writes);
+    if (store::PulseStore* st = compiler_->store()) {
+        const store::PulseStoreStats ss = st->stats();
+        put("store.hits", ss.hits);
+        put("store.misses", ss.misses);
+        put("store.writes", ss.writes);
+        put("store.corrupt", ss.corrupt);
+        put("store.evicted", ss.evicted);
+        put("store.invalidated", ss.invalidated);
+        put("store.bytes", ss.bytes);
+    }
+    return s;
+}
+
+} // namespace epoc::service

@@ -1,0 +1,116 @@
+// epocd: the long-running compile-service daemon.
+//
+// One EpocDaemon owns one shared EpocCompiler — one pulse library, one
+// synthesis cache, one plan cache, one (optional) on-disk pulse store — and
+// serves compile jobs from any number of clients over an AF_UNIX socket
+// (service/protocol.h). That sharing is the point: identical unitary blocks
+// submitted by different clients dedupe through the caches' single-flight
+// paths, so the thousandth GHZ-preparation circuit costs lookups, not GRAPE.
+//
+// Threading model:
+//
+//   accept thread  -> one reader thread per connection -> AdmissionController
+//                                                          (fair queue)
+//   executor threads (num_executors) <- AdmissionController::next()
+//       each runs EpocCompiler::compile(circuit, per-call options)
+//
+// compile() is safe for concurrent callers (see epoc/pipeline.h), and the
+// compiler's ThreadPool round-robins block-level work across the concurrent
+// compiles, so a wide job and a burst of narrow jobs make progress together.
+//
+// Every job gets exactly one response, always — admission verdicts, parse
+// failures, compile degradations and internal errors all come back as a
+// JobResponse with the appropriate status; no path lets an exception escape
+// to kill an executor or silently drop a request. Client disconnect fires
+// the connection's job tokens (queued jobs then shed at dispatch; in-flight
+// compiles wind down through the §4e ladder); stop() does the same globally.
+#pragma once
+
+#include "epoc/pipeline.h"
+#include "service/admission.h"
+#include "service/protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace epoc::service {
+
+struct DaemonOptions {
+    /// Filesystem path for the listening socket; created on start(),
+    /// unlinked on stop(). A stale path from a crashed daemon is re-bound.
+    std::string socket_path = "/tmp/epocd.sock";
+    /// Concurrent compile jobs (executor threads). The compiler's own
+    /// thread pool parallelizes inside each compile on top of this.
+    int num_executors = 2;
+    AdmissionOptions admission;
+    /// Configuration for the shared compiler (deadline/cancel fields are
+    /// ignored — per-job budgets arrive with each request).
+    core::EpocOptions compiler;
+};
+
+class EpocDaemon {
+public:
+    explicit EpocDaemon(DaemonOptions opt);
+    ~EpocDaemon(); ///< calls stop()
+
+    EpocDaemon(const EpocDaemon&) = delete;
+    EpocDaemon& operator=(const EpocDaemon&) = delete;
+
+    /// Bind the socket and spawn the accept + executor threads. Throws
+    /// std::runtime_error when the socket cannot be created or bound.
+    void start();
+
+    /// Block until a client's shutdown request (or a stop() from another
+    /// thread) ends the serving loop.
+    void wait();
+
+    /// Drain and terminate: stop admitting, cancel in-flight jobs, answer
+    /// queued jobs as cancelled, join every thread, unlink the socket.
+    /// Idempotent; safe to call from any thread except an executor's.
+    void stop();
+
+    /// The flat counter snapshot the status endpoint serves; also handy for
+    /// in-process tests.
+    StatusResponse status() const;
+
+    const std::string& socket_path() const { return opt_.socket_path; }
+
+private:
+    struct Connection;
+
+    void accept_loop();
+    void serve_connection(std::shared_ptr<Connection> conn);
+    void executor_loop();
+    JobResponse run_job(Job& job);
+    void handle_job_request(const std::shared_ptr<Connection>& conn,
+                            JobRequest&& req);
+
+    DaemonOptions opt_;
+    std::unique_ptr<core::EpocCompiler> compiler_;
+    AdmissionController admission_;
+
+    // Written by start()/stop(), read each iteration by the accept thread.
+    std::atomic<int> listen_fd_{-1};
+    std::thread accept_thread_;
+    std::vector<std::thread> executors_;
+    std::mutex conns_mutex_;
+    std::vector<std::shared_ptr<Connection>> conns_;
+
+    std::atomic<bool> running_{false};
+    std::mutex shutdown_mutex_;
+    std::condition_variable shutdown_cv_;
+    bool shutdown_requested_ = false;
+
+    // service.* counters not covered by the admission snapshot.
+    std::atomic<std::uint64_t> connections_accepted_{0};
+    std::atomic<std::uint64_t> bad_frames_{0};
+    std::atomic<std::uint64_t> status_requests_{0};
+};
+
+} // namespace epoc::service

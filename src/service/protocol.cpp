@@ -1,0 +1,232 @@
+#include "service/protocol.h"
+
+#include "qoc/pulse_io.h"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace epoc::service {
+
+namespace {
+
+using qoc::ByteReader;
+using qoc::put_f64;
+using qoc::put_u32;
+using qoc::put_u64;
+using qoc::put_u8;
+
+void put_str(std::string& out, const std::string& s) {
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+/// Strings ride inside an already length-capped frame; the declared length
+/// just has to fit the bytes actually present (a lying length field must not
+/// read past the buffer or size a wild allocation).
+bool get_str(ByteReader& in, std::string& out) {
+    std::uint32_t len = 0;
+    if (!in.get_u32(len)) return false;
+    return in.get_bytes(out, len);
+}
+
+bool get_bool(ByteReader& in, bool& out) {
+    std::uint8_t b = 0;
+    if (!in.get_u8(b)) return false;
+    if (b > 1) return false; // flags are strictly 0/1; anything else is rot
+    out = b != 0;
+    return true;
+}
+
+bool get_type(ByteReader& in, MsgType want) {
+    std::uint8_t type = 0;
+    return in.get_u8(type) && type == static_cast<std::uint8_t>(want);
+}
+
+} // namespace
+
+const char* job_status_name(JobStatus s) {
+    switch (s) {
+    case JobStatus::ok: return "ok";
+    case JobStatus::shed_deadline: return "shed_deadline";
+    case JobStatus::rejected_overload: return "rejected_overload";
+    case JobStatus::invalid_input: return "invalid_input";
+    case JobStatus::cancelled: return "cancelled";
+    case JobStatus::error: return "error";
+    }
+    return "unknown";
+}
+
+std::string encode_job_request(const JobRequest& req) {
+    std::string out;
+    put_u8(out, static_cast<std::uint8_t>(MsgType::job_request));
+    put_u64(out, req.id);
+    put_str(out, req.tenant);
+    put_u32(out, static_cast<std::uint32_t>(req.priority));
+    put_f64(out, req.deadline_ms);
+    put_str(out, req.qasm);
+    return out;
+}
+
+std::string encode_job_response(const JobResponse& resp) {
+    std::string out;
+    put_u8(out, static_cast<std::uint8_t>(MsgType::job_response));
+    put_u64(out, resp.id);
+    put_u8(out, static_cast<std::uint8_t>(resp.status));
+    put_u8(out, resp.degraded ? 1 : 0);
+    put_u8(out, resp.deadline_hit ? 1 : 0);
+    put_u8(out, resp.plan_hit ? 1 : 0);
+    put_u64(out, resp.digest);
+    put_f64(out, resp.latency_ns);
+    put_f64(out, resp.esp);
+    put_f64(out, resp.compile_ms);
+    put_u64(out, resp.num_pulses);
+    put_u64(out, resp.blocks_total);
+    put_u64(out, resp.blocks_degraded);
+    put_str(out, resp.detail);
+    return out;
+}
+
+std::string encode_status_request() {
+    std::string out;
+    put_u8(out, static_cast<std::uint8_t>(MsgType::status_request));
+    return out;
+}
+
+std::string encode_status_response(const StatusResponse& s) {
+    std::string out;
+    put_u8(out, static_cast<std::uint8_t>(MsgType::status_response));
+    put_u32(out, static_cast<std::uint32_t>(s.counters.size()));
+    for (const auto& [key, value] : s.counters) {
+        put_str(out, key);
+        put_u64(out, value);
+    }
+    return out;
+}
+
+std::string encode_shutdown_request() {
+    std::string out;
+    put_u8(out, static_cast<std::uint8_t>(MsgType::shutdown_request));
+    return out;
+}
+
+std::string encode_shutdown_response() {
+    std::string out;
+    put_u8(out, static_cast<std::uint8_t>(MsgType::shutdown_response));
+    return out;
+}
+
+std::optional<MsgType> peek_type(const std::string& payload) {
+    if (payload.empty()) return std::nullopt;
+    const auto t = static_cast<std::uint8_t>(payload[0]);
+    if (t < static_cast<std::uint8_t>(MsgType::job_request) ||
+        t > static_cast<std::uint8_t>(MsgType::shutdown_response))
+        return std::nullopt;
+    return static_cast<MsgType>(t);
+}
+
+std::optional<JobRequest> decode_job_request(const std::string& payload) {
+    ByteReader in(payload.data(), payload.size());
+    if (!get_type(in, MsgType::job_request)) return std::nullopt;
+    JobRequest req;
+    std::uint32_t prio = 0;
+    if (!in.get_u64(req.id) || !get_str(in, req.tenant) || !in.get_u32(prio) ||
+        !in.get_f64(req.deadline_ms) || !get_str(in, req.qasm) || !in.done())
+        return std::nullopt;
+    req.priority = static_cast<std::int32_t>(prio);
+    return req;
+}
+
+std::optional<JobResponse> decode_job_response(const std::string& payload) {
+    ByteReader in(payload.data(), payload.size());
+    if (!get_type(in, MsgType::job_response)) return std::nullopt;
+    JobResponse resp;
+    std::uint8_t status = 0;
+    if (!in.get_u64(resp.id) || !in.get_u8(status) ||
+        status > static_cast<std::uint8_t>(JobStatus::error))
+        return std::nullopt;
+    resp.status = static_cast<JobStatus>(status);
+    if (!get_bool(in, resp.degraded) || !get_bool(in, resp.deadline_hit) ||
+        !get_bool(in, resp.plan_hit) || !in.get_u64(resp.digest) ||
+        !in.get_f64(resp.latency_ns) || !in.get_f64(resp.esp) ||
+        !in.get_f64(resp.compile_ms) || !in.get_u64(resp.num_pulses) ||
+        !in.get_u64(resp.blocks_total) || !in.get_u64(resp.blocks_degraded) ||
+        !get_str(in, resp.detail) || !in.done())
+        return std::nullopt;
+    return resp;
+}
+
+std::optional<StatusResponse> decode_status_response(const std::string& payload) {
+    ByteReader in(payload.data(), payload.size());
+    if (!get_type(in, MsgType::status_response)) return std::nullopt;
+    std::uint32_t n = 0;
+    if (!in.get_u32(n)) return std::nullopt;
+    // Each entry needs at least 4 (key length) + 8 (value) bytes: cap the
+    // declared count against the bytes actually present before reserving.
+    if (static_cast<std::size_t>(n) * 12 > in.remaining()) return std::nullopt;
+    StatusResponse s;
+    s.counters.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string key;
+        std::uint64_t value = 0;
+        if (!get_str(in, key) || !in.get_u64(value)) return std::nullopt;
+        s.counters.emplace_back(std::move(key), value);
+    }
+    if (!in.done()) return std::nullopt;
+    return s;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+    if (payload.size() > kMaxFrameBytes) return false;
+    std::string frame;
+    frame.reserve(4 + payload.size());
+    put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+    frame.append(payload);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not as a
+        // process-killing SIGPIPE from inside the daemon's writer.
+        const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (n == 0) return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+namespace {
+
+bool read_exact(int fd, char* buf, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, buf + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (r == 0) return false; // EOF mid-frame (or at a frame boundary)
+        got += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+} // namespace
+
+bool read_frame(int fd, std::string& payload) {
+    char head[4];
+    if (!read_exact(fd, head, 4)) return false;
+    ByteReader r(head, 4);
+    std::uint32_t len = 0;
+    r.get_u32(len);
+    if (len > kMaxFrameBytes) return false;
+    payload.resize(len);
+    if (len == 0) return true;
+    return read_exact(fd, payload.data(), len);
+}
+
+} // namespace epoc::service

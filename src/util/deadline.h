@@ -58,6 +58,11 @@ public:
     /// outlive every expired() call.
     void link(const CancelToken* token) noexcept { token_ = token; }
 
+    /// The linked cancellation token, nullptr when none. Call sites that
+    /// forward cancellation (e.g. ThreadPool::parallel_for) take it from the
+    /// deadline so one link() call covers both expiry and claim-stopping.
+    const CancelToken* token() const noexcept { return token_; }
+
     bool armed() const noexcept { return armed_ || token_ != nullptr; }
 
     bool expired() const noexcept {
@@ -69,8 +74,13 @@ public:
     }
 
     /// Milliseconds left in the budget; a large positive number when unarmed,
-    /// clamped at 0 once expired.
+    /// clamped at 0 once expired. A fired CancelToken zeroes the budget even
+    /// when no clock deadline is armed: a cancelled job has no budget left,
+    /// and an admission controller keying on remaining_ms() must see dead
+    /// requests as infeasible, not as infinitely patient. (The historical
+    /// version ignored the token and kept reporting the full clock budget.)
     double remaining_ms() const noexcept {
+        if (expired()) return 0.0;
         if (!armed_) return 1e300;
         const auto left = at_ - std::chrono::steady_clock::now();
         const double ms = std::chrono::duration<double, std::milli>(left).count();

@@ -24,40 +24,60 @@ ThreadPool::~ThreadPool() {
     for (std::thread& w : workers_) w.join();
 }
 
+bool ThreadPool::exhausted(const Batch& b) {
+    return b.failed.load(std::memory_order_relaxed) ||
+           (b.cancel != nullptr && b.cancel->cancelled()) ||
+           b.next.load(std::memory_order_relaxed) >= b.end;
+}
+
+void ThreadPool::run_one(Batch& b, std::size_t i) {
+    try {
+        (*b.fn)(i);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(b.error_mutex);
+        if (!b.failed.exchange(true)) b.error = std::current_exception();
+    }
+}
+
 void ThreadPool::drain(Batch& b) {
     for (;;) {
         if (b.failed.load(std::memory_order_relaxed)) return; // stop claiming
         if (b.cancel != nullptr && b.cancel->cancelled()) return;
         const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= b.end) return;
-        try {
-            (*b.fn)(i);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(b.error_mutex);
-            if (!b.failed.exchange(true)) b.error = std::current_exception();
-        }
+        run_one(b, i);
     }
 }
 
 void ThreadPool::worker_loop() {
-    std::size_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        Batch* b = nullptr;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [&] {
-                return shutdown_ || (batch_ != nullptr && generation_ != seen_generation);
-            });
-            if (shutdown_) return;
-            seen_generation = generation_;
-            b = batch_;
+        work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+        if (shutdown_) return;
+        // One claim per turn, rotating across the live batches: with k
+        // batches queued every batch receives ~1/k of the worker claims,
+        // whatever its size — a thousand 1-index batches drain alongside a
+        // single 10000-index one instead of behind it.
+        if (rr_ >= queue_.size()) rr_ = 0;
+        Batch* b = queue_[rr_];
+        if (exhausted(*b)) {
+            // Nothing left to claim: retire the batch from the queue. The
+            // submitting caller is (or will be) waiting on `running`.
+            b->queued = false;
+            queue_.erase(queue_.begin() +
+                         static_cast<std::vector<Batch*>::difference_type>(rr_));
+            continue;
         }
-        drain(*b);
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++workers_done_;
-        }
-        done_cv_.notify_one();
+        const std::size_t i = b->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= b->end) continue; // lost the race to the last index
+        ++rr_;
+        ++b->running;
+        lock.unlock();
+        run_one(*b, i);
+        lock.lock();
+        // `b` stays valid: its caller cannot return (and pop its stack frame)
+        // until running reaches 0 under this mutex.
+        if (--b->running == 0) done_cv_.notify_all();
     }
 }
 
@@ -80,16 +100,20 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     b.cancel = cancel;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        batch_ = &b;
-        ++generation_;
-        workers_done_ = 0;
+        b.queued = true;
+        queue_.push_back(&b);
     }
     work_cv_.notify_all();
     drain(b); // the caller is a full lane, not just a coordinator
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        done_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
-        batch_ = nullptr;
+        if (b.queued) {
+            // Workers may not have noticed exhaustion yet; retire it ourselves
+            // so no worker wastes a turn on it (or touches it after we return).
+            b.queued = false;
+            queue_.erase(std::find(queue_.begin(), queue_.end(), &b));
+        }
+        done_cv_.wait(lock, [&] { return b.running == 0; });
     }
     if (b.failed.load()) std::rethrow_exception(b.error);
 }

@@ -10,6 +10,12 @@
 //   3. Exceptions thrown by tasks propagate to the caller (first one wins),
 //      and a failed or cancelled batch stops *claiming* new indices: at most
 //      the iterations already in flight keep running, never the whole tail.
+//   4. Many callers may submit batches concurrently (the compile-service
+//      daemon shares one pool across all in-flight requests), including
+//      nested submissions from inside a running task. Every batch carries
+//      its own state, and workers pick claims round-robin across the live
+//      batches so one huge batch cannot starve the others — the block-level
+//      fairness the service's mixed-size workloads rely on.
 #pragma once
 
 #include "util/deadline.h"
@@ -46,16 +52,28 @@ public:
     /// per-index cost (some blocks synthesize in microseconds, some in
     /// seconds) balances automatically. If any iteration throws, the first
     /// exception is rethrown on the caller after the loop drains; once a task
-    /// has thrown, no worker claims another index (only iterations already in
-    /// flight complete). A non-null `cancel` token stops index claiming the
-    /// same way when it fires — unclaimed indices are simply never run, and
-    /// no exception is raised for them (the caller inspects its own slots to
-    /// see what was skipped). On the sequential fast path (1 thread) the
-    /// token is polled between iterations.
+    /// has thrown, no worker claims another index of that batch (only
+    /// iterations already in flight complete). A non-null `cancel` token
+    /// stops index claiming the same way when it fires — unclaimed indices
+    /// are simply never run, and no exception is raised for them (the caller
+    /// inspects its own slots to see what was skipped). On the sequential
+    /// fast path (1 thread) the token is polled between iterations.
+    ///
+    /// Thread-safe and reentrant: any number of threads may call
+    /// parallel_for concurrently on one pool, and a task may itself call
+    /// parallel_for (the nested caller drains its own batch inline, so a
+    /// fully occupied pool makes nested batches sequential, never deadlocked).
+    /// Each caller only ever observes its own batch's exceptions and
+    /// cancellation. Workers interleave claims round-robin across all live
+    /// batches, one index per turn, so concurrent batches make proportional
+    /// progress regardless of their sizes.
     void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                       const CancelToken* cancel = nullptr);
 
 private:
+    /// All per-submission state lives here, on the submitting caller's
+    /// stack — nothing batch-specific on the pool itself, which is what
+    /// makes concurrent submissions sound.
     struct Batch {
         std::atomic<std::size_t> next{0};
         std::size_t end = 0;
@@ -64,22 +82,34 @@ private:
         std::atomic<bool> failed{false};
         std::exception_ptr error;
         std::mutex error_mutex;
+        /// Workers currently executing an iteration of this batch; guarded by
+        /// the pool mutex. The caller's own drain is not counted (it waits on
+        /// everyone else after finishing its own share).
+        std::size_t running = 0;
+        /// True while the batch sits in the pool's claim queue; guarded by
+        /// the pool mutex.
+        bool queued = false;
     };
 
     void worker_loop();
+    /// Claim-and-run loop used by the submitting caller on its own batch:
+    /// claims indices until none remain (or the batch failed / was
+    /// cancelled). Does not touch pool state.
     static void drain(Batch& b);
+    /// Run one iteration, folding a thrown exception into the batch (first
+    /// exception wins; later ones are dropped).
+    static void run_one(Batch& b, std::size_t i);
+    /// True when no further index of `b` may be claimed.
+    static bool exhausted(const Batch& b);
 
     int num_threads_;
     std::vector<std::thread> workers_;
 
     std::mutex mutex_;
     std::condition_variable work_cv_;  ///< wakes workers when a batch arrives
-    std::condition_variable done_cv_;  ///< wakes the caller when a batch drains
-    Batch* batch_ = nullptr;           ///< the active batch, if any
-    std::size_t generation_ = 0;       ///< bumped per batch (stack Batch objects
-                                       ///< can reuse an address, so a pointer
-                                       ///< compare cannot tell batches apart)
-    std::size_t workers_done_ = 0;     ///< workers that exhausted the batch
+    std::condition_variable done_cv_;  ///< wakes callers when `running` drops
+    std::vector<Batch*> queue_;        ///< live batches, claim-round-robin'd
+    std::size_t rr_ = 0;               ///< round-robin cursor into queue_
     bool shutdown_ = false;
 };
 

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -168,6 +169,70 @@ TEST(ThreadPool, SurvivesBackToBackBatches) {
     for (int round = 0; round < 50; ++round)
         pool.parallel_for(20, [&](std::size_t) { total.fetch_add(1); });
     EXPECT_EQ(total.load(), 50 * 20);
+}
+
+TEST(ThreadPool, ConcurrentCallersEachRunEveryIndexOnce) {
+    // Regression for the shared-batch race: parallel_for used to publish its
+    // batch through single shared members (batch_/generation_/workers_done_),
+    // so two concurrent callers overwrote each other's state — lost indices,
+    // double-run indices, or a caller returning before its own batch drained.
+    // The pool now queues per-call batch records, so any number of threads may
+    // call parallel_for on one pool simultaneously.
+    epoc::util::ThreadPool pool(4);
+    constexpr int kCallers = 8;
+    constexpr int kRounds = 25;
+    constexpr std::size_t kIndices = 200;
+    std::vector<std::thread> callers;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&] {
+            for (int round = 0; round < kRounds; ++round) {
+                std::vector<std::atomic<int>> counts(kIndices);
+                pool.parallel_for(kIndices,
+                                  [&](std::size_t i) { counts[i].fetch_add(1); });
+                for (const auto& c : counts)
+                    if (c.load() != 1) failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread& th : callers) th.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+    // A task that itself calls parallel_for on the same pool must not
+    // deadlock (the nested caller drains its own batch inline) and must still
+    // run every inner index exactly once.
+    epoc::util::ThreadPool pool(3);
+    constexpr std::size_t kOuter = 6;
+    constexpr std::size_t kInner = 40;
+    std::vector<std::atomic<int>> counts(kOuter * kInner);
+    pool.parallel_for(kOuter, [&](std::size_t o) {
+        pool.parallel_for(
+            kInner, [&](std::size_t i) { counts[o * kInner + i].fetch_add(1); });
+    });
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentCallerExceptionsStayWithTheirBatch) {
+    // One caller's thrown task must surface on that caller and leave the
+    // other caller's concurrently running batch untouched.
+    epoc::util::ThreadPool pool(4);
+    std::atomic<int> clean_ran{0};
+    std::thread thrower([&] {
+        for (int round = 0; round < 20; ++round) {
+            EXPECT_THROW(pool.parallel_for(50,
+                                           [](std::size_t i) {
+                                               if (i == 13)
+                                                   throw std::runtime_error("boom");
+                                           }),
+                         std::runtime_error);
+        }
+    });
+    for (int round = 0; round < 20; ++round)
+        pool.parallel_for(50, [&](std::size_t) { clean_ran.fetch_add(1); });
+    thrower.join();
+    EXPECT_EQ(clean_ran.load(), 20 * 50);
 }
 
 TEST(ThreadPool, PropagatesTaskExceptions) {

@@ -191,6 +191,30 @@ TEST(Deadline, CancelTokenActsAsImmediateExpiry) {
     EXPECT_FALSE(token.cancelled());
 }
 
+TEST(Deadline, FiredTokenZeroesRemainingBudget) {
+    // Regression: remaining_ms() used to ignore the linked token, so a
+    // cancelled job kept reporting its full clock budget — an admission
+    // controller keying on remaining_ms() would admit dead requests.
+    epoc::util::CancelToken token;
+
+    // Armed case: a generous clock budget must collapse to 0 on cancel.
+    epoc::util::Deadline armed = epoc::util::Deadline::after_ms(60000.0);
+    armed.link(&token);
+    EXPECT_GT(armed.remaining_ms(), 0.0);
+    token.cancel();
+    EXPECT_EQ(armed.remaining_ms(), 0.0);
+
+    // Unarmed case: no clock at all, only the token — 1e300 until it fires,
+    // then 0.
+    token.reset();
+    epoc::util::Deadline unarmed;
+    unarmed.link(&token);
+    EXPECT_GE(unarmed.remaining_ms(), 1e300);
+    token.cancel();
+    EXPECT_EQ(unarmed.remaining_ms(), 0.0);
+    token.reset();
+}
+
 // ---------------------------------------------------------------------------
 // ThreadPool cooperative stop.
 

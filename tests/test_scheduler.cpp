@@ -58,8 +58,30 @@ TEST(Scheduler, UtilizationHalfWhenSerialized) {
     EXPECT_NEAR(s.utilization(), 0.5, 1e-12);
 }
 
-TEST(Scheduler, OutOfRangeQubitThrows) {
-    EXPECT_THROW(schedule_asap({{{5}, 1.0, 1.0, "bad"}}, 2), std::out_of_range);
+// Regression: schedule_asap used to throw std::out_of_range here, escaping
+// compile()'s never-throws contract from deep inside the pipeline. It now
+// drops the unplaceable job, records it, and schedules everything else.
+TEST(Scheduler, OutOfRangeQubitDroppedNotThrown) {
+    PulseSchedule s;
+    EXPECT_NO_THROW(s = schedule_asap({{{5}, 1.0, 1.0, "bad"},
+                                       {{0}, 10.0, 0.5, "good"}},
+                                      2));
+    EXPECT_EQ(s.dropped_jobs, 1u);
+    EXPECT_NE(s.drop_detail.find("job 0"), std::string::npos);
+    EXPECT_NE(s.drop_detail.find("bad"), std::string::npos);
+    // The schedulable job still ships, and the dropped one contributes to
+    // neither latency nor ESP.
+    ASSERT_EQ(s.pulses.size(), 1u);
+    EXPECT_EQ(s.pulses[0].job.label, "good");
+    EXPECT_EQ(s.latency, 10.0);
+    EXPECT_NEAR(s.esp, 0.5, 1e-12);
+}
+
+TEST(Scheduler, NegativeQubitDropped) {
+    const PulseSchedule s = schedule_asap({{{-1}, 1.0, 1.0, "neg"}}, 2);
+    EXPECT_EQ(s.dropped_jobs, 1u);
+    EXPECT_TRUE(s.pulses.empty());
+    EXPECT_EQ(s.latency, 0.0);
 }
 
 } // namespace

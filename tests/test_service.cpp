@@ -1,0 +1,381 @@
+// Compile-service tests: wire protocol codec, admission control + fair
+// queueing, and the epocd daemon end to end over a real AF_UNIX socket
+// (daemon and clients in one process, which is also what makes this suite
+// meaningful under TSan).
+#include "service/daemon.h"
+
+#include "bench_circuits/generators.h"
+#include "circuit/qasm.h"
+#include "epoc/export.h"
+#include "epoc/pipeline.h"
+#include "qoc/pulse_io.h"
+#include "service/admission.h"
+#include "service/client.h"
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+namespace {
+
+using namespace epoc;
+using namespace epoc::service;
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, JobRequestRoundTrips) {
+    JobRequest req;
+    req.id = 0xdeadbeefcafe01ULL;
+    req.tenant = "alice";
+    req.priority = -3; // negative priorities are legal (background work)
+    req.deadline_ms = 1234.5678;
+    req.qasm = "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n";
+    const auto back = decode_job_request(encode_job_request(req));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->id, req.id);
+    EXPECT_EQ(back->tenant, req.tenant);
+    EXPECT_EQ(back->priority, req.priority);
+    EXPECT_EQ(back->deadline_ms, req.deadline_ms);
+    EXPECT_EQ(back->qasm, req.qasm);
+}
+
+TEST(Protocol, JobResponseRoundTrips) {
+    JobResponse resp;
+    resp.id = 77;
+    resp.status = JobStatus::shed_deadline;
+    resp.degraded = true;
+    resp.deadline_hit = true;
+    resp.plan_hit = false;
+    resp.digest = 0x0123456789abcdefULL;
+    resp.latency_ns = 1.0e9 / 3.0; // a double that decimal formatting mangles
+    resp.esp = 0.987654321;
+    resp.compile_ms = 45.5;
+    resp.num_pulses = 12;
+    resp.blocks_total = 5;
+    resp.blocks_degraded = 2;
+    resp.detail = "budget exhausted while queued";
+    const auto back = decode_job_response(encode_job_response(resp));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->status, resp.status);
+    EXPECT_TRUE(back->degraded);
+    EXPECT_TRUE(back->deadline_hit);
+    EXPECT_FALSE(back->plan_hit);
+    EXPECT_EQ(back->digest, resp.digest);
+    EXPECT_EQ(back->latency_ns, resp.latency_ns); // bit-exact, not approximate
+    EXPECT_EQ(back->esp, resp.esp);
+    EXPECT_EQ(back->detail, resp.detail);
+}
+
+TEST(Protocol, StatusResponseRoundTrips) {
+    StatusResponse s;
+    s.counters = {{"service.connections", 3},
+                  {"service.tenant.alice.completed", 41},
+                  {"qoc.library_misses", 16}};
+    const auto back = decode_status_response(encode_status_response(s));
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->counters.size(), 3u);
+    EXPECT_EQ(back->counters[1].first, "service.tenant.alice.completed");
+    EXPECT_EQ(back->counters[1].second, 41u);
+}
+
+TEST(Protocol, EveryTruncationIsRejected) {
+    JobResponse resp;
+    resp.id = 1;
+    resp.status = JobStatus::ok;
+    resp.detail = "fine";
+    const std::string full = encode_job_response(resp);
+    for (std::size_t n = 0; n < full.size(); ++n)
+        EXPECT_FALSE(decode_job_response(full.substr(0, n)).has_value()) << n;
+    EXPECT_TRUE(decode_job_response(full).has_value());
+}
+
+TEST(Protocol, LyingLengthFieldsAreRejected) {
+    JobRequest req;
+    req.id = 1;
+    req.tenant = "t";
+    req.qasm = "x";
+    std::string bytes = encode_job_request(req);
+    // The tenant length field sits right after type(1) + id(8): patch it to
+    // promise far more bytes than the frame holds.
+    bytes[9] = '\xff';
+    bytes[10] = '\xff';
+    EXPECT_FALSE(decode_job_request(bytes).has_value());
+    // Wrong type byte on an otherwise valid frame.
+    std::string retyped = encode_job_request(req);
+    retyped[0] = static_cast<char>(MsgType::status_request);
+    EXPECT_FALSE(decode_job_request(retyped).has_value());
+}
+
+// --------------------------------------------------------------- admission
+
+Job make_job(const std::string& tenant, std::int32_t priority,
+             double deadline_ms = 0.0) {
+    Job j;
+    static std::uint64_t next_id = 1;
+    j.request.id = next_id++;
+    j.request.tenant = tenant;
+    j.request.priority = priority;
+    j.request.deadline_ms = deadline_ms;
+    j.cancel = std::make_shared<util::CancelToken>();
+    if (deadline_ms > 0.0) j.deadline = util::Deadline::after_ms(deadline_ms);
+    j.deadline.link(j.cancel.get());
+    j.respond = [](const JobResponse&) {};
+    return j;
+}
+
+TEST(Admission, TenantsRoundRobinWithinAPriorityLevel) {
+    // A burst tenant (4 jobs) and a singleton tenant (2 jobs) at one level:
+    // service must alternate, not drain the burst first.
+    AdmissionController ac;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_EQ(ac.submit(make_job("burst", 0)), Verdict::admitted);
+    for (int i = 0; i < 2; ++i)
+        ASSERT_EQ(ac.submit(make_job("single", 0)), Verdict::admitted);
+    std::vector<std::string> order;
+    Job j;
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(ac.next(j));
+        order.push_back(j.request.tenant);
+        ac.finish(j, JobResponse{});
+    }
+    const std::vector<std::string> want = {"burst", "single", "burst",
+                                           "single", "burst", "burst"};
+    EXPECT_EQ(order, want);
+}
+
+TEST(Admission, HigherPriorityLevelsDrainFirst) {
+    AdmissionController ac;
+    ASSERT_EQ(ac.submit(make_job("t", 0)), Verdict::admitted);
+    ASSERT_EQ(ac.submit(make_job("t", 5)), Verdict::admitted);
+    ASSERT_EQ(ac.submit(make_job("t", -1)), Verdict::admitted);
+    ASSERT_EQ(ac.submit(make_job("t", 5)), Verdict::admitted);
+    std::vector<std::int32_t> order;
+    Job j;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(ac.next(j));
+        order.push_back(j.request.priority);
+        ac.finish(j, JobResponse{});
+    }
+    const std::vector<std::int32_t> want = {5, 5, 0, -1};
+    EXPECT_EQ(order, want);
+}
+
+TEST(Admission, RejectsBeyondCapacity) {
+    AdmissionOptions opt;
+    opt.max_pending = 2;
+    AdmissionController ac(opt);
+    EXPECT_EQ(ac.submit(make_job("t", 0)), Verdict::admitted);
+    EXPECT_EQ(ac.submit(make_job("t", 0)), Verdict::admitted);
+    EXPECT_EQ(ac.submit(make_job("t", 0)), Verdict::rejected_overload);
+    // Capacity covers in-flight too: taking a job frees nothing until
+    // finish().
+    Job j;
+    ASSERT_TRUE(ac.next(j));
+    EXPECT_EQ(ac.submit(make_job("t", 0)), Verdict::rejected_overload);
+    ac.finish(j, JobResponse{});
+    EXPECT_EQ(ac.submit(make_job("t", 0)), Verdict::admitted);
+    const AdmissionSnapshot s = ac.snapshot();
+    EXPECT_EQ(s.tenants.at("t").rejected_overload, 2u);
+    EXPECT_EQ(s.peak_pending, 2u);
+}
+
+TEST(Admission, ShedsInfeasibleDeadlinesAtTheDoor) {
+    AdmissionController ac;
+    // Budget already (effectively) spent on arrival.
+    Job spent = make_job("t", 0, 0.0001);
+    while (!spent.deadline.expired()) {
+    }
+    EXPECT_EQ(ac.submit(std::move(spent)), Verdict::shed_deadline);
+    // A fired cancel token zeroes the budget even with a generous clock —
+    // the satellite-2 remaining_ms() fix is what this relies on.
+    Job dead = make_job("t", 0, 60000.0);
+    dead.cancel->cancel();
+    EXPECT_EQ(ac.submit(std::move(dead)), Verdict::shed_deadline);
+    // Deadline-free jobs always pass the feasibility gate.
+    EXPECT_EQ(ac.submit(make_job("t", 0)), Verdict::admitted);
+    EXPECT_EQ(ac.snapshot().tenants.at("t").shed_deadline, 2u);
+}
+
+TEST(Admission, CloseDrainsQueuedJobsThenStops) {
+    AdmissionController ac;
+    ASSERT_EQ(ac.submit(make_job("t", 0)), Verdict::admitted);
+    ASSERT_EQ(ac.submit(make_job("t", 0)), Verdict::admitted);
+    ac.close();
+    EXPECT_EQ(ac.submit(make_job("t", 0)), Verdict::closed);
+    Job j;
+    EXPECT_TRUE(ac.next(j));
+    ac.finish(j, JobResponse{});
+    EXPECT_TRUE(ac.next(j));
+    ac.finish(j, JobResponse{});
+    EXPECT_FALSE(ac.next(j)); // drained + closed: executors exit here
+}
+
+// ------------------------------------------------------------------ daemon
+
+core::EpocOptions cheap_options() {
+    core::EpocOptions opt;
+    opt.latency.fidelity_threshold = 0.99;
+    opt.latency.grape.max_iterations = 120;
+    opt.qsearch.threshold = 1e-4;
+    opt.qsearch.instantiate.restarts = 2;
+    opt.num_threads = 2;
+    return opt;
+}
+
+std::string test_socket_path() {
+    static std::atomic<int> counter{0};
+    return "/tmp/epoc_test_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+std::uint64_t local_digest(core::EpocCompiler& c, const std::string& qasm) {
+    return qoc::fnv1a64(
+        core::schedule_to_json(c.compile(circuit::parse_qasm(qasm)).schedule));
+}
+
+std::uint64_t counter_value(const StatusResponse& s, const std::string& key) {
+    for (const auto& [k, v] : s.counters)
+        if (k == key) return v;
+    return 0;
+}
+
+TEST(Daemon, CompileMatchesLibraryModeAndAnswersEveryRequest) {
+    DaemonOptions opt;
+    opt.socket_path = test_socket_path();
+    opt.num_executors = 2;
+    opt.compiler = cheap_options();
+    EpocDaemon daemon(opt);
+    daemon.start();
+
+    const std::string qasm = circuit::to_qasm(bench::ghz(3));
+    core::EpocCompiler local(cheap_options());
+    const std::uint64_t want = local_digest(local, qasm);
+
+    EpocClient client(opt.socket_path);
+    const JobResponse ok = client.compile(qasm, "alice");
+    EXPECT_EQ(ok.status, JobStatus::ok);
+    EXPECT_FALSE(ok.degraded);
+    EXPECT_EQ(ok.digest, want);
+    EXPECT_GT(ok.num_pulses, 0u);
+
+    // Malformed QASM: a structured invalid_input response, not a dropped
+    // connection or an exception.
+    const JobResponse bad = client.compile("OPENQASM 2.0;\nbogus q[0];", "alice");
+    EXPECT_EQ(bad.status, JobStatus::invalid_input);
+    EXPECT_FALSE(bad.detail.empty());
+
+    // A job whose budget is spent on arrival is shed, also as a response.
+    const JobResponse shed = client.compile(qasm, "alice", 0, 0.0001);
+    EXPECT_EQ(shed.status, JobStatus::shed_deadline);
+
+    const StatusResponse status = client.status();
+    EXPECT_EQ(counter_value(status, "service.tenant.alice.submitted"), 3u);
+    EXPECT_EQ(counter_value(status, "service.tenant.alice.completed"), 1u);
+    EXPECT_EQ(counter_value(status, "service.tenant.alice.shed_deadline"), 1u);
+    EXPECT_EQ(counter_value(status, "service.tenant.alice.failed"), 1u);
+    EXPECT_EQ(counter_value(status, "service.connections"), 1u);
+
+    client.shutdown_server();
+    daemon.wait(); // returns because the client requested shutdown
+    daemon.stop();
+}
+
+TEST(Daemon, ConcurrentClientsDedupeSharedBlocks) {
+    DaemonOptions opt;
+    opt.socket_path = test_socket_path();
+    opt.num_executors = 3;
+    opt.compiler = cheap_options();
+    EpocDaemon daemon(opt);
+    daemon.start();
+
+    const std::vector<std::string> circuits = {
+        circuit::to_qasm(bench::ghz(3)), circuit::to_qasm(bench::qft(3))};
+    core::EpocCompiler local(cheap_options());
+    std::vector<std::uint64_t> want;
+    for (const std::string& qasm : circuits)
+        want.push_back(local_digest(local, qasm));
+    const std::size_t unique_misses = local.library().stats().misses;
+
+    constexpr int kClients = 3;
+    constexpr int kRounds = 2;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t) {
+        threads.emplace_back([&, t] {
+            try {
+                EpocClient client(opt.socket_path);
+                // Pipelined: submit everything, then collect by id.
+                std::vector<std::pair<std::uint64_t, std::size_t>> ids;
+                for (int round = 0; round < kRounds; ++round)
+                    for (std::size_t i = 0; i < circuits.size(); ++i)
+                        ids.emplace_back(
+                            client.submit(circuits[i], "tenant" + std::to_string(t),
+                                          static_cast<std::int32_t>(i % 2)),
+                            i);
+                for (const auto& [id, i] : ids) {
+                    const JobResponse resp = client.wait_for(id);
+                    if (resp.status != JobStatus::ok || resp.degraded ||
+                        resp.digest != want[i])
+                        failures.fetch_add(1);
+                }
+            } catch (...) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread& th : threads) th.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    // Cross-client dedup: however the 3 clients' 12 jobs interleaved, the
+    // shared library generated each unique block exactly once (single-flight
+    // makes the miss count deterministic), and the repeats all hit.
+    EpocClient probe(opt.socket_path);
+    const StatusResponse status = probe.status();
+    EXPECT_EQ(counter_value(status, "qoc.library_misses"), unique_misses);
+    EXPECT_GT(counter_value(status, "qoc.library_hits"), 0u);
+
+    daemon.stop();
+}
+
+TEST(Daemon, StopAnswersQueuedJobsAsCancelled) {
+    // One executor, several queued jobs, then stop() from under them: every
+    // job still gets exactly one response (ok for whatever finished,
+    // cancelled for the rest) and stop() returns promptly.
+    DaemonOptions opt;
+    opt.socket_path = test_socket_path();
+    opt.num_executors = 1;
+    opt.compiler = cheap_options();
+    EpocDaemon daemon(opt);
+    daemon.start();
+
+    const std::string qasm = circuit::to_qasm(bench::qft(3));
+    EpocClient client(opt.socket_path);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 4; ++i) ids.push_back(client.submit(qasm, "t"));
+    daemon.stop();
+    int answered = 0;
+    for (const std::uint64_t id : ids) {
+        try {
+            const JobResponse resp = client.wait_for(id);
+            // Any terminal status is acceptable; no hangs, no garbage.
+            EXPECT_LE(static_cast<int>(resp.status),
+                      static_cast<int>(JobStatus::error));
+            ++answered;
+        } catch (const std::exception&) {
+            // Connection torn down before the response: also a clean outcome
+            // for jobs cancelled by shutdown — the guarantee under test is
+            // "prompt, no hang, no crash".
+            break;
+        }
+    }
+    EXPECT_GE(answered, 0); // reaching here at all is the real assertion
+}
+
+} // namespace

@@ -545,6 +545,55 @@ TEST(PulseLibraryStore, TwoLibrariesShareOneStoreUnderHammer) {
     EXPECT_EQ(sb.misses, sb.store_hits + sb.store_misses);
 }
 
+TEST(PulseLibraryStore, ProbeOutcomesPartitionExactly) {
+    // Regression: a revalidation rejection used to bump BOTH store_rejected
+    // and store_misses, so counted probe outcomes exceeded probes and the
+    // reconciliation invariant
+    //     misses == store_hits + store_misses + store_rejected
+    // never balanced on any run with rejections. A probe is a hit, a miss, or
+    // a rejection — exactly one of them.
+    TempDir dir;
+    PulseStore store({dir.str()});
+    const auto h = make_block_hamiltonian(1);
+    const LatencySearchOptions opt = cheap_search();
+
+    {
+        // Seed the store so a later probe can find an entry to reject.
+        PulseLibrary seed(true);
+        seed.set_store(&store);
+        seed.get_or_generate(h, circuit::hadamard(), opt);
+        const auto s = seed.stats();
+        EXPECT_EQ(s.store_misses, 1u);
+        EXPECT_EQ(s.store_rejected, 0u);
+        EXPECT_EQ(s.misses, s.store_hits + s.store_misses + s.store_rejected);
+    }
+
+    PulseLibrary lib(true);
+    lib.set_store(&store);
+    int revalidations = 0;
+    lib.set_revalidator([&](const std::string&, const BlockHamiltonian&,
+                            const Matrix&, const LatencyResult&) {
+        ++revalidations;
+        return false; // reject everything the tier offers
+    });
+    // Probe finds the seeded entry, revalidation rejects it, GRAPE
+    // regenerates: one probe, one rejection, zero misses.
+    lib.get_or_generate(h, circuit::hadamard(), opt);
+    // Nothing stored for this key: one probe, one clean miss.
+    lib.get_or_generate(h, circuit::pauli_x(), opt);
+    // Pure L1 hit: no probe at all.
+    lib.get_or_generate(h, circuit::hadamard(), opt);
+
+    const auto s = lib.stats();
+    EXPECT_EQ(revalidations, 1);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(s.store_hits, 0u);
+    EXPECT_EQ(s.store_rejected, 1u);
+    EXPECT_EQ(s.store_misses, 1u); // the historical double count made this 2
+    EXPECT_EQ(s.misses, s.store_hits + s.store_misses + s.store_rejected);
+}
+
 // ------------------------------------------------------ compile-level tests
 
 core::EpocOptions cheap_compile_options(int num_threads, const std::string& store_dir) {
