@@ -2,10 +2,12 @@
 //
 // Starts a long-running compile service on a local (AF_UNIX) socket and
 // serves jobs from any number of epocd_client processes until one of them
-// sends a shutdown request. All clients share one compiler — one pulse
-// library, synthesis cache and plan cache — so identical blocks from
-// different clients are GRAPE'd exactly once (the status endpoint's
-// qoc.library_misses counts unique work, not requests).
+// sends a shutdown request — or the process receives SIGTERM/SIGINT, which
+// triggers the same graceful drain: stop admitting, answer queued jobs as
+// cancelled, flush responses to connected clients, exit 0. All clients share
+// one compiler — one pulse library, synthesis cache and plan cache — so
+// identical blocks from different clients are GRAPE'd exactly once (the
+// status endpoint's qoc.library_misses counts unique work, not requests).
 //
 // Usage: epocd --socket PATH [options]
 //   --socket PATH       listening socket path (default /tmp/epocd.sock)
@@ -14,13 +16,20 @@
 //                       hardware concurrency)
 //   --max-pending N     admission bound on queued+running jobs (default 256)
 //   --store DIR         attach the persistent pulse store
+//   --drain-ms MS       shutdown drain budget: how long stop() waits for
+//                       executors to answer the queue (default 10000)
 //   --fast              cheap search settings (CI/smoke: same flag on the
 //                       client keeps library-mode digests comparable)
 //
-// Exits 0 on a clean client-requested shutdown; prints the final counter
-// snapshot on the way out.
+// Exits 0 on a clean shutdown (client-requested or signal-driven); prints
+// the final counter snapshot on the way out.
 #include "service/daemon.h"
 
+#include "util/fault_injection.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +46,12 @@ void apply_fast_options(epoc::core::EpocOptions& opt) {
     opt.qsearch.threshold = 1e-4;
     opt.qsearch.instantiate.restarts = 2;
 }
+
+// Signal handlers may only touch lock-free state: set the flag, return, and
+// let the main loop (which polls between bounded waits) drive the drain.
+std::atomic<int> g_signal{0};
+
+extern "C" void on_signal(int sig) { g_signal.store(sig); }
 
 } // namespace
 
@@ -56,6 +71,8 @@ int main(int argc, char** argv) {
                 static_cast<std::size_t>(std::atol(argv[++i]));
         } else if (arg == "--store" && has_value) {
             opt.compiler.pulse_store_dir = argv[++i];
+        } else if (arg == "--drain-ms" && has_value) {
+            opt.drain_ms = std::atof(argv[++i]);
         } else if (arg == "--fast") {
             apply_fast_options(opt.compiler);
         } else {
@@ -65,15 +82,38 @@ int main(int argc, char** argv) {
         }
     }
 
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    // Chaos hook: EPOC_FAULT_INJECT arms transport/store fault sites (the
+    // chaos-soak CI job runs the daemon with service.* sites at a few
+    // percent and still demands bit-identical digests from retrying clients).
+    epoc::util::fault::configure_from_env();
+
     try {
         epoc::service::EpocDaemon daemon(opt);
         daemon.start();
         std::printf("epocd: listening on %s (executors=%d)\n",
                     daemon.socket_path().c_str(), opt.num_executors);
         std::fflush(stdout);
-        daemon.wait(); // until a client's shutdown request
-        std::printf("epocd: shutdown requested, draining\n");
+        // Serve until a client's shutdown request or a signal. The bounded
+        // wait is the polling point the async-signal-safety rule forces:
+        // the handler only sets g_signal, this loop notices within ~100ms.
+        while (!daemon.wait_for(100.0)) {
+            if (g_signal.load() != 0) break;
+        }
+        const int sig = g_signal.load();
+        if (sig != 0)
+            std::printf("epocd: caught signal %d, draining\n", sig);
+        else
+            std::printf("epocd: shutdown requested, draining\n");
+        std::fflush(stdout);
+        const auto t0 = std::chrono::steady_clock::now();
         daemon.stop();
+        const double drain_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        std::printf("epocd: drained in %.0f ms\n", drain_ms);
         for (const auto& [key, value] : daemon.status().counters)
             std::printf("epocd: %s = %llu\n", key.c_str(),
                         static_cast<unsigned long long>(value));

@@ -24,6 +24,10 @@
 //   --fast              cheap search settings — must match the daemon's
 //   --retry-ms N        keep retrying the initial connect for N ms (default
 //                       5000; lets CI start daemon and client back-to-back)
+//   --retry             enable the client resilience layer (reconnect with
+//                       backoff + idempotent re-submission) — the chaos-soak
+//                       CI job runs --soak --retry against a fault-injected
+//                       daemon and still expects bit-identical digests
 #include "service/client.h"
 
 #include "bench_circuits/generators.h"
@@ -72,13 +76,13 @@ std::uint64_t local_digest(core::EpocCompiler& compiler, const std::string& qasm
     return qoc::fnv1a64(core::schedule_to_json(r.schedule));
 }
 
-std::unique_ptr<service::EpocClient> connect_with_retry(const std::string& path,
-                                                        int retry_ms) {
+std::unique_ptr<service::EpocClient> connect_with_retry(
+    const std::string& path, int retry_ms, const service::ClientOptions& copt) {
     const auto give_up = std::chrono::steady_clock::now() +
                          std::chrono::milliseconds(retry_ms);
     for (;;) {
         try {
-            return std::make_unique<service::EpocClient>(path);
+            return std::make_unique<service::EpocClient>(path, copt);
         } catch (const std::exception&) {
             if (std::chrono::steady_clock::now() >= give_up) throw;
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -133,7 +137,10 @@ int run_soak(service::EpocClient& client, const core::EpocOptions& local_opt,
             continue;
         }
         if (resp.degraded) {
-            std::printf("soak-FAIL: %s degraded: %s\n", name.c_str(),
+            std::printf("soak-FAIL: %s degraded (%llu/%llu blocks): %s\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(resp.blocks_degraded),
+                        static_cast<unsigned long long>(resp.blocks_total),
                         resp.detail.c_str());
             ++failures;
             continue;
@@ -162,6 +169,9 @@ int run_soak(service::EpocClient& client, const core::EpocOptions& local_opt,
                 ok_jobs, failures);
     std::printf("soak-digest-match: %d\n", failures == 0 ? 1 : 0);
     std::printf("local-library-misses: %zu\n", local.library().stats().misses);
+    // 1 on a clean run; >1 means the resilience layer reconnected (the chaos
+    // job greps this to confirm faults actually landed on the wire).
+    std::printf("client-connects: %d\n", client.connects());
     return failures == 0 ? 0 : 1;
 }
 
@@ -197,6 +207,7 @@ int main(int argc, char** argv) {
     std::string qasm_file;
     std::string mode = "qasm";
     int retry_ms = 5000;
+    service::ClientOptions copt;
     core::EpocOptions local_opt;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -220,6 +231,13 @@ int main(int argc, char** argv) {
             apply_fast_options(local_opt);
         } else if (arg == "--retry-ms" && has_value) {
             retry_ms = std::atoi(argv[++i]);
+        } else if (arg == "--retry") {
+            copt.retry = true;
+            // Chaos soak: fault sites at a few % each produce dozens of small
+            // reconnect events over one soak run — the budget has to cover the
+            // whole workload, not a single outage (20 was observed exhausted
+            // mid-soak under service.accept=%5 + read/write=%7).
+            copt.max_reconnects = 100;
         } else {
             std::fprintf(stderr, "epocd_client: unknown option: %s\n",
                          arg.c_str());
@@ -228,7 +246,7 @@ int main(int argc, char** argv) {
     }
 
     try {
-        const auto client = connect_with_retry(socket_path, retry_ms);
+        const auto client = connect_with_retry(socket_path, retry_ms, copt);
         if (mode == "soak") return run_soak(*client, local_opt, tenant);
         if (mode == "expect-dedup") return run_expect_dedup(*client, local_opt);
         if (mode == "status") {

@@ -348,8 +348,26 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
                 const auto cacheable = [](const synthesis::SynthesisResult& r) {
                     return !r.timed_out;
                 };
-                std::shared_ptr<const synthesis::SynthesisResult> sr =
-                    synth_cache_.get_or_compute(key, compute, cacheable);
+                // Waiter-retry: single-flight publishes a timed-out result to
+                // the callers blocked on the losing leader and evicts it — but
+                // a healthy waiter inheriting it would ship another job's
+                // degradation. While our own budget is intact, re-enter the
+                // cache instead (bounded; same rule as PulseLibrary).
+                std::shared_ptr<const synthesis::SynthesisResult> sr;
+                for (int attempt = 0;; ++attempt) {
+                    bool led = false;
+                    sr = synth_cache_.get_or_compute(
+                        key,
+                        [&] {
+                            led = true;
+                            return compute();
+                        },
+                        cacheable);
+                    if (led || !sr->timed_out) break;
+                    if (deadline.expired() || attempt >= 3) break;
+                    synth_cache_.erase_if(key, sr);
+                    tracer_.add_counter("synth.waiter_retries");
+                }
                 // Synthesis is an optimization, not an obligation: if the
                 // searched circuit carries no fewer entangling gates than the
                 // original block (or missed the accuracy target), keep the

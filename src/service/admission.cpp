@@ -10,7 +10,13 @@ Verdict AdmissionController::submit(Job&& job) {
     std::lock_guard<std::mutex> lock(mutex_);
     TenantCounters& tc = tenants_[job.request.tenant];
     ++tc.submitted;
-    if (closed_) return Verdict::closed;
+    if (closed_) {
+        // The daemon answers this submission `cancelled`; count it here so
+        // terminal counters always sum to `submitted`, even for jobs racing
+        // the shutdown drain.
+        ++tc.cancelled;
+        return Verdict::closed;
+    }
     if (queued_ + in_flight_ >= opt_.max_pending) {
         ++tc.rejected_overload;
         return Verdict::rejected_overload;
@@ -78,6 +84,11 @@ void AdmissionController::finish(const Job& job, const JobResponse& resp) {
     case JobStatus::shed_deadline: ++tc.shed_deadline; break;
     default: ++tc.failed; break;
     }
+}
+
+void AdmissionController::record_replay(const std::string& tenant) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++tenants_[tenant].replayed;
 }
 
 void AdmissionController::close() {

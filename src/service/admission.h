@@ -84,7 +84,8 @@ struct TenantCounters {
     std::uint64_t completed = 0; ///< responded ok (possibly degraded)
     std::uint64_t degraded = 0;  ///< subset of completed
     std::uint64_t cancelled = 0;
-    std::uint64_t failed = 0; ///< invalid_input / error / late shed
+    std::uint64_t failed = 0;   ///< invalid_input / error / late shed
+    std::uint64_t replayed = 0; ///< re-submitted ids answered from the replay table
 };
 
 struct AdmissionSnapshot {
@@ -112,6 +113,10 @@ public:
     /// Account the outcome of a job taken via next() and release its
     /// in-flight slot.
     void finish(const Job& job, const JobResponse& resp);
+
+    /// Account a replayed response (a re-submitted id answered from the
+    /// daemon's replay table — the job never re-entered the queue).
+    void record_replay(const std::string& tenant);
 
     /// Stop admitting (submit returns closed) and wake next() waiters.
     /// Queued jobs remain takeable so a draining shutdown can answer them.

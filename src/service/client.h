@@ -5,6 +5,25 @@
 // submit any number of jobs, then collect results in any order (the daemon
 // responds out of submission order; the client buffers responses by id).
 //
+// Resilience (all opt-in via ClientOptions, off by default):
+//
+//   * per-call timeouts — wait_for()/status() bound their reads with a
+//     deadline-aware poll() instead of blocking forever on a stalled server;
+//     a job that carried deadline_ms is additionally bounded by that budget
+//     times a grace factor, and expiry surfaces as the distinct
+//     ClientTimeout error (a slow server is not a dead server — callers can
+//     tell the cases apart);
+//   * automatic reconnect — a lost connection is re-dialed with capped
+//     exponential backoff plus deterministic jitter;
+//   * idempotent re-submission — jobs submitted but not yet answered are
+//     re-sent (same id, same payload) on the new connection. The daemon
+//     keeps a recent-response table keyed by (tenant, id), so a job whose
+//     response was lost in transit is answered from the record instead of
+//     being recompiled, and the client observes exactly one response per id.
+//
+// Ids are seeded from the pid plus a process-wide client serial so that
+// re-submitted ids cannot collide with another client of the same tenant.
+//
 // One EpocClient is ONE socket and is not thread-safe: share a process-wide
 // compile stream by giving each thread its own client (the daemon's caches
 // dedupe across connections anyway — that is the service's whole point).
@@ -14,15 +33,51 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 namespace epoc::service {
+
+/// Thrown by wait_for()/status() when a bounded wait expires. Distinct from
+/// the std::runtime_error connection failures: the server may be alive but
+/// slow, so retrying the job could duplicate work — the caller decides.
+struct ClientTimeout : std::runtime_error {
+    explicit ClientTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ClientOptions {
+    /// Master switch for the reconnect + re-submission layer. Off: any
+    /// connection loss throws, the historical behavior.
+    bool retry = false;
+    /// Consecutive failed reconnect attempts before giving up (throwing).
+    int max_reconnects = 5;
+    /// Capped exponential backoff between reconnect attempts.
+    double backoff_initial_ms = 50.0;
+    double backoff_max_ms = 2000.0;
+    /// Seed for the deterministic jitter added to each backoff sleep.
+    std::uint64_t backoff_seed = 1;
+    /// Per-call receive timeout for wait_for()/status()/shutdown_server();
+    /// 0 disables. Independent of the retry layer.
+    double call_timeout_ms = 0.0;
+    /// wait_for() on a job that carried deadline_ms is bounded by
+    /// deadline_ms * deadline_grace + deadline_slack_ms even when
+    /// call_timeout_ms is 0 — a stalled server must not absorb the client
+    /// along with the job. Grace covers queueing + response transit.
+    ///
+    /// Both bounds apply per connection epoch: a successful reconnect
+    /// re-submits the job, so the server earns a fresh window — backoff
+    /// sleeps and recompute time do not eat the budget meant for the
+    /// response wait. Re-arming is capped at max_reconnects per call, so
+    /// the total wait stays bounded even against a flapping server.
+    double deadline_grace = 2.0;
+    double deadline_slack_ms = 1000.0;
+};
 
 class EpocClient {
 public:
     /// Connect to a running daemon. Throws std::runtime_error when the
     /// socket cannot be reached.
-    explicit EpocClient(const std::string& socket_path);
+    explicit EpocClient(const std::string& socket_path, ClientOptions opt = {});
     ~EpocClient();
 
     EpocClient(const EpocClient&) = delete;
@@ -30,32 +85,44 @@ public:
 
     /// Enqueue one compile job; returns the id to pass to wait_for(). Ids
     /// are assigned by the client, unique per connection. Throws on a dead
-    /// connection.
+    /// connection (after the retry layer, when enabled, is exhausted).
     std::uint64_t submit(const std::string& qasm, const std::string& tenant,
                          std::int32_t priority = 0, double deadline_ms = 0.0);
 
     /// Block until the response for `id` arrives (earlier-arriving responses
-    /// for other ids are buffered). Throws on a dead connection or protocol
-    /// corruption — never on a failed *job* (failures are JobStatus values).
+    /// for other ids are buffered). Throws ClientTimeout when the bounded
+    /// wait expires, std::runtime_error on an unrecoverable connection
+    /// failure — never on a failed *job* (failures are JobStatus values).
     JobResponse wait_for(std::uint64_t id);
 
     /// submit() + wait_for() in one call.
     JobResponse compile(const std::string& qasm, const std::string& tenant,
                         std::int32_t priority = 0, double deadline_ms = 0.0);
 
-    /// Fetch the daemon's counter snapshot. Must not be called with job
-    /// responses still uncollected (single request/response stream).
+    /// Fetch the daemon's counter snapshot. Job responses arriving while
+    /// waiting are buffered for later wait_for() calls.
     StatusResponse status();
 
     /// Ask the daemon to shut down; returns once the daemon acknowledges.
     void shutdown_server();
 
-private:
-    std::string transact(MsgType expect);
+    /// Connections consumed so far (1 = the initial dial; more = the retry
+    /// layer reconnected). Exposed for tests and chaos accounting.
+    int connects() const { return connects_; }
 
+private:
+    void dial();
+    void handle_connection_loss(const char* context);
+    std::string transact(MsgType expect, const std::string& request);
+
+    std::string socket_path_;
+    ClientOptions opt_;
     int fd_ = -1;
+    int connects_ = 0;
     std::uint64_t next_id_ = 1;
-    std::map<std::uint64_t, JobResponse> pending_; ///< buffered by id
+    std::uint64_t jitter_state_ = 0;
+    std::map<std::uint64_t, JobRequest> outstanding_; ///< submitted, unanswered
+    std::map<std::uint64_t, JobResponse> pending_;    ///< buffered by id
 };
 
 } // namespace epoc::service

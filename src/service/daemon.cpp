@@ -3,9 +3,11 @@
 #include "circuit/qasm.h"
 #include "epoc/export.h"
 #include "qoc/pulse_io.h"
+#include "util/fault_injection.h"
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -16,28 +18,38 @@
 
 namespace epoc::service {
 
+namespace {
+
+/// Replay-table key: tenants cannot collide with each other, and \x1f
+/// cannot appear in a numeric id rendering.
+std::string replay_key(const std::string& tenant, std::uint64_t id) {
+    return tenant + '\x1f' + std::to_string(id);
+}
+
+} // namespace
+
 /// Per-client connection state. The reader thread owns the fd's read side;
-/// executors write responses through send(), serialized by write_mutex (jobs
-/// finish out of submission order, so responses from several executors can
-/// target one connection at once). The fd is closed only under write_mutex
-/// with `open` already false, so no writer can race the close or hit a
-/// recycled descriptor.
+/// the writer thread owns the write side, draining a bounded outbox that
+/// executors enqueue into — an executor therefore never blocks on a peer's
+/// socket buffer. `open` flips false exactly once (disconnect or teardown);
+/// the fd is closed only at stop(), after both threads are joined, so no
+/// I/O can race a recycled descriptor.
 struct EpocDaemon::Connection {
     int fd = -1;
     std::thread reader;
-    std::mutex write_mutex;
-    bool open = true; // guarded by write_mutex
+    std::thread writer;
+
+    std::mutex mutex; // guards outbox, open, writer_exit
+    std::condition_variable outbox_cv;
+    std::deque<std::string> outbox;
+    bool open = true;
+    bool writer_exit = false;
+
     /// Cancel tokens of every job this client submitted; fired on
     /// disconnect so the client's queued/in-flight work stops consuming
     /// the service. weak_ptr: a finished job's token may be long gone.
     std::mutex tokens_mutex;
     std::vector<std::weak_ptr<util::CancelToken>> job_tokens;
-
-    bool send(const std::string& payload) {
-        std::lock_guard<std::mutex> lock(write_mutex);
-        if (!open) return false;
-        return write_frame(fd, payload);
-    }
 
     void fire_tokens() {
         std::lock_guard<std::mutex> lock(tokens_mutex);
@@ -46,16 +58,77 @@ struct EpocDaemon::Connection {
         job_tokens.clear();
     }
 
+    /// Mark the connection dead, wake both threads, drop undeliverable
+    /// frames, and cancel the client's jobs. Idempotent.
+    void disconnect() {
+        bool was_open;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            was_open = open;
+            open = false;
+            if (was_open && fd >= 0) ::shutdown(fd, SHUT_RDWR);
+            outbox.clear();
+            outbox_cv.notify_all();
+        }
+        if (was_open) fire_tokens();
+    }
+
+    /// Queue one frame for the writer. `full` leaves the frame unqueued so
+    /// the caller can disconnect-with-accounting.
+    enum class Enqueue { queued, full, closed };
+    Enqueue enqueue(std::string payload, std::size_t max_frames) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!open) return Enqueue::closed;
+        if (outbox.size() >= max_frames) return Enqueue::full;
+        outbox.push_back(std::move(payload));
+        outbox_cv.notify_all();
+        return Enqueue::queued;
+    }
+
+    /// Best-effort wait for the writer to drain the outbox (stop() uses
+    /// this so cancelled-on-shutdown responses reach still-live clients).
+    void flush(const util::Deadline& deadline) {
+        std::unique_lock<std::mutex> lock(mutex);
+        while (open && !outbox.empty() && !deadline.expired())
+            outbox_cv.wait_for(lock, std::chrono::milliseconds(10));
+    }
+
     void close_fd() {
-        std::lock_guard<std::mutex> lock(write_mutex);
+        std::lock_guard<std::mutex> lock(mutex);
         if (fd >= 0) ::close(fd);
         fd = -1;
         open = false;
     }
 };
 
+bool EpocDaemon::ReplayTable::lookup(const std::string& key,
+                                     JobResponse& out) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    out = it->second;
+    return true;
+}
+
+void EpocDaemon::ReplayTable::insert(const std::string& key,
+                                     const JobResponse& resp) {
+    if (cap_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, fresh] = map_.try_emplace(key, resp);
+    if (!fresh) {
+        it->second = resp; // re-submitted and recomputed: keep the latest
+        return;
+    }
+    fifo_.push_back(key);
+    while (fifo_.size() > cap_) {
+        map_.erase(fifo_.front());
+        fifo_.pop_front();
+    }
+}
+
 EpocDaemon::EpocDaemon(DaemonOptions opt)
-    : opt_(std::move(opt)), admission_(opt_.admission) {
+    : opt_(std::move(opt)), admission_(opt_.admission),
+      replay_(opt_.replay_entries) {
     // Per-job deadlines/cancellation arrive with each request; a configured
     // compiler-wide budget would silently cap every client.
     opt_.compiler.deadline_ms = 0.0;
@@ -85,7 +158,26 @@ void EpocDaemon::start() {
     }
     std::strncpy(addr.sun_path, opt_.socket_path.c_str(),
                  sizeof(addr.sun_path) - 1);
-    ::unlink(opt_.socket_path.c_str()); // stale socket from a crashed daemon
+    // A leftover socket file may be a crashed daemon's corpse (safe to
+    // unlink) or a *live* daemon's front door (unlinking would silently
+    // steal its path: new clients reach us, its clients keep it). Probe by
+    // connecting: an answer means live, a refusal means stale.
+    if (::access(opt_.socket_path.c_str(), F_OK) == 0) {
+        const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        const bool live =
+            probe >= 0 &&
+            ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0;
+        if (probe >= 0) ::close(probe);
+        if (live) {
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            running_.store(false);
+            throw std::runtime_error("epocd: a live daemon already serves " +
+                                     opt_.socket_path);
+        }
+        ::unlink(opt_.socket_path.c_str()); // stale: crashed daemon's leftover
+    }
     if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
                sizeof(addr)) != 0 ||
         ::listen(listen_fd_, 64) != 0) {
@@ -96,8 +188,13 @@ void EpocDaemon::start() {
         throw std::runtime_error("epocd: bind/listen " + opt_.socket_path +
                                  ": " + err);
     }
+    {
+        std::lock_guard<std::mutex> lock(drain_mutex_);
+        live_executors_ = opt_.num_executors;
+    }
     for (int i = 0; i < opt_.num_executors; ++i)
         executors_.emplace_back([this] { executor_loop(); });
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
     accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -106,13 +203,22 @@ void EpocDaemon::wait() {
     shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
 }
 
+bool EpocDaemon::wait_for(double ms) {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    shutdown_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(ms),
+                          [&] { return shutdown_requested_; });
+    return shutdown_requested_;
+}
+
+void EpocDaemon::request_shutdown() {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+}
+
 void EpocDaemon::stop() {
     if (!running_.exchange(false)) return;
-    {
-        std::lock_guard<std::mutex> lock(shutdown_mutex_);
-        shutdown_requested_ = true;
-        shutdown_cv_.notify_all();
-    }
+    request_shutdown();
     // 1. No new jobs; executors will drain what is queued (answering each —
     //    a fired token makes run_job return `cancelled` without compiling).
     admission_.close();
@@ -122,24 +228,46 @@ void EpocDaemon::stop() {
         std::lock_guard<std::mutex> lock(conns_mutex_);
         for (const auto& conn : conns_) conn->fire_tokens();
     }
+    // 3. Bounded drain: every queued job must be *answered* (as cancelled)
+    //    within the drain budget. Blowing the budget is recorded, not
+    //    enforced by abandonment — the joins below still complete because
+    //    cancellation is cooperative and polled.
+    {
+        std::unique_lock<std::mutex> lock(drain_mutex_);
+        if (!drain_cv_.wait_for(
+                lock, std::chrono::duration<double, std::milli>(opt_.drain_ms),
+                [&] { return live_executors_ == 0; }))
+            drain_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    }
     for (std::thread& t : executors_) t.join();
     executors_.clear();
-    // 3. Wake and reap the accept thread. The close happens only after the
+    watchdog_cv_.notify_all();
+    if (watchdog_thread_.joinable()) watchdog_thread_.join();
+    // 4. Wake and reap the accept thread. The close happens only after the
     //    join: closing while accept() still blocks on the fd would let the
     //    kernel recycle the descriptor under it.
     const int lfd = listen_fd_.exchange(-1);
     if (lfd >= 0) ::shutdown(lfd, SHUT_RDWR);
     if (accept_thread_.joinable()) accept_thread_.join();
     if (lfd >= 0) ::close(lfd);
-    // 4. Wake the readers (EOF) and reap the connections.
+    // 5. Let writers deliver the cancelled-on-shutdown responses to clients
+    //    that are still reading, then wake the readers (EOF) and reap.
     std::vector<std::shared_ptr<Connection>> conns;
     {
         std::lock_guard<std::mutex> lock(conns_mutex_);
         conns.swap(conns_);
     }
+    const util::Deadline flush_deadline = util::Deadline::after_ms(1000.0);
+    for (const auto& conn : conns) conn->flush(flush_deadline);
     for (const auto& conn : conns) {
-        ::shutdown(conn->fd, SHUT_RDWR);
+        {
+            std::lock_guard<std::mutex> lock(conn->mutex);
+            conn->writer_exit = true;
+            if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+            conn->outbox_cv.notify_all();
+        }
         if (conn->reader.joinable()) conn->reader.join();
+        if (conn->writer.joinable()) conn->writer.join();
         conn->close_fd();
     }
     ::unlink(opt_.socket_path.c_str());
@@ -158,6 +286,13 @@ void EpocDaemon::accept_loop() {
             ::close(fd);
             return;
         }
+        if (util::fault::maybe_fail("service.accept")) {
+            // Accept-time failure (fd exhaustion, handshake reset): the
+            // client sees an immediate EOF and redials.
+            accept_faults_.fetch_add(1, std::memory_order_relaxed);
+            ::close(fd);
+            continue;
+        }
         connections_accepted_.fetch_add(1, std::memory_order_relaxed);
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
@@ -165,7 +300,39 @@ void EpocDaemon::accept_loop() {
             std::lock_guard<std::mutex> lock(conns_mutex_);
             conns_.push_back(conn);
         }
+        conn->writer = std::thread([this, conn] { writer_loop(conn); });
         conn->reader = std::thread([this, conn] { serve_connection(conn); });
+    }
+}
+
+void EpocDaemon::writer_loop(std::shared_ptr<Connection> conn) {
+    for (;;) {
+        std::string frame;
+        {
+            std::unique_lock<std::mutex> lock(conn->mutex);
+            conn->outbox_cv.wait(lock, [&] {
+                return !conn->open || conn->writer_exit || !conn->outbox.empty();
+            });
+            if (!conn->open) return;
+            if (conn->outbox.empty()) {
+                if (conn->writer_exit) return;
+                continue;
+            }
+            frame = std::move(conn->outbox.front());
+            conn->outbox.pop_front();
+            if (conn->outbox.empty()) conn->outbox_cv.notify_all(); // flush()
+        }
+        const IoStatus s = write_frame_deadline(
+            conn->fd, frame, util::Deadline::after_ms(opt_.write_timeout_ms));
+        if (s != IoStatus::ok) {
+            // A peer too slow to accept one frame within the write timeout
+            // is indistinguishable from a wedged one: disconnect with
+            // accounting rather than stall the connection's entire outbox.
+            (s == IoStatus::timeout ? write_timeouts_ : send_failures_)
+                .fetch_add(1, std::memory_order_relaxed);
+            conn->disconnect();
+            return;
+        }
     }
 }
 
@@ -187,16 +354,20 @@ void EpocDaemon::serve_connection(std::shared_ptr<Connection> conn) {
             handle_job_request(conn, std::move(*req));
             break;
         }
-        case MsgType::status_request:
+        case MsgType::status_request: {
             status_requests_.fetch_add(1, std::memory_order_relaxed);
-            conn->send(encode_status_response(status()));
+            if (conn->enqueue(encode_status_response(status()),
+                              opt_.max_outbox_frames) ==
+                Connection::Enqueue::full) {
+                slow_client_disconnects_.fetch_add(1, std::memory_order_relaxed);
+                conn->disconnect();
+            }
             break;
+        }
         case MsgType::shutdown_request: {
-            conn->send(encode_shutdown_response());
-            std::lock_guard<std::mutex> lock(shutdown_mutex_);
-            shutdown_requested_ = true;
-            shutdown_cv_.notify_all();
-            break; // keep serving; the wait()er drives the actual stop()
+            conn->enqueue(encode_shutdown_response(), opt_.max_outbox_frames);
+            request_shutdown(); // keep serving; the wait()er drives stop()
+            break;
         }
         default:
             // Response types are client-bound; a client sending one is
@@ -207,15 +378,40 @@ void EpocDaemon::serve_connection(std::shared_ptr<Connection> conn) {
     }
     // Disconnect: the client can no longer receive results, so its
     // outstanding jobs only burn shared capacity — cancel them.
-    conn->fire_tokens();
-    {
-        std::lock_guard<std::mutex> lock(conn->write_mutex);
-        conn->open = false;
+    conn->disconnect();
+}
+
+void EpocDaemon::send_response(const std::shared_ptr<Connection>& conn,
+                               const JobResponse& resp) {
+    switch (conn->enqueue(encode_job_response(resp), opt_.max_outbox_frames)) {
+    case Connection::Enqueue::queued: break;
+    case Connection::Enqueue::full:
+        // Slow-client protection: a peer that cannot drain its own results
+        // loses the connection, never an executor's time.
+        slow_client_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        conn->disconnect();
+        break;
+    case Connection::Enqueue::closed:
+        send_failures_.fetch_add(1, std::memory_order_relaxed);
+        break;
     }
 }
 
 void EpocDaemon::handle_job_request(const std::shared_ptr<Connection>& conn,
                                     JobRequest&& req) {
+    // Idempotent re-submission: a client that never saw its response (lost
+    // to a transport fault) re-sends the same id; answer from the record
+    // instead of recompiling. Only completed verdicts are recorded, so a
+    // retried job that was cancelled mid-flight genuinely re-runs.
+    JobResponse replayed;
+    if (opt_.replay_entries > 0 &&
+        replay_.lookup(replay_key(req.tenant, req.id), replayed)) {
+        replay_hits_.fetch_add(1, std::memory_order_relaxed);
+        admission_.record_replay(req.tenant);
+        send_response(conn, replayed);
+        return;
+    }
+
     Job job;
     job.request = std::move(req);
     job.cancel = std::make_shared<util::CancelToken>();
@@ -229,8 +425,8 @@ void EpocDaemon::handle_job_request(const std::shared_ptr<Connection>& conn,
     }
     const std::uint64_t id = job.request.id;
     std::weak_ptr<Connection> weak_conn = conn;
-    job.respond = [weak_conn](const JobResponse& resp) {
-        if (const auto c = weak_conn.lock()) c->send(encode_job_response(resp));
+    job.respond = [this, weak_conn](const JobResponse& resp) {
+        if (const auto c = weak_conn.lock()) send_response(c, resp);
     };
 
     const Verdict verdict = admission_.submit(std::move(job));
@@ -251,19 +447,77 @@ void EpocDaemon::handle_job_request(const std::shared_ptr<Connection>& conn,
         resp.detail = "service shutting down";
         break;
     }
-    conn->send(encode_job_response(resp));
+    send_response(conn, resp);
+}
+
+std::uint64_t EpocDaemon::watchdog_register(const Job& job) {
+    if (job.request.deadline_ms <= 0.0) return 0; // nothing armed to overrun
+    const double budget = job.request.deadline_ms;
+    const double grace_ms =
+        std::max(opt_.watchdog_min_grace_ms,
+                 (std::max(1.0, opt_.watchdog_grace) - 1.0) * budget);
+    WatchedJob w;
+    w.cancel = job.cancel;
+    w.fire_at = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        job.deadline.remaining_ms() + grace_ms));
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    const std::uint64_t slot = ++watchdog_slot_;
+    watched_.emplace(slot, std::move(w));
+    return slot;
+}
+
+void EpocDaemon::watchdog_unregister(std::uint64_t slot) {
+    if (slot == 0) return;
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watched_.erase(slot);
+}
+
+void EpocDaemon::watchdog_loop() {
+    std::unique_lock<std::mutex> lock(watchdog_mutex_);
+    while (running_.load()) {
+        watchdog_cv_.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(opt_.watchdog_poll_ms));
+        if (!running_.load()) return;
+        const auto now = std::chrono::steady_clock::now();
+        for (auto& [slot, w] : watched_) {
+            if (w.fired || now < w.fire_at) continue;
+            // The job blew its deadline *and* the grace: the §4e polling
+            // points should have wound it down long ago, so something is
+            // wedged — fire its token and take the executor back.
+            w.fired = true;
+            w.cancel->cancel();
+            watchdog_fired_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
 }
 
 void EpocDaemon::executor_loop() {
     Job job;
     while (admission_.next(job)) {
+        const std::uint64_t slot = watchdog_register(job);
         const JobResponse resp = run_job(job);
+        watchdog_unregister(slot);
+        // Record completed verdicts for idempotent re-submission before
+        // answering: if the response write is the thing that fails, the
+        // retried id must already find the record. Only deterministic
+        // outcomes are replayable — a degraded ok is a product of runtime
+        // circumstance, so a retried id recomputes it instead.
+        if (opt_.replay_entries > 0 &&
+            ((resp.status == JobStatus::ok && !resp.degraded) ||
+             resp.status == JobStatus::invalid_input))
+            replay_.insert(replay_key(job.request.tenant, job.request.id), resp);
         // Account before answering: a client that probes the status endpoint
         // right after its response must see its own job in the counters.
         admission_.finish(job, resp);
         job.respond(resp);
         job = Job{}; // drop the token/responder refs before blocking again
     }
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    --live_executors_;
+    drain_cv_.notify_all();
 }
 
 JobResponse EpocDaemon::run_job(Job& job) {
@@ -283,6 +537,12 @@ JobResponse EpocDaemon::run_job(Job& job) {
             resp.detail = "budget exhausted while queued";
             return resp;
         }
+        // A wedge the cooperative deadline cannot break (a stuck dependency,
+        // a non-polling loop): only the watchdog firing this job's token
+        // gets the executor back. Test-only by construction.
+        if (util::fault::maybe_fail("service.executor_stall"))
+            while (!job.cancel->cancelled())
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
         circuit::Circuit circuit(0);
         try {
             circuit = circuit::parse_qasm(job.request.qasm);
@@ -297,7 +557,26 @@ JobResponse EpocDaemon::run_job(Job& job) {
         // requested = unlimited).
         call.deadline_ms =
             job.request.deadline_ms > 0.0 ? job.deadline.remaining_ms() : 0.0;
-        const core::EpocResult r = compiler_->compile(circuit, call);
+        core::EpocResult r = compiler_->compile(circuit, call);
+        // Shared-compiler hazard: single-flight publishes a cancelled or
+        // timed-out leader's degraded pulse to its waiters (then evicts it),
+        // so a healthy job can inherit another job's degradation — e.g. a
+        // disconnect firing job A's token mid-GRAPE degrades job B, which
+        // was waiting on the same pulse key. The waiter cannot tell an
+        // inherited non-authoritative pulse from a deterministic one (both
+        // surface as infeasible/nonfinite block causes), so a degraded
+        // result with our own token and deadline intact is re-compiled once:
+        // inherited poison is already evicted and recomputes clean, while a
+        // genuinely degraded circuit replays out of the library's cached
+        // authoritative entries at almost no cost and ships as-is.
+        if (r.degraded && !r.deadline_hit && !job.cancel->cancelled()) {
+            degraded_retries_.fetch_add(1, std::memory_order_relaxed);
+            if (job.request.deadline_ms > 0.0)
+                call.deadline_ms = job.deadline.remaining_ms();
+            r = compiler_->compile(circuit, call);
+            if (r.degraded)
+                degraded_shipped_.fetch_add(1, std::memory_order_relaxed);
+        }
 
         resp.degraded = r.degraded;
         resp.deadline_hit = r.deadline_hit;
@@ -322,6 +601,15 @@ JobResponse EpocDaemon::run_job(Job& job) {
         } else {
             resp.status = JobStatus::ok;
             if (!r.status.ok()) resp.detail = r.status.detail;
+            if (r.degraded && resp.detail.empty()) {
+                // Surface the first degraded unit of work: "ok but degraded"
+                // with no explanation is undebuggable from the client side.
+                for (const auto& b : r.block_reports)
+                    if (!b.status.ok()) {
+                        resp.detail = b.label + ": " + b.status.to_string();
+                        break;
+                    }
+            }
         }
         return resp;
     } catch (const std::exception& e) {
@@ -348,6 +636,23 @@ StatusResponse EpocDaemon::status() const {
     put("service.bad_frames", bad_frames_.load(std::memory_order_relaxed));
     put("service.status_requests",
         status_requests_.load(std::memory_order_relaxed));
+    put("service.accept_faults",
+        accept_faults_.load(std::memory_order_relaxed));
+    put("service.watchdog_fired",
+        watchdog_fired_.load(std::memory_order_relaxed));
+    put("service.slow_client_disconnects",
+        slow_client_disconnects_.load(std::memory_order_relaxed));
+    put("service.write_timeouts",
+        write_timeouts_.load(std::memory_order_relaxed));
+    put("service.send_failures",
+        send_failures_.load(std::memory_order_relaxed));
+    put("service.replay_hits", replay_hits_.load(std::memory_order_relaxed));
+    put("service.degraded_retries",
+        degraded_retries_.load(std::memory_order_relaxed));
+    put("service.degraded_shipped",
+        degraded_shipped_.load(std::memory_order_relaxed));
+    put("service.drain_deadline_exceeded",
+        drain_deadline_exceeded_.load(std::memory_order_relaxed));
     put("service.queued", a.queued);
     put("service.in_flight", a.in_flight);
     put("service.peak_pending", a.peak_pending);
@@ -361,6 +666,7 @@ StatusResponse EpocDaemon::status() const {
         put(p + "rejected_overload", tc.rejected_overload);
         put(p + "cancelled", tc.cancelled);
         put(p + "failed", tc.failed);
+        put(p + "replayed", tc.replayed);
     }
     // Shared-compiler counters: these aggregate over ALL tenants (the caches
     // are shared — that sharing is the dedup the service exists for, so
@@ -382,6 +688,9 @@ StatusResponse EpocDaemon::status() const {
         put("store.corrupt", ss.corrupt);
         put("store.evicted", ss.evicted);
         put("store.invalidated", ss.invalidated);
+        put("store.io_errors", ss.io_errors);
+        put("store.disabled_enospc", ss.disabled_enospc);
+        put("store.skipped_disabled", ss.skipped_disabled);
         put("store.bytes", ss.bytes);
     }
     return s;

@@ -10,13 +10,21 @@
 // Threading model:
 //
 //   accept thread  -> one reader thread per connection -> AdmissionController
-//                                                          (fair queue)
+//                      one writer thread per connection     (fair queue)
 //   executor threads (num_executors) <- AdmissionController::next()
 //       each runs EpocCompiler::compile(circuit, per-call options)
+//   watchdog thread: fires the CancelToken of any job overrunning its armed
+//       deadline by a grace factor (service.watchdog_fired)
 //
 // compile() is safe for concurrent callers (see epoc/pipeline.h), and the
 // compiler's ThreadPool round-robins block-level work across the concurrent
 // compiles, so a wide job and a burst of narrow jobs make progress together.
+//
+// Executors never block on a client: responses are queued on the
+// connection's bounded outbox and drained by its writer thread under a write
+// timeout — a slow or wedged client overflows its outbox (or times out a
+// write) and is disconnected with accounting, while the executor has long
+// moved on.
 //
 // Every job gets exactly one response, always — admission verdicts, parse
 // failures, compile degradations and internal errors all come back as a
@@ -24,6 +32,10 @@
 // to kill an executor or silently drop a request. Client disconnect fires
 // the connection's job tokens (queued jobs then shed at dispatch; in-flight
 // compiles wind down through the §4e ladder); stop() does the same globally.
+// Completed verdicts (ok / invalid_input) are additionally recorded in a
+// bounded replay table keyed by (tenant, id): a client that lost the
+// response to a transport fault re-submits the same id and is answered from
+// the record — the idempotence that makes client-side retry safe.
 #pragma once
 
 #include "epoc/pipeline.h"
@@ -33,17 +45,21 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace epoc::service {
 
 struct DaemonOptions {
     /// Filesystem path for the listening socket; created on start(),
-    /// unlinked on stop(). A stale path from a crashed daemon is re-bound.
+    /// unlinked on stop(). A stale path from a crashed daemon is probed
+    /// (connect) and unlinked only when nothing answers — start() throws
+    /// when a live daemon already holds the path.
     std::string socket_path = "/tmp/epocd.sock";
     /// Concurrent compile jobs (executor threads). The compiler's own
     /// thread pool parallelizes inside each compile on top of this.
@@ -52,6 +68,32 @@ struct DaemonOptions {
     /// Configuration for the shared compiler (deadline/cancel fields are
     /// ignored — per-job budgets arrive with each request).
     core::EpocOptions compiler;
+
+    /// Watchdog scan period. The watchdog fires a job's cancel token once
+    /// the job has overrun its armed deadline by
+    /// max(watchdog_min_grace_ms, (watchdog_grace - 1) * budget) — i.e. a
+    /// grace factor of 2 allows a job its budget twice over before the
+    /// service takes the executor back. Deadline-free jobs are not watched.
+    double watchdog_poll_ms = 25.0;
+    double watchdog_grace = 2.0;
+    double watchdog_min_grace_ms = 100.0;
+
+    /// Slow-client protection: responses queued per connection beyond this
+    /// disconnect the client (service.slow_client_disconnects), and a single
+    /// response write slower than write_timeout_ms does the same — an
+    /// executor is never parked behind a wedged peer.
+    std::size_t max_outbox_frames = 256;
+    double write_timeout_ms = 5000.0;
+
+    /// Completed responses remembered for idempotent re-submission, keyed
+    /// by (tenant, id). 0 disables replay (a retried id recompiles).
+    std::size_t replay_entries = 1024;
+
+    /// stop() drain budget: how long to wait for executors to answer the
+    /// queue before bumping service.drain_deadline_exceeded (threads are
+    /// still joined — cancellation makes that prompt; the counter records
+    /// that the budget was blown, it does not abandon threads).
+    double drain_ms = 10000.0;
 };
 
 class EpocDaemon {
@@ -62,18 +104,29 @@ public:
     EpocDaemon(const EpocDaemon&) = delete;
     EpocDaemon& operator=(const EpocDaemon&) = delete;
 
-    /// Bind the socket and spawn the accept + executor threads. Throws
-    /// std::runtime_error when the socket cannot be created or bound.
+    /// Bind the socket and spawn the accept + executor + watchdog threads.
+    /// Throws std::runtime_error when the socket cannot be created or bound,
+    /// or when a live daemon already serves socket_path.
     void start();
 
     /// Block until a client's shutdown request (or a stop() from another
     /// thread) ends the serving loop.
     void wait();
 
+    /// wait(), bounded: returns true when shutdown was requested within
+    /// `ms`, false on timeout. The polling primitive a signal-driven main
+    /// loop needs (signal handlers can only set a flag; the loop checks it
+    /// between bounded waits).
+    bool wait_for(double ms);
+
     /// Drain and terminate: stop admitting, cancel in-flight jobs, answer
     /// queued jobs as cancelled, join every thread, unlink the socket.
     /// Idempotent; safe to call from any thread except an executor's.
     void stop();
+
+    /// Wake wait()/wait_for() without stopping — lets a signal-watching
+    /// thread hand control back to whoever drives stop().
+    void request_shutdown();
 
     /// The flat counter snapshot the status endpoint serves; also handy for
     /// in-process tests.
@@ -84,20 +137,42 @@ public:
 private:
     struct Connection;
 
+    /// Bounded (tenant, id) -> completed JobResponse table, FIFO-evicted.
+    class ReplayTable {
+    public:
+        explicit ReplayTable(std::size_t cap) : cap_(cap) {}
+        bool lookup(const std::string& key, JobResponse& out) const;
+        void insert(const std::string& key, const JobResponse& resp);
+
+    private:
+        std::size_t cap_;
+        mutable std::mutex mutex_;
+        std::unordered_map<std::string, JobResponse> map_;
+        std::deque<std::string> fifo_;
+    };
+
     void accept_loop();
     void serve_connection(std::shared_ptr<Connection> conn);
+    void writer_loop(std::shared_ptr<Connection> conn);
     void executor_loop();
+    void watchdog_loop();
     JobResponse run_job(Job& job);
     void handle_job_request(const std::shared_ptr<Connection>& conn,
                             JobRequest&& req);
+    void send_response(const std::shared_ptr<Connection>& conn,
+                       const JobResponse& resp);
+    std::uint64_t watchdog_register(const Job& job);
+    void watchdog_unregister(std::uint64_t slot);
 
     DaemonOptions opt_;
     std::unique_ptr<core::EpocCompiler> compiler_;
     AdmissionController admission_;
+    ReplayTable replay_;
 
     // Written by start()/stop(), read each iteration by the accept thread.
     std::atomic<int> listen_fd_{-1};
     std::thread accept_thread_;
+    std::thread watchdog_thread_;
     std::vector<std::thread> executors_;
     std::mutex conns_mutex_;
     std::vector<std::shared_ptr<Connection>> conns_;
@@ -107,10 +182,39 @@ private:
     std::condition_variable shutdown_cv_;
     bool shutdown_requested_ = false;
 
+    // Drain accounting: executors still in their loop; stop() waits (bounded
+    // by drain_ms) for this to reach zero before joining.
+    std::mutex drain_mutex_;
+    std::condition_variable drain_cv_;
+    int live_executors_ = 0;
+
+    // Watchdog registry: in-flight jobs with armed deadlines.
+    struct WatchedJob {
+        std::shared_ptr<util::CancelToken> cancel;
+        std::chrono::steady_clock::time_point fire_at;
+        bool fired = false;
+    };
+    std::mutex watchdog_mutex_;
+    std::condition_variable watchdog_cv_;
+    std::unordered_map<std::uint64_t, WatchedJob> watched_;
+    std::uint64_t watchdog_slot_ = 0;
+
     // service.* counters not covered by the admission snapshot.
     std::atomic<std::uint64_t> connections_accepted_{0};
     std::atomic<std::uint64_t> bad_frames_{0};
     std::atomic<std::uint64_t> status_requests_{0};
+    std::atomic<std::uint64_t> accept_faults_{0};
+    std::atomic<std::uint64_t> watchdog_fired_{0};
+    std::atomic<std::uint64_t> slow_client_disconnects_{0};
+    std::atomic<std::uint64_t> write_timeouts_{0};
+    std::atomic<std::uint64_t> send_failures_{0};
+    std::atomic<std::uint64_t> replay_hits_{0};
+    std::atomic<std::uint64_t> drain_deadline_exceeded_{0};
+    /// Healthy jobs whose first compile came back degraded (inherited another
+    /// job's cancellation via the shared compiler) and were re-compiled once.
+    std::atomic<std::uint64_t> degraded_retries_{0};
+    /// Retries that were still degraded — the result shipped as-is.
+    std::atomic<std::uint64_t> degraded_shipped_{0};
 };
 
 } // namespace epoc::service

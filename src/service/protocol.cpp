@@ -1,9 +1,12 @@
 #include "service/protocol.h"
 
 #include "qoc/pulse_io.h"
+#include "util/fault_injection.h"
 
+#include <algorithm>
 #include <cerrno>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -177,56 +180,132 @@ std::optional<StatusResponse> decode_status_response(const std::string& payload)
     return s;
 }
 
-bool write_frame(int fd, const std::string& payload) {
-    if (payload.size() > kMaxFrameBytes) return false;
-    std::string frame;
-    frame.reserve(4 + payload.size());
-    put_u32(frame, static_cast<std::uint32_t>(payload.size()));
-    frame.append(payload);
-    std::size_t sent = 0;
-    while (sent < frame.size()) {
-        // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not as a
-        // process-killing SIGPIPE from inside the daemon's writer.
-        const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
-                                 MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            return false;
-        }
-        if (n == 0) return false;
-        sent += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
 namespace {
 
-bool read_exact(int fd, char* buf, std::size_t n) {
+/// Block until `fd` is ready for `events`, bounded by `deadline`. 1 = ready,
+/// 0 = deadline expired, -1 = poll failed. An unarmed deadline waits
+/// indefinitely. EINTR storms just re-poll (with the remaining budget).
+int wait_io(int fd, short events, const util::Deadline& deadline) {
+    for (;;) {
+        int timeout_ms = -1;
+        if (deadline.armed()) {
+            const double left = deadline.remaining_ms();
+            if (left <= 0.0) return 0;
+            // Cap each poll so a clock deadline is honored within ~100ms
+            // even when the kernel rounds the timeout.
+            timeout_ms = static_cast<int>(std::min(left, 100.0)) + 1;
+        }
+        pollfd p{};
+        p.fd = fd;
+        p.events = events;
+        const int rc = ::poll(&p, 1, timeout_ms);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            return -1;
+        }
+        if (rc > 0) return 1; // readable/writable/error — read/write decides
+        if (deadline.armed() && deadline.expired()) return 0;
+    }
+}
+
+IoStatus write_all(int fd, const char* data, std::size_t size,
+                   const util::Deadline& deadline) {
+    std::size_t sent = 0;
+    while (sent < size) {
+        // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not as a
+        // process-killing SIGPIPE from inside the daemon's writer.
+        // MSG_DONTWAIT: a full socket buffer (slow client) parks us in
+        // poll() below, where the deadline is enforced, instead of in an
+        // unbounded blocking send.
+        const ssize_t n = ::send(fd, data + sent, size - sent,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                const int w = wait_io(fd, POLLOUT, deadline);
+                if (w == 0) return IoStatus::timeout;
+                if (w < 0) return IoStatus::closed;
+                continue;
+            }
+            return IoStatus::closed;
+        }
+        if (n == 0) return IoStatus::closed;
+        sent += static_cast<std::size_t>(n);
+    }
+    return IoStatus::ok;
+}
+
+IoStatus read_exact(int fd, char* buf, std::size_t n,
+                    const util::Deadline& deadline) {
     std::size_t got = 0;
     while (got < n) {
+        const int w = wait_io(fd, POLLIN, deadline);
+        if (w == 0) return IoStatus::timeout;
+        if (w < 0) return IoStatus::closed;
         const ssize_t r = ::read(fd, buf + got, n - got);
         if (r < 0) {
             if (errno == EINTR) continue;
-            return false;
+            return IoStatus::closed;
         }
-        if (r == 0) return false; // EOF mid-frame (or at a frame boundary)
+        if (r == 0) return IoStatus::closed; // EOF mid-frame or at a boundary
         got += static_cast<std::size_t>(r);
     }
-    return true;
+    return IoStatus::ok;
 }
 
 } // namespace
 
-bool read_frame(int fd, std::string& payload) {
+IoStatus write_frame_deadline(int fd, const std::string& payload,
+                              const util::Deadline& deadline) {
+    if (payload.size() > kMaxFrameBytes) return IoStatus::closed;
+    std::string frame;
+    frame.reserve(4 + payload.size());
+    put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+    frame.append(payload);
+    if (util::fault::maybe_fail("service.write")) {
+        // Torn write: a short prefix escapes to the peer (desynchronizing
+        // its framing mid-frame), then the connection is reported dead.
+        // Best-effort — the tear is the point, not the delivery.
+        (void)::send(fd, frame.data(), std::min<std::size_t>(7, frame.size()),
+                     MSG_NOSIGNAL | MSG_DONTWAIT);
+        return IoStatus::closed;
+    }
+    return write_all(fd, frame.data(), frame.size(), deadline);
+}
+
+IoStatus read_frame_deadline(int fd, std::string& payload,
+                             const util::Deadline& deadline) {
+    if (util::fault::maybe_fail("service.read"))
+        return IoStatus::closed; // mid-frame reset / EINTR storm exhausted
     char head[4];
-    if (!read_exact(fd, head, 4)) return false;
+    IoStatus s = read_exact(fd, head, 4, deadline);
+    if (s != IoStatus::ok) return s;
     ByteReader r(head, 4);
     std::uint32_t len = 0;
     r.get_u32(len);
-    if (len > kMaxFrameBytes) return false;
+    if (len > kMaxFrameBytes) return IoStatus::closed;
     payload.resize(len);
-    if (len == 0) return true;
-    return read_exact(fd, payload.data(), len);
+    if (len > 0) {
+        s = read_exact(fd, payload.data(), len, deadline);
+        if (s != IoStatus::ok) return s;
+    }
+    if (util::fault::maybe_fail("service.frame") && !payload.empty()) {
+        // Frame rot: the type byte is clobbered with a value no message
+        // uses, so every decoder rejects it — the corruption is always
+        // *detectable* (a flipped payload byte could decode into a
+        // different, valid request, which no amount of hardening could
+        // distinguish from a legitimate one).
+        payload[0] = '\x7f';
+    }
+    return IoStatus::ok;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+    return write_frame_deadline(fd, payload, util::Deadline()) == IoStatus::ok;
+}
+
+bool read_frame(int fd, std::string& payload) {
+    return read_frame_deadline(fd, payload, util::Deadline()) == IoStatus::ok;
 }
 
 } // namespace epoc::service

@@ -18,7 +18,22 @@
 // Responses carry the request's id and may arrive out of submission order
 // (the daemon interleaves jobs by priority and tenant); clients correlate by
 // id. No new dependencies: framing is plain read/write on the socket fd.
+//
+// Fault-injection sites (util/fault_injection.h), so daemon chaos is as
+// reproducible as compile chaos:
+//
+//   service.read    an incoming frame dies mid-read (connection reset)
+//   service.frame   a frame arrives with its type byte rotted — the decoder
+//                   must reject it and the server must drop the connection
+//   service.write   an outgoing frame is torn: a short prefix reaches the
+//                   peer, then the connection is reported dead
+//
+// (The fourth transport site, service.accept, lives in daemon.cpp where the
+// accept loop runs.) Every site degrades to "connection lost", which the
+// retrying client recovers from by reconnect + idempotent re-submission.
 #pragma once
+
+#include "util/deadline.h"
 
 #include <cstdint>
 #include <optional>
@@ -109,13 +124,26 @@ std::optional<StatusResponse> decode_status_response(const std::string& payload)
 
 // --- framing over a socket fd ---
 
-/// Write one length-prefixed frame; loops over partial writes and EINTR.
-/// False on any write failure or if the payload exceeds kMaxFrameBytes
-/// (the connection should be dropped either way).
-bool write_frame(int fd, const std::string& payload);
+/// Outcome of one framed I/O operation. `timeout` is only possible when the
+/// caller armed a deadline; after a mid-frame timeout the stream is
+/// desynchronized, so callers must treat the connection as lost either way —
+/// the distinction exists for accounting (a slow peer is not a dead peer).
+enum class IoStatus : std::uint8_t { ok = 0, closed = 1, timeout = 2 };
 
-/// Read one length-prefixed frame into `payload`. False on EOF, any read
-/// failure, or a length prefix exceeding kMaxFrameBytes.
+/// Write one length-prefixed frame; loops over partial writes and EINTR,
+/// bounded by `deadline` (an unarmed deadline blocks indefinitely, the
+/// historical behavior). `closed` on any write failure or a payload
+/// exceeding kMaxFrameBytes.
+IoStatus write_frame_deadline(int fd, const std::string& payload,
+                              const util::Deadline& deadline);
+
+/// Read one length-prefixed frame into `payload`, bounded by `deadline`.
+/// `closed` on EOF, any read failure, or a lying length prefix.
+IoStatus read_frame_deadline(int fd, std::string& payload,
+                             const util::Deadline& deadline);
+
+/// Unbounded conveniences (the pre-deadline API); true iff IoStatus::ok.
+bool write_frame(int fd, const std::string& payload);
 bool read_frame(int fd, std::string& payload);
 
 } // namespace epoc::service

@@ -54,17 +54,43 @@ std::optional<std::string> slurp(const std::filesystem::path& p) {
 
 /// Durably write `bytes` to `p` (fsync before close, so a crash after the
 /// subsequent rename cannot publish a file whose data never hit the disk).
-bool write_file_synced(const std::filesystem::path& p, const std::string& bytes) {
+/// On failure `err` holds the errno of the first failing step.
+bool write_file_synced(const std::filesystem::path& p, const std::string& bytes,
+                       int& err) {
+    errno = 0;
     std::FILE* f = std::fopen(p.c_str(), "wb");
-    if (f == nullptr) return false;
+    if (f == nullptr) {
+        err = errno;
+        return false;
+    }
     bool ok = bytes.empty() ||
               std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-    ok = std::fflush(f) == 0 && ok;
+    if (!ok) err = errno;
+    if (std::fflush(f) != 0) {
+        if (ok) err = errno;
+        ok = false;
+    }
 #ifdef __unix__
-    ok = ::fsync(::fileno(f)) == 0 && ok;
+    if (::fsync(::fileno(f)) != 0) {
+        if (ok) err = errno;
+        ok = false;
+    }
 #endif
-    ok = std::fclose(f) == 0 && ok;
+    if (std::fclose(f) != 0) {
+        if (ok) err = errno;
+        ok = false;
+    }
     return ok;
+}
+
+/// ENOSPC-class: failures that mean "this filesystem will keep refusing
+/// writes" — retrying per-compile only burns syscalls and log lines.
+bool is_disk_full_errno(int err) {
+    return err == ENOSPC || err == EROFS || err == EACCES || err == EPERM
+#ifdef EDQUOT
+           || err == EDQUOT
+#endif
+        ;
 }
 
 bool is_entry_file(const std::filesystem::directory_entry& e) {
@@ -189,11 +215,23 @@ void PulseStore::store(const std::string& key, const qoc::LatencyResult& result)
     // The poisoning rule, enforced at the last line of defense: a degraded
     // result must never outlive the process, whatever the caller believed.
     if (!result.authoritative()) return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (disabled_) {
+            ++stats_.skipped_disabled;
+            return;
+        }
+    }
+    // store.enospc: deterministic stand-in for a full disk (tests often run
+    // as root, where permission tricks cannot make a write fail).
+    bool disk_full = util::fault::maybe_fail("store.enospc");
     bool wrote = false;
-    try {
-        wrote = write_impl(key, result);
-    } catch (...) {
-        wrote = false;
+    if (!disk_full) {
+        try {
+            wrote = write_impl(key, result, disk_full);
+        } catch (...) {
+            wrote = false;
+        }
     }
     std::uint64_t over_budget = 0;
     {
@@ -204,9 +242,18 @@ void PulseStore::store(const std::string& key, const qoc::LatencyResult& result)
                 over_budget = stats_.bytes;
         } else {
             ++stats_.io_errors;
+            if (disk_full && !disabled_) {
+                disabled_ = true;
+                ++stats_.disabled_enospc;
+            }
         }
     }
     if (over_budget > 0) compact();
+}
+
+bool PulseStore::memory_only() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return disabled_;
 }
 
 void PulseStore::invalidate(const std::string& key) {
@@ -251,12 +298,14 @@ std::size_t PulseStore::corrupt_all_entries_for_test() {
         // whose physics no longer matches its own metadata.
         for (std::vector<double>& line : result->pulse.amplitudes)
             std::fill(line.begin(), line.end(), 0.0);
-        if (write_impl(key, *result)) ++corrupted;
+        bool disk_full = false;
+        if (write_impl(key, *result, disk_full)) ++corrupted;
     }
     return corrupted;
 }
 
-bool PulseStore::write_impl(const std::string& key, const qoc::LatencyResult& result) {
+bool PulseStore::write_impl(const std::string& key, const qoc::LatencyResult& result,
+                            bool& disk_full) {
     std::string blob;
     blob.append(kMagic, sizeof(kMagic));
     qoc::put_u32(blob, kFormatVersion);
@@ -278,7 +327,9 @@ bool PulseStore::write_impl(const std::string& key, const qoc::LatencyResult& re
                 std::to_string(serial) + "-" + final_path.stem().string());
     try {
         util::fault::maybe_throw("store.write");
-        if (!write_file_synced(tmp, blob)) {
+        int err = 0;
+        if (!write_file_synced(tmp, blob, err)) {
+            disk_full = is_disk_full_errno(err);
             std::error_code ec;
             std::filesystem::remove(tmp, ec);
             return false;
@@ -286,7 +337,14 @@ bool PulseStore::write_impl(const std::string& key, const qoc::LatencyResult& re
         util::fault::maybe_throw("store.rename");
         // The atomic publish: readers see the old entry or the new one,
         // never a prefix.
-        std::filesystem::rename(tmp, final_path);
+        std::error_code rec;
+        std::filesystem::rename(tmp, final_path, rec);
+        if (rec) {
+            disk_full = is_disk_full_errno(rec.value());
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
     } catch (...) {
         std::error_code ec;
         std::filesystem::remove(tmp, ec);
@@ -299,8 +357,10 @@ bool PulseStore::write_impl(const std::string& key, const qoc::LatencyResult& re
 
 void PulseStore::quarantine(const std::filesystem::path& p) {
     std::error_code ec;
+    std::size_t io_errs = 0;
     const std::filesystem::path qdir = dir_ / "quarantine";
     std::filesystem::create_directories(qdir, ec);
+    if (ec) ++io_errs; // post-mortem copy lost; the delete below still protects
     std::uint64_t serial;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -313,7 +373,15 @@ void PulseStore::quarantine(const std::filesystem::path& p) {
                             ec);
     // If even the rename fails, delete: a corrupt entry must not be served
     // (or quarantined+requarantined) forever.
-    if (ec) std::filesystem::remove(p, ec);
+    if (ec) {
+        ++io_errs;
+        std::filesystem::remove(p, ec);
+        if (ec) ++io_errs; // entry is stuck in place — operators must see this
+    }
+    if (io_errs > 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.io_errors += io_errs;
+    }
 }
 
 std::uint64_t PulseStore::scan_bytes() const {
@@ -335,6 +403,7 @@ std::size_t PulseStore::compact() {
     };
     std::vector<Entry> entries;
     std::uint64_t total = 0;
+    std::size_t io_errs = 0;
     std::error_code ec;
     const auto now = std::filesystem::file_time_type::clock::now();
     for (std::filesystem::directory_iterator it(dir_, ec), end; !ec && it != end;
@@ -342,8 +411,10 @@ std::size_t PulseStore::compact() {
         std::error_code fec;
         if (is_temp_file(*it)) {
             // Crash leftovers: a temp that outlived any plausible writer.
-            if (it->last_write_time(fec) + kStaleTempAge < now && !fec)
+            if (it->last_write_time(fec) + kStaleTempAge < now && !fec) {
                 std::filesystem::remove(it->path(), fec);
+                if (fec) ++io_errs;
+            }
             continue;
         }
         if (!is_entry_file(*it)) continue;
@@ -352,6 +423,9 @@ std::size_t PulseStore::compact() {
         total += e.size;
         entries.push_back(std::move(e));
     }
+    // A failed directory walk means the byte accounting below is a lie by
+    // omission — surface it rather than silently trusting a partial scan.
+    if (ec) ++io_errs;
 
     std::size_t evicted = 0;
     if (opt_.max_bytes > 0 && total > opt_.max_bytes) {
@@ -369,12 +443,15 @@ std::size_t PulseStore::compact() {
             if (std::filesystem::remove(e.path, rec) && !rec) {
                 total -= e.size;
                 ++evicted;
+            } else if (rec) {
+                ++io_errs; // undeletable entry: budget cannot be honored
             }
         }
     }
 
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.evicted += evicted;
+    stats_.io_errors += io_errs;
     stats_.bytes = total;
     return evicted;
 }

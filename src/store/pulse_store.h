@@ -47,6 +47,15 @@
 // `store.write`, `store.rename` — each fires as an I/O failure at that stage;
 // the store must degrade to miss/no-op with no torn or degraded entry ever
 // published. Real filesystem errors (ENOSPC, EPERM, ...) take the same paths.
+//
+// Disk-full protection: the first write failure whose errno is in the
+// ENOSPC class (ENOSPC, EDQUOT, EROFS, EACCES, EPERM — or the `store.enospc`
+// fault site) trips the store into *memory-only mode*: loads keep serving
+// whatever is already on disk, but writes are skipped from then on
+// (stats counters `disabled_enospc` / `skipped_disabled`) instead of
+// hammering a full or read-only filesystem on every compile. The trip is
+// one-way for the store's lifetime — recovering disk space needs an
+// operator anyway, and a process restart re-arms the writer.
 #pragma once
 
 #include "qoc/pulse_library.h"
@@ -82,6 +91,11 @@ struct PulseStoreStats {
     /// passed every integrity check) but revalidation proved the physics
     /// wrong. Disjoint from `corrupt`, which counts structural damage.
     std::size_t invalidated = 0;
+    /// Times the write path tripped into memory-only mode on an
+    /// ENOSPC-class failure (0 or 1 — the trip is one-way; see header).
+    std::size_t disabled_enospc = 0;
+    /// Writes skipped because the store is in memory-only mode.
+    std::size_t skipped_disabled = 0;
     std::uint64_t bytes = 0;    ///< entry bytes on disk, as last accounted
 };
 
@@ -132,21 +146,29 @@ public:
     PulseStoreStats stats() const;
     const PulseStoreOptions& options() const { return opt_; }
 
+    /// True once an ENOSPC-class write failure tripped the store into
+    /// memory-only mode (loads serve, writes skip).
+    bool memory_only() const;
+
     /// Store directory from the EPOC_PULSE_STORE environment variable, empty
     /// when unset. The conventional way to arm any binary with persistence.
     static std::string dir_from_env();
 
 private:
     std::optional<qoc::LatencyResult> load_impl(const std::string& key);
-    bool write_impl(const std::string& key, const qoc::LatencyResult& result);
+    /// `disk_full` is set when the failure was ENOSPC-class (caller trips
+    /// memory-only mode); untouched on success and on other failures.
+    bool write_impl(const std::string& key, const qoc::LatencyResult& result,
+                    bool& disk_full);
     void quarantine(const std::filesystem::path& p);
     std::uint64_t scan_bytes() const;
 
     PulseStoreOptions opt_;
     std::filesystem::path dir_;
 
-    mutable std::mutex mutex_; ///< guards stats_ and the temp-name counter
+    mutable std::mutex mutex_; ///< guards stats_, disabled_, temp_serial_
     PulseStoreStats stats_;
+    bool disabled_ = false; ///< memory-only mode (ENOSPC-class trip)
     std::uint64_t temp_serial_ = 0;
 };
 

@@ -97,13 +97,16 @@ public:
             try {
                 auto value = std::make_shared<const V>(make());
                 const bool keep = !cacheable || cacheable(*value);
-                {
-                    std::lock_guard<std::mutex> lock(slot->mutex);
-                    slot->value = std::move(value);
-                    slot->ready = true;
-                }
-                slot->cv.notify_all();
                 if (!keep) {
+                    // Evict BEFORE publishing: once ready is set, a waking
+                    // waiter can loop back around and look the key up again
+                    // ahead of this thread being rescheduled — publishing
+                    // first opens a window where the degraded value is served
+                    // as an ordinary hit (observed on a 1-core host: a
+                    // waiter's bounded retry loop burned every attempt on
+                    // that window). Evicting first means any lookup after
+                    // publication recomputes; only callers already blocked on
+                    // the slot receive the degraded value.
                     uncacheable_.fetch_add(1, std::memory_order_relaxed);
                     std::lock_guard<std::mutex> lock(shard.mutex);
                     // Evict only our own slot: a concurrent eviction+reinsert
@@ -112,6 +115,12 @@ public:
                     if (it != shard.table.end() && it->second == slot)
                         shard.table.erase(it);
                 }
+                {
+                    std::lock_guard<std::mutex> lock(slot->mutex);
+                    slot->value = std::move(value);
+                    slot->ready = true;
+                }
+                slot->cv.notify_all();
             } catch (...) {
                 {
                     std::lock_guard<std::mutex> lock(slot->mutex);

@@ -412,6 +412,63 @@ TEST(PulseStoreUnit, UncreatableDirectoryThrows) {
     EXPECT_THROW(PulseStore({""}), std::runtime_error);
 }
 
+TEST(PulseStoreUnit, EnospcTripsMemoryOnlyModeOnce) {
+    // The store.enospc site stands in for a full disk (these tests often run
+    // as root, where permission tricks cannot make a write fail): the first
+    // ENOSPC-class failure trips memory-only mode — loads keep serving,
+    // writes skip from then on, and the trip is counted exactly once.
+    TempDir dir;
+    FaultGuard guard;
+    PulseStore store({dir.str()});
+    const LatencyResult r = sample_result();
+    store.store("key-a", r); // clean write before the disk "fills"
+    ASSERT_TRUE(store.load("key-a").has_value());
+
+    util::fault::configure("store.enospc=1");
+    store.store("key-b", r);
+    EXPECT_TRUE(store.memory_only());
+    {
+        const auto st = store.stats();
+        EXPECT_EQ(st.disabled_enospc, 1u);
+        EXPECT_EQ(st.io_errors, 1u);
+        EXPECT_EQ(st.writes, 1u);
+    }
+
+    // Even with the fault disarmed (disk "recovered"), the trip is one-way:
+    // writes skip with their own counter, nothing lands on disk.
+    util::fault::clear();
+    store.store("key-c", r);
+    store.store("key-d", r);
+    {
+        const auto st = store.stats();
+        EXPECT_EQ(st.skipped_disabled, 2u);
+        EXPECT_EQ(st.disabled_enospc, 1u);
+        EXPECT_EQ(st.writes, 1u);
+    }
+    EXPECT_FALSE(fs::exists(store.entry_path("key-c")));
+    // Loads keep serving what made it to disk before the trip.
+    ASSERT_TRUE(store.load("key-a").has_value());
+}
+
+TEST(PulseStoreUnit, QuarantineFailureIsCountedNotFatal) {
+    // S3: squat the quarantine name with a regular file so the corruption
+    // path's create_directories and rename both fail — the error_codes must
+    // land in io_errors, the corrupt entry must still be removed (deleted
+    // when it cannot be moved aside), and nothing throws.
+    TempDir dir;
+    PulseStore store({dir.str()});
+    store.store("k", sample_result());
+    { std::ofstream(dir.path / "quarantine") << "squatter"; }
+    fs::resize_file(store.entry_path("k"), 10); // below the minimum entry size
+
+    EXPECT_FALSE(store.load("k").has_value());
+    const auto st = store.stats();
+    EXPECT_EQ(st.corrupt, 1u);
+    EXPECT_GE(st.io_errors, 2u); // create_directories + rename both failed
+    EXPECT_FALSE(fs::exists(store.entry_path("k")))
+        << "unquarantinable corrupt entry must be deleted, not served forever";
+}
+
 // ------------------------------------------------- PulseLibrary integration
 
 TEST(PulseLibraryStore, MemoryMissPromotesFromDiskWithoutGrape) {
