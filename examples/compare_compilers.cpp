@@ -31,6 +31,13 @@
 //   first, bit-identical schedules vs per-iteration fresh cold compiles
 //   (warm start off), and the warm-vs-cold total GRAPE iteration counts —
 //   the assertions the CI variational job scripts against.
+//   --backend NAME targets a hardware backend from the built-in registry
+//   (linear-5, ring-8, grid-3x3, heavy-hex-7, full-N): the EPOC compile
+//   becomes topology-aware — partitions respect the coupling map, bridging
+//   gates route along shortest paths, and every pulse comes from that
+//   backend's edge-resolved Hamiltonians (so its library/store entries never
+//   collide with another backend's).
+#include "backend/backend.h"
 #include "bench_circuits/generators.h"
 #include "epoc/baselines.h"
 #include "epoc/export.h"
@@ -119,6 +126,7 @@ int main(int argc, char** argv) {
     using namespace epoc;
     std::string trace_path;
     std::string store_dir;
+    std::string backend_name;
     double deadline_ms = 0.0;
     verify::VerifyLevel verify_level = verify::VerifyLevel::unset;
     bool corrupt_store = false;
@@ -142,12 +150,27 @@ int main(int argc, char** argv) {
             corrupt_store = true;
         } else if (std::strcmp(argv[i], "--sweep") == 0) {
             sweep = true;
+        } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+            backend_name = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--trace out.json] [--deadline-ms N] [--store DIR] "
                          "[--verify off|sampled|full] [--corrupt-store-entries] "
-                         "[--sweep]\n",
+                         "[--sweep] [--backend NAME]\n",
                          argv[0]);
+            return 2;
+        }
+    }
+    std::shared_ptr<const backend::Backend> be;
+    if (!backend_name.empty()) {
+        backend::BackendRegistry registry;
+        be = registry.find(backend_name);
+        if (be == nullptr) {
+            std::fprintf(stderr, "unknown backend '%s'; built-ins:",
+                         backend_name.c_str());
+            for (const std::string& n : registry.names())
+                std::fprintf(stderr, " %s", n.c_str());
+            std::fprintf(stderr, " full-N\n");
             return 2;
         }
     }
@@ -179,6 +202,10 @@ int main(int argc, char** argv) {
     eopt.deadline_ms = deadline_ms;
     eopt.pulse_store_dir = store_dir;
     eopt.verify_level = verify_level;
+    eopt.backend = be;
+    if (be != nullptr)
+        std::printf("backend: %s (%d qubits, %zu edges)\n\n", be->name.c_str(),
+                    be->coupling.num_qubits(), be->coupling.edges().size());
     core::EpocCompiler epoc_compiler(eopt);
     if (corrupt_store && epoc_compiler.store() != nullptr) {
         const std::size_t n = epoc_compiler.store()->corrupt_all_entries_for_test();

@@ -20,11 +20,15 @@
 //                       executors to answer the queue (default 10000)
 //   --fast              cheap search settings (CI/smoke: same flag on the
 //                       client keeps library-mode digests comparable)
+//   --backend-json FILE register a custom hardware backend from a JSON file
+//                       (repeatable) on top of the built-in registry; jobs
+//                       name it via the client's --backend flag
 //
 // Exits 0 on a clean shutdown (client-requested or signal-driven); prints
 // the final counter snapshot on the way out.
 #include "service/daemon.h"
 
+#include "backend/backend.h"
 #include "util/fault_injection.h"
 
 #include <atomic>
@@ -34,6 +38,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <sstream>
 
 namespace {
 
@@ -75,6 +81,26 @@ int main(int argc, char** argv) {
             opt.drain_ms = std::atof(argv[++i]);
         } else if (arg == "--fast") {
             apply_fast_options(opt.compiler);
+        } else if (arg == "--backend-json" && has_value) {
+            const char* path = argv[++i];
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr, "epocd: cannot read backend file %s\n", path);
+                return 2;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            if (opt.backends == nullptr)
+                opt.backends = std::make_shared<epoc::backend::BackendRegistry>();
+            try {
+                const auto be = opt.backends->register_json(text.str());
+                std::printf("epocd: registered backend '%s' (%d qubits)\n",
+                            be->name.c_str(), be->coupling.num_qubits());
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "epocd: bad backend file %s: %s\n", path,
+                             e.what());
+                return 2;
+            }
         } else {
             std::fprintf(stderr, "epocd: unknown or incomplete option: %s\n",
                          arg.c_str());

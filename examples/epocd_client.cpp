@@ -21,6 +21,9 @@
 //
 // Common options:
 //   --tenant NAME       accounting bucket (default "default")
+//   --backend NAME      hardware backend for --qasm jobs (resolved against
+//                       the daemon's registry; an unknown name comes back as
+//                       an invalid_input response, exit 1)
 //   --fast              cheap search settings — must match the daemon's
 //   --retry-ms N        keep retrying the initial connect for N ms (default
 //                       5000; lets CI start daemon and client back-to-back)
@@ -205,6 +208,7 @@ int main(int argc, char** argv) {
     std::string socket_path = "/tmp/epocd.sock";
     std::string tenant = "default";
     std::string qasm_file;
+    std::string backend_name;
     std::string mode = "qasm";
     int retry_ms = 5000;
     service::ClientOptions copt;
@@ -216,6 +220,8 @@ int main(int argc, char** argv) {
             socket_path = argv[++i];
         } else if (arg == "--tenant" && has_value) {
             tenant = argv[++i];
+        } else if (arg == "--backend" && has_value) {
+            backend_name = argv[++i];
         } else if (arg == "--qasm" && has_value) {
             qasm_file = argv[++i];
             mode = "qasm";
@@ -274,7 +280,8 @@ int main(int argc, char** argv) {
         }
         std::ostringstream text;
         text << in.rdbuf();
-        const service::JobResponse resp = client->compile(text.str(), tenant);
+        const service::JobResponse resp =
+            client->compile(text.str(), tenant, 0, 0.0, backend_name);
         std::printf("status: %s%s\n", service::job_status_name(resp.status),
                     resp.degraded ? " (degraded)" : "");
         if (!resp.detail.empty()) std::printf("detail: %s\n", resp.detail.c_str());

@@ -1,26 +1,52 @@
 // Full traditional-flow demo (paper Figure 1 left column, then EPOC):
-// parse an OpenQASM program, map/route it onto a linear-coupling device,
-// then generate pulses with EPOC and print the timeline.
+// parse an OpenQASM program, map/route it onto a coupled device, then
+// generate pulses with EPOC and print the timeline.
+//
+// Usage: routed_compile [program.qasm] [--backend NAME]
+//   Without --backend the program is pre-routed onto a linear chain with
+//   circuit::route() and compiled device-free — the historical flow.
+//   With --backend NAME (linear-5, ring-8, grid-3x3, heavy-hex-7, full-N)
+//   the *compiler itself* is topology-aware: no pre-routing pass, the
+//   partitioner keeps blocks on coupling-connected qubits and bridges
+//   non-adjacent gates along shortest paths, and every pulse is optimized
+//   against that backend's edge-resolved Hamiltonians.
+#include "backend/backend.h"
 #include "circuit/qasm.h"
 #include "circuit/routing.h"
 #include "epoc/export.h"
 #include "epoc/pipeline.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 int main(int argc, char** argv) {
     using namespace epoc;
 
+    std::string qasm_path;
+    std::string backend_name;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+            backend_name = argv[++i];
+        } else if (argv[i][0] != '-' && qasm_path.empty()) {
+            qasm_path = argv[i];
+        } else {
+            std::fprintf(stderr, "usage: %s [program.qasm] [--backend NAME]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     circuit::Circuit logical;
-    if (argc > 1) {
+    if (!qasm_path.empty()) {
         try {
-            logical = circuit::parse_qasm_file(argv[1]);
+            logical = circuit::parse_qasm_file(qasm_path);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 1;
         }
-        std::printf("parsed %s: %d qubits, %zu gates\n", argv[1], logical.num_qubits(),
-                    logical.size());
+        std::printf("parsed %s: %d qubits, %zu gates\n", qasm_path.c_str(),
+                    logical.num_qubits(), logical.size());
     } else {
         // Default program: a QFT-style circuit written inline as QASM.
         const std::string src = R"(
@@ -43,14 +69,43 @@ h q[0];
                     logical.num_qubits(), logical.size(), logical.depth());
     }
 
-    // Map onto a linear-coupling device (the typical transmon chain).
-    const circuit::CouplingMap device = circuit::CouplingMap::linear(logical.num_qubits());
-    const circuit::RoutingResult routed = circuit::route(logical, device);
-    std::printf("routed for linear coupling: %zu gates (+%d swaps)\n",
-                routed.circuit.size(), routed.swaps_inserted);
+    core::EpocOptions opt;
+    const circuit::Circuit* program = &logical;
+    circuit::RoutingResult routed;
+    if (!backend_name.empty()) {
+        backend::BackendRegistry registry;
+        opt.backend = registry.find(backend_name);
+        if (opt.backend == nullptr) {
+            std::fprintf(stderr, "unknown backend '%s'; built-ins:",
+                         backend_name.c_str());
+            for (const std::string& n : registry.names())
+                std::fprintf(stderr, " %s", n.c_str());
+            std::fprintf(stderr, " full-N\n");
+            return 2;
+        }
+        if (logical.num_qubits() > opt.backend->coupling.num_qubits()) {
+            std::fprintf(stderr, "program needs %d qubits but backend '%s' has %d\n",
+                         logical.num_qubits(), opt.backend->name.c_str(),
+                         opt.backend->coupling.num_qubits());
+            return 2;
+        }
+        std::printf("backend %s: %d qubits, %zu edges — compiling topology-aware "
+                    "(no pre-routing pass)\n",
+                    opt.backend->name.c_str(), opt.backend->coupling.num_qubits(),
+                    opt.backend->coupling.edges().size());
+    } else {
+        // Device-free flow: pre-route onto a linear chain (the typical
+        // transmon line) so the gate set is already coupling-feasible.
+        const circuit::CouplingMap device =
+            circuit::CouplingMap::linear(logical.num_qubits());
+        routed = circuit::route(logical, device);
+        std::printf("routed for linear coupling: %zu gates (+%d swaps)\n",
+                    routed.circuit.size(), routed.swaps_inserted);
+        program = &routed.circuit;
+    }
 
-    core::EpocCompiler compiler;
-    const core::EpocResult r = compiler.compile(routed.circuit);
+    core::EpocCompiler compiler(opt);
+    const core::EpocResult r = compiler.compile(*program);
     std::printf("\nEPOC pulse schedule: latency %.1f ns, ESP %.4f (with decoherence %.4f)\n\n",
                 r.latency_ns, r.esp, r.esp_decoherent);
     std::printf("%s\n", core::ascii_timeline(r.schedule).c_str());

@@ -3,16 +3,26 @@
 #include <algorithm>
 #include <deque>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <string>
 
 namespace epoc::circuit {
 
 CouplingMap::CouplingMap(int num_qubits, std::vector<std::pair<int, int>> edges)
     : num_qubits_(num_qubits), edges_(std::move(edges)) {
     adj_.resize(static_cast<std::size_t>(num_qubits_));
+    std::set<std::pair<int, int>> seen;
     for (const auto& [a, b] : edges_) {
-        if (a < 0 || b < 0 || a >= num_qubits_ || b >= num_qubits_ || a == b)
-            throw std::invalid_argument("CouplingMap: bad edge");
+        const std::string edge_str =
+            "(" + std::to_string(a) + "," + std::to_string(b) + ")";
+        if (a < 0 || b < 0 || a >= num_qubits_ || b >= num_qubits_)
+            throw std::invalid_argument("CouplingMap: edge endpoint out of range " +
+                                        edge_str);
+        if (a == b)
+            throw std::invalid_argument("CouplingMap: self-loop edge " + edge_str);
+        if (!seen.insert({std::min(a, b), std::max(a, b)}).second)
+            throw std::invalid_argument("CouplingMap: duplicate edge " + edge_str);
         adj_[static_cast<std::size_t>(a)].push_back(b);
         adj_[static_cast<std::size_t>(b)].push_back(a);
     }
@@ -59,6 +69,14 @@ CouplingMap CouplingMap::grid(int rows, int cols) {
     return CouplingMap(rows * cols, std::move(e));
 }
 
+CouplingMap CouplingMap::heavy_hex7() {
+    // Spine 1-3-5 with flags 0,2 hanging off 1 and 4,6 hanging off 5:
+    //   0   2       4   6
+    //    \ /         \ /
+    //     1 --- 3 --- 5
+    return CouplingMap(7, {{0, 1}, {1, 2}, {1, 3}, {3, 5}, {4, 5}, {5, 6}});
+}
+
 CouplingMap CouplingMap::full(int n) {
     std::vector<std::pair<int, int>> e;
     for (int a = 0; a < n; ++a)
@@ -72,6 +90,23 @@ int CouplingMap::distance(int a, int b) const {
     const int d = dist_.at(static_cast<std::size_t>(a)).at(static_cast<std::size_t>(b));
     if (d < 0) throw std::invalid_argument("CouplingMap: disconnected qubits");
     return d;
+}
+
+bool CouplingMap::connected_subset(const std::vector<int>& qubits) const {
+    if (qubits.size() <= 1) return true;
+    const std::set<int> members(qubits.begin(), qubits.end());
+    std::set<int> reached{*members.begin()};
+    std::deque<int> queue{*members.begin()};
+    while (!queue.empty()) {
+        const int v = queue.front();
+        queue.pop_front();
+        for (const int w : adj_.at(static_cast<std::size_t>(v))) {
+            if (members.count(w) == 0 || reached.count(w) != 0) continue;
+            reached.insert(w);
+            queue.push_back(w);
+        }
+    }
+    return reached.size() == members.size();
 }
 
 int CouplingMap::next_hop(int a, int b) const {

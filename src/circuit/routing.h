@@ -17,12 +17,18 @@ namespace epoc::circuit {
 
 class CouplingMap {
 public:
+    /// Throws std::invalid_argument for out-of-range endpoints, self-loop
+    /// edges, and duplicate edges (in either orientation); each rejection
+    /// carries a distinct message naming the offending edge.
     CouplingMap(int num_qubits, std::vector<std::pair<int, int>> edges);
 
     static CouplingMap linear(int n);
     static CouplingMap ring(int n);
     static CouplingMap grid(int rows, int cols);
     static CouplingMap full(int n);
+    /// 7-qubit heavy-hex unit cell: a degree-3 spine qubit with hanging
+    /// flags, the smallest fragment of IBM's heavy-hexagon lattice.
+    static CouplingMap heavy_hex7();
 
     int num_qubits() const { return num_qubits_; }
     const std::vector<std::pair<int, int>>& edges() const { return edges_; }
@@ -31,6 +37,9 @@ public:
     int distance(int a, int b) const;
     /// First hop on a shortest path a -> b (a itself if already adjacent/equal).
     int next_hop(int a, int b) const;
+    /// True when `qubits` induces a connected subgraph of the map (singletons
+    /// and the empty set count as connected). Qubits must be in range.
+    bool connected_subset(const std::vector<int>& qubits) const;
 
 private:
     int num_qubits_;

@@ -8,9 +8,12 @@
 #include "linalg/phase.h"
 #include "util/fault_injection.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <numeric>
 #include <optional>
+#include <set>
 #include <stdexcept>
 
 namespace epoc::core {
@@ -29,6 +32,16 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 bool is_identity_unitary(const Matrix& u) {
     return linalg::hs_fidelity(u, Matrix::identity(u.rows())) > 1.0 - 1e-10;
+}
+
+std::string fp_hex(std::uint64_t v) {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+        v >>= 4;
+    }
+    return out;
 }
 
 /// Per-block synthesis outcome, computed in parallel and merged in block
@@ -154,12 +167,54 @@ EpocCompiler::EpocCompiler(EpocOptions opt)
 const qoc::BlockHamiltonian& EpocCompiler::hamiltonian(int num_qubits) {
     // std::map never invalidates references on insert, so handing out refs
     // under a short lock is safe even while other threads add entries.
+    const std::string key = "n:" + std::to_string(num_qubits);
     std::lock_guard<std::mutex> lock(hams_mutex_);
-    auto it = hams_.find(num_qubits);
+    auto it = hams_.find(key);
     if (it == hams_.end())
-        it = hams_.emplace(num_qubits, qoc::make_block_hamiltonian(num_qubits, opt_.device))
+        it = hams_.emplace(key, qoc::make_block_hamiltonian(num_qubits, opt_.device))
                  .first;
     return it->second;
+}
+
+const qoc::BlockHamiltonian& EpocCompiler::block_hamiltonian(
+    const backend::Backend* be, const std::vector<int>& qubits) {
+    if (be == nullptr) return hamiltonian(static_cast<int>(qubits.size()));
+    std::string key = "b:" + fp_hex(be->fingerprint_hash()) + ":";
+    for (const int q : qubits) {
+        key += std::to_string(q);
+        key += ',';
+    }
+    std::lock_guard<std::mutex> lock(hams_mutex_);
+    auto it = hams_.find(key);
+    if (it == hams_.end())
+        it = hams_.emplace(std::move(key), be->block_hamiltonian(qubits)).first;
+    return it->second;
+}
+
+EpocCompiler::PulseTarget EpocCompiler::gate_pulse_target(const backend::Backend* be,
+                                                          const Gate& g) const {
+    if (be == nullptr) return PulseTarget{g.qubits, g.unitary()};
+    // Physical support: the operands plus any shortest-path qubits needed to
+    // connect them, so the resolved Hamiltonian actually couples every
+    // operand pair (a pulse over a disconnected set cannot entangle it).
+    std::set<int> support(g.qubits.begin(), g.qubits.end());
+    for (std::size_t i = 1; i < g.qubits.size(); ++i) {
+        int cur = g.qubits[0];
+        while (cur != g.qubits[i] && !be->coupling.adjacent(cur, g.qubits[i])) {
+            cur = be->coupling.next_hop(cur, g.qubits[i]);
+            support.insert(cur);
+        }
+    }
+    std::vector<int> qs(support.begin(), support.end()); // sorted by std::set
+    std::vector<int> locals;
+    locals.reserve(g.qubits.size());
+    for (const int q : g.qubits)
+        locals.push_back(static_cast<int>(
+            std::lower_bound(qs.begin(), qs.end(), q) - qs.begin()));
+    Matrix u = circuit::embed_gate(g.unitary(), locals, static_cast<int>(qs.size()));
+    if (be->levels > 2)
+        u = backend::embed_in_levels(u, static_cast<int>(qs.size()), be->levels);
+    return PulseTarget{std::move(qs), std::move(u)};
 }
 
 util::Cause EpocCompiler::expiry_cause(const util::Deadline& deadline) const {
@@ -221,7 +276,8 @@ EpocCompiler::AuditedPulse EpocCompiler::audit_pulse_result(
 
 Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBlock>& blocks,
                                         int num_qubits, double& synth_ms,
-                                        const util::Deadline& deadline, EpocResult& res) {
+                                        const util::Deadline& deadline, EpocResult& res,
+                                        const backend::Backend* be) {
     const auto t0 = std::chrono::steady_clock::now();
 
     std::vector<SynthFragment> fragments(blocks.size());
@@ -248,9 +304,11 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
                 }
                 util::fault::maybe_throw("synth.block");
 
-                // Bridging CNOTs pass through untouched.
+                // Bridging CNOTs (and the topology router's SWAP-walk hops)
+                // pass through untouched.
                 if (blk.bridge && blk.body.size() == 1 &&
-                    blk.body.gate(0).kind == GateKind::CX) {
+                    (blk.body.gate(0).kind == GateKind::CX ||
+                     blk.body.gate(0).kind == GateKind::SWAP)) {
                     frag.use_original = true;
                     return;
                 }
@@ -315,7 +373,23 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
                     return;
                 }
 
-                const std::string key = linalg::phase_canonical_key(u, 6);
+                // Topology-aware mode: restrict CNOT placements to local
+                // pairs that are coupling-adjacent on the device, so the
+                // synthesized circuit needs no further routing. The cache key
+                // grows a topology tag — the same unitary synthesized under a
+                // different local adjacency is a different search.
+                std::vector<std::pair<int, int>> allowed;
+                std::string key = linalg::phase_canonical_key(u, 6);
+                if (be != nullptr) {
+                    for (std::size_t a = 0; a < blk.qubits.size(); ++a)
+                        for (std::size_t b = a + 1; b < blk.qubits.size(); ++b)
+                            if (be->coupling.adjacent(blk.qubits[a], blk.qubits[b]))
+                                allowed.emplace_back(static_cast<int>(a),
+                                                     static_cast<int>(b));
+                    key += "|T:";
+                    for (const auto& [a, b] : allowed)
+                        key += std::to_string(a) + "_" + std::to_string(b) + ",";
+                }
                 const auto compute = [&] {
                     // Single-flight: exactly one QSearch/LEAP run per
                     // distinct unitary, so these counters match the
@@ -326,6 +400,7 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
                     util::fault::maybe_throw("synth.compute");
                     synthesis::QSearchOptions qopt = opt_.qsearch;
                     qopt.deadline = &deadline;
+                    qopt.allowed_pairs = allowed;
                     synthesis::SynthesisResult r = synthesis::qsearch_synthesize(u, qopt);
                     if (!r.converged && !r.timed_out && opt_.leap_fallback) {
                         const util::Tracer::Span lspan = tracer_.span(
@@ -336,6 +411,7 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
                         lo.threshold = opt_.qsearch.threshold;
                         lo.instantiate = opt_.qsearch.instantiate;
                         lo.deadline = &deadline;
+                        lo.allowed_pairs = allowed;
                         synthesis::SynthesisResult leap = synthesis::leap_synthesize(u, lo);
                         if (leap.distance < r.distance) r = std::move(leap);
                     }
@@ -473,20 +549,23 @@ Circuit EpocCompiler::synthesize_blocks(const std::vector<partition::CircuitBloc
 
 std::vector<PulseJob> EpocCompiler::gate_fallback_jobs(
     const partition::CircuitBlock& blk, const qoc::LatencySearchOptions& lopt,
-    util::BlockStatus& status, verify::Outcome& outcome, double& audit_err) {
+    util::BlockStatus& status, verify::Outcome& outcome, double& audit_err,
+    const backend::Backend* be) {
     std::vector<PulseJob> out;
     for (const Gate& g : blk.body.gates()) {
         // Block bodies are local-indexed; map back to global qubit ids.
         std::vector<int> gq;
         gq.reserve(g.qubits.size());
         for (const int q : g.qubits) gq.push_back(blk.qubits.at(static_cast<std::size_t>(q)));
-        const Matrix gu = g.unitary();
-        if (is_identity_unitary(gu)) continue;
+        if (is_identity_unitary(g.unitary())) continue;
+        Gate gg = g;
+        gg.qubits = gq;
         try {
             util::fault::maybe_throw("pulse.gate");
-            const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+            const PulseTarget pt = gate_pulse_target(be, gg);
+            const qoc::BlockHamiltonian& h = block_hamiltonian(be, pt.qubits);
             std::shared_ptr<const qoc::LatencyResult> lr =
-                library_.get_or_generate(h, gu, lopt);
+                library_.get_or_generate(h, pt.target, lopt);
             if (!lr->feasible) {
                 // Bottom of the ladder for real pulse data: ship the
                 // best-so-far (below-threshold) pulse, flagged.
@@ -496,7 +575,7 @@ std::vector<PulseJob> EpocCompiler::gate_fallback_jobs(
                 tracer_.add_counter("qoc.infeasible_blocks");
             }
             const AuditedPulse audited =
-                audit_pulse_result(std::move(lr), h, gu, lopt, status);
+                audit_pulse_result(std::move(lr), h, pt.target, lopt, status);
             outcome = combine(outcome, audited.outcome);
             audit_err += audited.audit_err;
             double f = audited.result->pulse.fidelity;
@@ -506,14 +585,14 @@ std::vector<PulseJob> EpocCompiler::gate_fallback_jobs(
                 f = audited.fidelity;
                 tracer_.add_counter("robust.untrusted_fidelity_shipped");
             }
-            out.push_back(PulseJob{gq, audited.result->pulse.duration(), f, ""});
+            out.push_back(PulseJob{pt.qubits, audited.result->pulse.duration(), f, ""});
         } catch (const std::exception& e) {
             // Rung 3: a placeholder pulse with worst-case duration and zero
             // fidelity — structurally schedulable, and impossible to mistake
             // for a good pulse.
-            const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+            const double dt = be != nullptr ? be->base.dt : hamiltonian(g.arity()).dt;
             out.push_back(PulseJob{
-                gq, h.dt * static_cast<double>(std::max(1, lopt.max_slots)), 0.0, ""});
+                gq, dt * static_cast<double>(std::max(1, lopt.max_slots)), 0.0, ""});
             if (dynamic_cast<const util::fault::InjectedFault*>(&e) != nullptr) {
                 status.cause = util::Cause::injected;
                 tracer_.add_counter("robust.injected_faults");
@@ -537,11 +616,17 @@ std::vector<PulseJob> EpocCompiler::gate_fallback_jobs(
 std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
     const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity,
     const util::Deadline& deadline, EpocResult& res, double& audit_err,
-    const WarmSlots* warm) {
+    const WarmSlots* warm, const backend::Backend* be) {
     // Warm the Hamiltonian cache sequentially so the parallel loop only ever
-    // takes the short lookup lock.
-    for (const partition::CircuitBlock& blk : blocks)
-        hamiltonian(static_cast<int>(blk.qubits.size()));
+    // takes the short lookup lock. Best-effort: a block whose Hamiltonian
+    // construction fails hits the same error inside the parallel loop, where
+    // the degradation ladder handles it.
+    for (const partition::CircuitBlock& blk : blocks) {
+        try {
+            block_hamiltonian(be, blk.qubits);
+        } catch (...) {
+        }
+    }
 
     qoc::LatencySearchOptions fine_opt = opt_.latency;
     fine_opt.deadline = &deadline;
@@ -568,11 +653,18 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
                     lopt.slot_granularity = std::max(lopt.slot_granularity, 2);
             }
             try {
-                const Matrix u = partition::block_unitary(blk);
-                if (is_identity_unitary(u)) return;
+                const Matrix bu = partition::block_unitary(blk);
+                if (is_identity_unitary(bu)) return;
                 util::fault::maybe_throw("pulse.block");
-                const qoc::BlockHamiltonian& ham =
-                    hamiltonian(static_cast<int>(blk.qubits.size()));
+                // Leakage-aware backends pulse toward the block unitary
+                // embedded on the computational subspace (identity on
+                // leakage states); otherwise the 2^n unitary directly.
+                const Matrix u =
+                    (be != nullptr && be->levels > 2)
+                        ? backend::embed_in_levels(
+                              bu, static_cast<int>(blk.qubits.size()), be->levels)
+                        : bu;
+                const qoc::BlockHamiltonian& ham = block_hamiltonian(be, blk.qubits);
                 if (warm != nullptr) {
                     // Seed a library miss's GRAPE run with the previous
                     // iterate's amplitudes for this structural block. The
@@ -616,7 +708,7 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
                     tracer_.add_counter("robust.pulse_block_fallbacks");
                     frag.jobs =
                         gate_fallback_jobs(blk, fine_opt, frag.status, frag.verify,
-                                           frag.audit_err);
+                                           frag.audit_err, be);
                     return;
                 }
                 // Ladder rung 2: the block pulse is infeasible or degraded —
@@ -635,7 +727,7 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
                 frag.status.fallback_taken = true;
                 tracer_.add_counter("robust.pulse_block_fallbacks");
                 frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status, frag.verify,
-                                               frag.audit_err);
+                                               frag.audit_err, be);
             } catch (const util::fault::InjectedFault& e) {
                 frag.status.cause = util::Cause::injected;
                 frag.status.fallback_taken = true;
@@ -643,21 +735,21 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
                 tracer_.add_counter("robust.injected_faults");
                 tracer_.add_counter("robust.pulse_block_fallbacks");
                 frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status, frag.verify,
-                                               frag.audit_err);
+                                               frag.audit_err, be);
             } catch (const std::exception& e) {
                 frag.status.cause = util::Cause::exception;
                 frag.status.fallback_taken = true;
                 frag.status.detail = e.what();
                 tracer_.add_counter("robust.pulse_block_fallbacks");
                 frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status, frag.verify,
-                                               frag.audit_err);
+                                               frag.audit_err, be);
             } catch (...) {
                 frag.status.cause = util::Cause::exception;
                 frag.status.fallback_taken = true;
                 frag.status.detail = "unknown exception";
                 tracer_.add_counter("robust.pulse_block_fallbacks");
                 frag.jobs = gate_fallback_jobs(blk, fine_opt, frag.status, frag.verify,
-                                               frag.audit_err);
+                                               frag.audit_err, be);
             }
         },
         deadline.token());
@@ -678,9 +770,10 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
                 gq.reserve(g.qubits.size());
                 for (const int q : g.qubits)
                     gq.push_back(blocks[i].qubits.at(static_cast<std::size_t>(q)));
-                const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+                const double dt =
+                    be != nullptr ? be->base.dt : hamiltonian(g.arity()).dt;
                 frag.jobs.push_back(PulseJob{
-                    gq, h.dt * static_cast<double>(std::max(1, opt_.latency.max_slots)),
+                    gq, dt * static_cast<double>(std::max(1, opt_.latency.max_slots)),
                     0.0, ""});
             }
             tracer_.add_counter("robust.placeholder_pulses",
@@ -709,12 +802,20 @@ std::vector<PulseJob> EpocCompiler::pulse_jobs_for_blocks(
 std::vector<PulseJob> EpocCompiler::fine_pulse_jobs(const Circuit& current,
                                                     const util::Deadline& deadline,
                                                     EpocResult& res, double& audit_err,
-                                                    const WarmSlots* warm) {
+                                                    const WarmSlots* warm,
+                                                    const backend::Backend* be) {
     qoc::LatencySearchOptions fine_opt = opt_.latency;
     fine_opt.deadline = &deadline;
     fine_opt.grape.deadline = &deadline;
 
-    for (const Gate& g : current.gates()) hamiltonian(g.arity());
+    // Warm the Hamiltonian cache sequentially (best-effort; see
+    // pulse_jobs_for_blocks).
+    for (const Gate& g : current.gates()) {
+        try {
+            block_hamiltonian(be, gate_pulse_target(be, g).qubits);
+        } catch (...) {
+        }
+    }
     util::Tracer::Span fine_span = tracer_.span("pulses fine-grained", "pipeline");
     std::vector<PulseFragment> fine_frags(current.size());
     pool_.parallel_for(
@@ -727,10 +828,10 @@ std::vector<PulseJob> EpocCompiler::fine_pulse_jobs(const Circuit& current,
                 "pulse gate " + std::to_string(i) + " (" + kind_name(g.kind) + ")",
                 "qoc");
             try {
-                const Matrix u = g.unitary();
-                if (is_identity_unitary(u)) return;
+                if (is_identity_unitary(g.unitary())) return;
                 util::fault::maybe_throw("pulse.gate");
-                const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+                const PulseTarget pt = gate_pulse_target(be, g);
+                const qoc::BlockHamiltonian& h = block_hamiltonian(be, pt.qubits);
                 qoc::LatencySearchOptions lopt = fine_opt;
                 if (warm != nullptr) {
                     // Plan path: seed a library miss's GRAPE run with the
@@ -743,7 +844,7 @@ std::vector<PulseJob> EpocCompiler::fine_pulse_jobs(const Circuit& current,
                     }
                 }
                 std::shared_ptr<const qoc::LatencyResult> lr =
-                    library_.get_or_generate(h, u, lopt);
+                    library_.get_or_generate(h, pt.target, lopt);
                 if (warm != nullptr && lr->feasible && lr->authoritative())
                     warm->put(i, lr->pulse.amplitudes);
                 if (!lr->feasible) {
@@ -762,7 +863,7 @@ std::vector<PulseJob> EpocCompiler::fine_pulse_jobs(const Circuit& current,
                 // un-seeded options: the cache key is identical either way,
                 // and a recompute must not re-run a possibly-bad seed.
                 const AuditedPulse audited =
-                    audit_pulse_result(std::move(lr), h, u, fine_opt, frag.status);
+                    audit_pulse_result(std::move(lr), h, pt.target, fine_opt, frag.status);
                 frag.verify = audited.outcome;
                 frag.audit_err = audited.audit_err;
                 double f = audited.result->pulse.fidelity;
@@ -772,7 +873,7 @@ std::vector<PulseJob> EpocCompiler::fine_pulse_jobs(const Circuit& current,
                     f = audited.fidelity;
                     tracer_.add_counter("robust.untrusted_fidelity_shipped");
                 }
-                frag.jobs.push_back(PulseJob{g.qubits,
+                frag.jobs.push_back(PulseJob{pt.qubits,
                                              audited.result->pulse.duration(), f,
                                              kind_name(g.kind)});
             } catch (const std::exception& e) {
@@ -782,10 +883,11 @@ std::vector<PulseJob> EpocCompiler::fine_pulse_jobs(const Circuit& current,
                     injected ? util::Cause::injected : util::Cause::exception;
                 frag.status.fallback_taken = true;
                 frag.status.detail = e.what();
-                const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+                const double dt =
+                    be != nullptr ? be->base.dt : hamiltonian(g.arity()).dt;
                 frag.jobs.push_back(PulseJob{
                     g.qubits,
-                    h.dt * static_cast<double>(std::max(1, opt_.latency.max_slots)),
+                    dt * static_cast<double>(std::max(1, opt_.latency.max_slots)),
                     0.0, kind_name(g.kind)});
                 if (injected) tracer_.add_counter("robust.injected_faults");
                 tracer_.add_counter("robust.placeholder_pulses");
@@ -801,10 +903,10 @@ std::vector<PulseJob> EpocCompiler::fine_pulse_jobs(const Circuit& current,
             frag.status.fallback_taken = true;
             frag.status.detail = "cancelled before the gate ran";
             const Gate& g = current.gate(i);
-            const qoc::BlockHamiltonian& h = hamiltonian(g.arity());
+            const double dt = be != nullptr ? be->base.dt : hamiltonian(g.arity()).dt;
             frag.jobs.push_back(PulseJob{
                 g.qubits,
-                h.dt * static_cast<double>(std::max(1, opt_.latency.max_slots)), 0.0,
+                dt * static_cast<double>(std::max(1, opt_.latency.max_slots)), 0.0,
                 kind_name(g.kind)});
             tracer_.add_counter("robust.placeholder_pulses");
         }
@@ -821,7 +923,17 @@ std::vector<PulseJob> EpocCompiler::fine_pulse_jobs(const Circuit& current,
 }
 
 void EpocCompiler::cold_compile(const Circuit& c, const util::Deadline& deadline,
-                                EpocResult& res) {
+                                EpocResult& res, const backend::Backend* be) {
+    // Topology-aware mode: partition and regroup over the backend's coupling
+    // map (every block a connected subgraph, bridging gates routed/rejected
+    // per the configured policy).
+    partition::PartitionOptions popt = opt_.partition;
+    RegroupOptions ropt = opt_.regroup_opt;
+    if (be != nullptr) {
+        popt.coupling = &be->coupling;
+        ropt.coupling = &be->coupling;
+        ropt.bridge_policy = popt.bridge_policy;
+    }
     // 1. Graph-based depth optimization. Failure or a spent budget keeps the
     // original circuit: ZX is a pure optimization.
     Circuit current = c;
@@ -882,7 +994,7 @@ void EpocCompiler::cold_compile(const Circuit& c, const util::Deadline& deadline
             util::Tracer::Span part_span = tracer_.span("partition", "pipeline");
             util::fault::maybe_throw("partition.fail");
             const std::vector<partition::CircuitBlock> blocks =
-                partition::greedy_partition(current, opt_.partition);
+                partition::greedy_partition(current, popt);
             part_span.end();
             res.num_blocks = blocks.size();
             tracer_.add_counter("pipeline.blocks", blocks.size());
@@ -902,7 +1014,7 @@ void EpocCompiler::cold_compile(const Circuit& c, const util::Deadline& deadline
             } else {
                 const util::Tracer::Span span = tracer_.span("synthesis", "pipeline");
                 current = synthesize_blocks(blocks, current.num_qubits(),
-                                            res.synthesis_ms, deadline, res);
+                                            res.synthesis_ms, deadline, res, be);
             }
         } catch (const std::exception& e) {
             const bool injected =
@@ -931,7 +1043,8 @@ void EpocCompiler::cold_compile(const Circuit& c, const util::Deadline& deadline
         const auto t0 = std::chrono::steady_clock::now();
 
         double fine_budget = 0.0; // audited |recorded - resim| sum, fine arm
-        std::vector<PulseJob> fine_jobs = fine_pulse_jobs(current, deadline, res, fine_budget);
+        std::vector<PulseJob> fine_jobs =
+            fine_pulse_jobs(current, deadline, res, fine_budget, nullptr, be);
         util::Tracer::Span sched_span = tracer_.span("schedule asap", "pipeline");
         const PulseSchedule fine = schedule_asap(fine_jobs, c.num_qubits());
         sched_span.end();
@@ -951,7 +1064,7 @@ void EpocCompiler::cold_compile(const Circuit& c, const util::Deadline& deadline
                 util::Tracer::Span regroup_span = tracer_.span("regroup", "pipeline");
                 util::fault::maybe_throw("regroup.fail");
                 const std::vector<partition::CircuitBlock> groups =
-                    regroup(current, opt_.regroup_opt);
+                    regroup(current, ropt);
                 regroup_span.end();
                 tracer_.add_counter("pipeline.regroup_blocks", groups.size());
                 // Stage oracle: the regrouped block-unitary product must
@@ -974,7 +1087,8 @@ void EpocCompiler::cold_compile(const Circuit& c, const util::Deadline& deadline
                     double grouped_budget = 0.0;
                     const std::vector<PulseJob> jobs =
                         pulse_jobs_for_blocks(groups, /*coarse_granularity=*/true,
-                                              deadline, res, grouped_budget);
+                                              deadline, res, grouped_budget, nullptr,
+                                              be);
                     grouped_span.end();
                     util::Tracer::Span gs_span =
                         tracer_.span("schedule asap", "pipeline");
@@ -1021,8 +1135,16 @@ void EpocCompiler::cold_compile(const Circuit& c, const util::Deadline& deadline
 
 CompilationPlan EpocCompiler::build_plan(const Circuit& c,
                                          const circuit::StrippedCircuit& stripped,
-                                         const util::Deadline& deadline) {
+                                         const util::Deadline& deadline,
+                                         const backend::Backend* be) {
     const util::Tracer::Span span = tracer_.span("plan build", "pipeline");
+    partition::PartitionOptions popt = opt_.partition;
+    RegroupOptions ropt = opt_.regroup_opt;
+    if (be != nullptr) {
+        popt.coupling = &be->coupling;
+        ropt.coupling = &be->coupling;
+        ropt.bridge_policy = popt.bridge_policy;
+    }
     CompilationPlan plan;
     plan.key = stripped.key;
     plan.num_qubits = c.num_qubits();
@@ -1058,13 +1180,14 @@ CompilationPlan EpocCompiler::build_plan(const Circuit& c,
         zx_only.append(seg);
         if (opt_.use_synthesis) {
             const std::vector<partition::CircuitBlock> blocks =
-                partition::greedy_partition(seg, opt_.partition);
+                partition::greedy_partition(seg, popt);
             plan.partition_blocks += blocks.size();
             if (verifier_.check_blocks_equiv(seg, blocks, "partition") ==
                 verify::Outcome::failed)
                 throw PlanDegraded("plan build: partition equivalence audit failed");
             double synth_ms = 0.0;
-            seg = synthesize_blocks(blocks, c.num_qubits(), synth_ms, deadline, scratch);
+            seg = synthesize_blocks(blocks, c.num_qubits(), synth_ms, deadline, scratch,
+                                    be);
             if (scratch.degraded)
                 throw PlanDegraded("plan build: degraded synthesis block");
         }
@@ -1101,7 +1224,7 @@ CompilationPlan EpocCompiler::build_plan(const Circuit& c,
         // bindings needed to re-instantiate its body from a fresh angle
         // vector.
         const std::vector<partition::CircuitBlock> groups =
-            regroup(plan.skeleton, opt_.regroup_opt);
+            regroup(plan.skeleton, ropt);
         plan.groups.reserve(groups.size());
         for (const partition::CircuitBlock& blk : groups)
             plan.groups.push_back(PlanGroup{blk, circuit::scan_bindings(blk.body)});
@@ -1112,7 +1235,8 @@ CompilationPlan EpocCompiler::build_plan(const Circuit& c,
 
 bool EpocCompiler::instantiate_plan(const CompilationPlan& plan,
                                     const std::vector<double>& params, bool is_hit,
-                                    const util::Deadline& deadline, EpocResult& res) {
+                                    const util::Deadline& deadline, EpocResult& res,
+                                    const backend::Backend* be) {
     util::fault::maybe_throw("plan.instantiate");
     // Bind the fresh angles into copies of the plan's template artifacts.
     // bind_parameters throws on a stale binding (caught by the caller and
@@ -1151,7 +1275,7 @@ bool EpocCompiler::instantiate_plan(const CompilationPlan& plan,
     double fine_budget = 0.0;
     const WarmSlots* fine_warm = opt_.plan_warm_start ? &plan.fine_warm : nullptr;
     std::vector<PulseJob> fine_jobs =
-        fine_pulse_jobs(skel, deadline, res, fine_budget, fine_warm);
+        fine_pulse_jobs(skel, deadline, res, fine_budget, fine_warm, be);
     util::Tracer::Span sched_span = tracer_.span("schedule asap", "pipeline");
     const PulseSchedule fine = schedule_asap(fine_jobs, skel.num_qubits());
     sched_span.end();
@@ -1172,7 +1296,7 @@ bool EpocCompiler::instantiate_plan(const CompilationPlan& plan,
         const WarmSlots* group_warm = opt_.plan_warm_start ? &plan.group_warm : nullptr;
         const std::vector<PulseJob> jobs =
             pulse_jobs_for_blocks(groups, /*coarse_granularity=*/true, deadline, res,
-                                  grouped_budget, group_warm);
+                                  grouped_budget, group_warm, be);
         grouped_span.end();
         util::Tracer::Span gs_span = tracer_.span("schedule asap", "pipeline");
         const PulseSchedule grouped = schedule_asap(jobs, skel.num_qubits());
@@ -1200,16 +1324,22 @@ bool EpocCompiler::instantiate_plan(const CompilationPlan& plan,
 }
 
 bool EpocCompiler::try_plan_compile(const Circuit& c, const util::Deadline& deadline,
-                                    EpocResult& res) {
+                                    EpocResult& res, const backend::Backend* be) {
     try {
         const util::Tracer::Span span = tracer_.span("plan", "pipeline");
         util::fault::maybe_throw("plan.lookup");
         const circuit::StrippedCircuit stripped = circuit::strip_parameters(c);
+        // The backend fingerprint joins the plan key: the same structure
+        // targeted at two devices partitions, routes and synthesizes
+        // differently, so the plans must never be shared.
+        const std::string plan_key =
+            be != nullptr ? stripped.key + "|B:" + fp_hex(be->fingerprint_hash())
+                          : stripped.key;
         for (int attempt = 0; attempt < 2; ++attempt) {
             bool built = false;
             const std::shared_ptr<const CompilationPlan> plan =
                 plan_cache_.get_or_build(
-                    stripped.key, [&] { return build_plan(c, stripped, deadline); },
+                    plan_key, [&] { return build_plan(c, stripped, deadline, be); },
                     &built);
             if (built) {
                 tracer_.add_counter("plan.misses");
@@ -1217,12 +1347,12 @@ bool EpocCompiler::try_plan_compile(const Circuit& c, const util::Deadline& dead
             } else {
                 tracer_.add_counter("plan.hits");
             }
-            if (instantiate_plan(*plan, stripped.params, !built, deadline, res))
+            if (instantiate_plan(*plan, stripped.params, !built, deadline, res, be))
                 return true;
             // The instantiation oracle rejected the cached layout (stale or
             // doctored): compare-and-evict exactly this plan, rebuild once,
             // then give up and go cold.
-            plan_cache_.erase_if(stripped.key, plan);
+            plan_cache_.erase_if(plan_key, plan);
             tracer_.add_counter("plan.evictions");
             verifier_.note_recompute();
             if (built) break; // our own fresh build failed its oracle
@@ -1244,8 +1374,19 @@ EpocResult EpocCompiler::compile(const Circuit& c, const CompileCallOptions& cal
     EpocResult res;
     verifier_.begin_compile(); // per-compile audit tally
     res.verify.level = verifier_.options().level;
+    const std::shared_ptr<const backend::Backend> be_ptr =
+        call.backend != nullptr ? call.backend : opt_.backend;
+    const backend::Backend* be = be_ptr.get();
+    res.backend_name = be != nullptr ? be->name : "";
     res.status = validate_input(c);
     res.threads_used = pool_.num_threads();
+    if (res.status.ok() && be != nullptr && c.num_qubits() > be->coupling.num_qubits()) {
+        res.status.stage = util::Stage::input;
+        res.status.cause = util::Cause::invalid_input;
+        res.status.detail = "circuit of width " + std::to_string(c.num_qubits()) +
+                            " exceeds backend '" + be->name + "' register of " +
+                            std::to_string(be->coupling.num_qubits()) + " qubits";
+    }
     if (!res.status.ok()) {
         // Structured rejection: an empty result, never a deep out_of_range.
         res.schedule.num_qubits = std::max(0, c.num_qubits());
@@ -1256,9 +1397,24 @@ EpocResult EpocCompiler::compile(const Circuit& c, const CompileCallOptions& cal
     const auto t_start = std::chrono::steady_clock::now();
     if (c.empty()) {
         // A trivially valid empty schedule; skip the pipeline entirely.
-        res.schedule.num_qubits = c.num_qubits();
+        res.schedule.num_qubits =
+            be != nullptr ? be->coupling.num_qubits() : c.num_qubits();
         res.compile_ms = ms_since(t_start);
         return res;
+    }
+
+    // Device-aware compiles run over the full physical register: blocks may
+    // route through coupling-path qubits outside the logical circuit, so the
+    // whole pipeline (stage oracles, blocks_to_circuit, the schedule) sees
+    // the backend width. Identity layout — qubit i of `c` is physical i.
+    std::optional<Circuit> widened;
+    const Circuit* input = &c;
+    if (be != nullptr && c.num_qubits() < be->coupling.num_qubits()) {
+        widened.emplace(be->coupling.num_qubits());
+        std::vector<int> ident(static_cast<std::size_t>(c.num_qubits()));
+        std::iota(ident.begin(), ident.end(), 0);
+        widened->append_mapped(c, ident);
+        input = &*widened;
     }
 
     util::Deadline deadline;
@@ -1279,13 +1435,14 @@ EpocResult EpocCompiler::compile(const Circuit& c, const CompileCallOptions& cal
         scratch.threads_used = res.threads_used;
         scratch.depth_original = res.depth_original;
         scratch.gates_original = res.gates_original;
-        planned = try_plan_compile(c, deadline, scratch);
+        scratch.backend_name = res.backend_name;
+        planned = try_plan_compile(*input, deadline, scratch, be);
         if (planned)
             res = std::move(scratch);
         else
             tracer_.add_counter("robust.plan_fallbacks");
     }
-    if (!planned) cold_compile(c, deadline, res);
+    if (!planned) cold_compile(*input, deadline, res, be);
 
     res.num_pulses = res.schedule.pulses.size();
     res.latency_ns = res.schedule.latency;

@@ -35,6 +35,7 @@
 // "Failure semantics").
 #pragma once
 
+#include "backend/backend.h"
 #include "circuit/circuit.h"
 #include "circuit/structure.h"
 #include "epoc/plan_cache.h"
@@ -71,6 +72,19 @@ struct EpocOptions {
     /// at the cost of a fixed (non-searched) circuit shape.
     bool use_kak = false;
     qoc::DeviceParams device;
+    /// Target hardware backend (backend/backend.h). When set, the compile is
+    /// device-aware end to end: the circuit is widened to the device register,
+    /// partitioning/regrouping run in topology-aware mode over the backend's
+    /// coupling map (every block a connected subgraph; non-adjacent bridging
+    /// gates routed or rejected per `partition.bridge_policy`), synthesis
+    /// restricts CNOT placements to coupling edges, pulse targets use the
+    /// backend's edge-resolved Hamiltonians (3-level leakage-aware when
+    /// `levels == 3`), and the backend fingerprint joins every pulse-library,
+    /// store and plan-cache key — so backends never share cached artifacts.
+    /// nullptr (the default) keeps the topology-unconstrained `device` model.
+    /// `partition.coupling` / `regroup_opt.coupling` are overridden while a
+    /// backend is set. Overridable per call via CompileCallOptions::backend.
+    std::shared_ptr<const backend::Backend> backend;
     qoc::LatencySearchOptions latency;
     bool phase_aware_library = true;
     /// Worker count for the per-block synthesis and pulse-generation loops.
@@ -174,6 +188,9 @@ struct EpocResult {
     /// rewards shorter schedules.
     double esp_decoherent = 1.0;
     double compile_ms = 0.0;
+    /// Name of the hardware backend this compile targeted ("" = the
+    /// topology-unconstrained device model).
+    std::string backend_name;
 
     // Stage diagnostics.
     int depth_original = 0;
@@ -255,6 +272,10 @@ struct CompileCallOptions {
     /// Cancellation for this call (non-owning; must outlive the call).
     /// nullptr falls back to EpocOptions::cancel.
     const util::CancelToken* cancel = nullptr;
+    /// Hardware backend for this call; nullptr falls back to
+    /// EpocOptions::backend. The daemon resolves each job's backend name
+    /// against its registry and passes the result here.
+    std::shared_ptr<const backend::Backend> backend;
 };
 
 /// Stateful compiler: the pulse library and synthesis cache persist across
@@ -321,15 +342,33 @@ private:
         bool resolved = true;
     };
 
+    /// The pulse target of one gate under a backend: the (sorted) physical
+    /// qubit set the pulse spans — the gate's operands plus, for backends,
+    /// their connected closure on the coupling map — and the gate unitary
+    /// embedded over that set (lifted to the 3-level space when the backend
+    /// models leakage). be == nullptr reproduces the legacy target exactly.
+    struct PulseTarget {
+        std::vector<int> qubits;
+        linalg::Matrix target;
+    };
+
     const qoc::BlockHamiltonian& hamiltonian(int num_qubits);
+    /// Device-resolved Hamiltonian for a block over physical `qubits`,
+    /// cached per (backend fingerprint, qubit set); be == nullptr falls back
+    /// to the legacy per-width `hamiltonian(|qubits|)`.
+    const qoc::BlockHamiltonian& block_hamiltonian(const backend::Backend* be,
+                                                   const std::vector<int>& qubits);
+    PulseTarget gate_pulse_target(const backend::Backend* be,
+                                  const circuit::Gate& g) const;
     util::Cause expiry_cause(const util::Deadline& deadline) const;
     circuit::Circuit synthesize_blocks(const std::vector<partition::CircuitBlock>& blocks,
                                        int num_qubits, double& synth_ms,
-                                       const util::Deadline& deadline, EpocResult& res);
+                                       const util::Deadline& deadline, EpocResult& res,
+                                       const backend::Backend* be);
     std::vector<PulseJob> pulse_jobs_for_blocks(
         const std::vector<partition::CircuitBlock>& blocks, bool coarse_granularity,
         const util::Deadline& deadline, EpocResult& res, double& audit_err,
-        const WarmSlots* warm = nullptr);
+        const WarmSlots* warm = nullptr, const backend::Backend* be = nullptr);
     /// The fine-grained pulse arm: one pulse per gate of `current`, in
     /// parallel, merged in gate order (reports + audit errors included). The
     /// shared implementation of the cold pipeline's always-on fine arm and
@@ -338,7 +377,8 @@ private:
     std::vector<PulseJob> fine_pulse_jobs(const circuit::Circuit& current,
                                           const util::Deadline& deadline, EpocResult& res,
                                           double& audit_err,
-                                          const WarmSlots* warm = nullptr);
+                                          const WarmSlots* warm = nullptr,
+                                          const backend::Backend* be = nullptr);
     /// Build a CompilationPlan for `c` (whose structure key is
     /// `stripped.key`): ZX + partition + synthesis over the maximal
     /// parameter-free segments, parametric gates carried through as slot
@@ -347,22 +387,24 @@ private:
     /// degradation — only clean plans are ever cached.
     CompilationPlan build_plan(const circuit::Circuit& c,
                                const circuit::StrippedCircuit& stripped,
-                               const util::Deadline& deadline);
+                               const util::Deadline& deadline,
+                               const backend::Backend* be);
     /// Bind `params` into `plan` and run the pulse stage on the result.
     /// Returns false — before touching `res` — when the instantiation oracle
     /// rejects the plan's layout (stale/doctored entry); the caller evicts
     /// and rebuilds. `is_hit` is false on the build compile.
     bool instantiate_plan(const CompilationPlan& plan, const std::vector<double>& params,
-                          bool is_hit, const util::Deadline& deadline, EpocResult& res);
+                          bool is_hit, const util::Deadline& deadline, EpocResult& res,
+                          const backend::Backend* be);
     /// The whole plan path: strip, lookup-or-build, instantiate, with the
     /// evict-and-rebuild-once rung on an oracle failure. Never throws; false
     /// means "run the cold pipeline" (res is untouched then).
     bool try_plan_compile(const circuit::Circuit& c, const util::Deadline& deadline,
-                          EpocResult& res);
+                          EpocResult& res, const backend::Backend* be);
     /// The ordinary (non-plan) pipeline: ZX -> partition/synthesis -> pulse
     /// arms, filling `res` up to (but not including) the common result tail.
     void cold_compile(const circuit::Circuit& c, const util::Deadline& deadline,
-                      EpocResult& res);
+                      EpocResult& res, const backend::Backend* be);
     /// Ladder rung 2: one pulse per gate of `blk.body` (mapped to global
     /// qubits); rung 3 inside substitutes a placeholder job on failure.
     /// Audited pulses fold their outcome into `outcome` (worst wins) and
@@ -370,7 +412,8 @@ private:
     std::vector<PulseJob> gate_fallback_jobs(const partition::CircuitBlock& blk,
                                              const qoc::LatencySearchOptions& lopt,
                                              util::BlockStatus& status,
-                                             verify::Outcome& outcome, double& audit_err);
+                                             verify::Outcome& outcome, double& audit_err,
+                                             const backend::Backend* be);
     /// Schedule audit for one generated pulse (only called on feasible,
     /// authoritative, sampled-in results): audit, recompute once on failure
     /// via PulseLibrary::regenerate, re-audit. Updates `status` with
@@ -391,7 +434,10 @@ private:
     util::ShardedFlightCache<synthesis::SynthesisResult> synth_cache_;
     PlanCache plan_cache_;
     std::mutex hams_mutex_;
-    std::map<int, qoc::BlockHamiltonian> hams_;
+    /// Hamiltonian cache, keyed "n:<width>" for the legacy uniform-device
+    /// model and "b:<backend-fingerprint-hash>:<qubit ids>" for
+    /// backend-resolved block Hamiltonians.
+    std::map<std::string, qoc::BlockHamiltonian> hams_;
 };
 
 } // namespace epoc::core

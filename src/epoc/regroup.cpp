@@ -37,6 +37,8 @@ std::vector<partition::CircuitBlock> regroup(const circuit::Circuit& synthesized
     partition::PartitionOptions popt;
     popt.max_qubits = opt.max_qubits;
     popt.max_gates = opt.max_gates;
+    popt.coupling = opt.coupling;
+    popt.bridge_policy = opt.bridge_policy;
     std::vector<partition::CircuitBlock> blocks =
         partition::greedy_partition(synthesized, popt);
 

@@ -15,6 +15,11 @@ struct RegroupOptions {
     int max_qubits = 2;
     /// Gates folded into one block before a vertical cut.
     int max_gates = 32;
+    /// Device coupling map: regrouped blocks stay connected subgraphs (see
+    /// PartitionOptions::coupling). nullptr = topology-unconstrained.
+    const circuit::CouplingMap* coupling = nullptr;
+    /// Policy for non-adjacent bridging gates when `coupling` is set.
+    partition::BridgePolicy bridge_policy = partition::BridgePolicy::route;
 };
 
 /// Aggregate a synthesized circuit into pulse-sized blocks.

@@ -7,15 +7,19 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
 
 namespace epoc::partition {
 
 using circuit::Circuit;
 using circuit::Gate;
 
-std::vector<std::vector<int>> group_qubits(const Circuit& c, int max_qubits) {
+std::vector<std::vector<int>> group_qubits(const Circuit& c, int max_qubits,
+                                           const circuit::CouplingMap* coupling) {
     if (max_qubits < 1) throw std::invalid_argument("group_qubits: max_qubits < 1");
     const int nq = c.num_qubits();
+    if (coupling != nullptr && nq > coupling->num_qubits())
+        throw std::invalid_argument("group_qubits: circuit wider than coupling map");
     // Interaction weights: how often two qubits share a gate.
     std::map<std::pair<int, int>, int> weight;
     for (const Gate& g : c.gates())
@@ -32,11 +36,22 @@ std::vector<std::vector<int>> group_qubits(const Circuit& c, int max_qubits) {
         if (taken[static_cast<std::size_t>(q)]) continue;
         std::vector<int> group{q};
         taken[static_cast<std::size_t>(q)] = true;
-        // Grow by the heaviest edges into the current group.
+        // Grow by the heaviest edges into the current group. Topology-aware
+        // mode additionally requires the candidate to be coupling-adjacent to
+        // a current member, so groups stay connected subgraphs of the device.
         while (static_cast<int>(group.size()) < max_qubits) {
             int best = -1, best_w = 0;
             for (int cand = 0; cand < nq; ++cand) {
                 if (taken[static_cast<std::size_t>(cand)]) continue;
+                if (coupling != nullptr) {
+                    bool touches = false;
+                    for (const int m : group)
+                        if (coupling->adjacent(m, cand)) {
+                            touches = true;
+                            break;
+                        }
+                    if (!touches) continue;
+                }
                 int w = 0;
                 for (const int m : group) {
                     const auto it = weight.find({std::min(m, cand), std::max(m, cand)});
@@ -80,10 +95,37 @@ CircuitBlock close_block(OpenBlock&& ob, bool bridge) {
     return blk;
 }
 
+/// A SWAP gate over global qubits {a, b}.
+Gate global_swap(int a, int b) {
+    Circuit tmp(2);
+    tmp.swap(0, 1);
+    Gate g = tmp.gates().front();
+    g.qubits = {a, b};
+    return g;
+}
+
+/// Single bridge block holding one gate over global `qubits`.
+CircuitBlock one_gate_block(std::vector<int> qubits, const Gate& g) {
+    OpenBlock ob;
+    ob.qubits = std::move(qubits);
+    std::sort(ob.qubits.begin(), ob.qubits.end());
+    ob.gates.push_back(g);
+    return close_block(std::move(ob), true);
+}
+
+std::string gate_span_str(const Gate& g) {
+    std::string s = "(";
+    for (std::size_t i = 0; i < g.qubits.size(); ++i) {
+        if (i > 0) s += ",";
+        s += std::to_string(g.qubits[i]);
+    }
+    return s + ")";
+}
+
 } // namespace
 
 std::vector<CircuitBlock> greedy_partition(const Circuit& c, const PartitionOptions& opt) {
-    const auto groups = group_qubits(c, opt.max_qubits);
+    const auto groups = group_qubits(c, opt.max_qubits, opt.coupling);
     const int nq = c.num_qubits();
     std::vector<int> group_of(static_cast<std::size_t>(nq), -1);
     for (std::size_t gi = 0; gi < groups.size(); ++gi)
@@ -99,6 +141,15 @@ std::vector<CircuitBlock> greedy_partition(const Circuit& c, const PartitionOpti
         open[gi] = OpenBlock{};
         open[gi].qubits = groups[gi];
     };
+    // Flush every group owning one of `qs` (SWAP-walks may traverse device
+    // qubits beyond the circuit width; those have no group and no open block).
+    const auto flush_touching = [&](const std::set<int>& qs) {
+        std::set<int> gis;
+        for (const int q : qs)
+            if (q < nq && group_of[static_cast<std::size_t>(q)] >= 0)
+                gis.insert(group_of[static_cast<std::size_t>(q)]);
+        for (const int gi : gis) flush(static_cast<std::size_t>(gi));
+    };
 
     for (const Gate& g : c.gates()) {
         std::set<int> gate_groups;
@@ -107,16 +158,74 @@ std::vector<CircuitBlock> greedy_partition(const Circuit& c, const PartitionOpti
             const std::size_t gi = static_cast<std::size_t>(*gate_groups.begin());
             if (static_cast<int>(open[gi].gates.size()) >= opt.max_gates) flush(gi);
             open[gi].gates.push_back(g);
-        } else {
-            // Bridging gate: close every involved group to preserve order,
-            // then emit the gate as its own block.
+            continue;
+        }
+        // Bridging gate: close every involved group to preserve order, then
+        // emit the gate as its own block.
+        if (opt.coupling == nullptr) {
             for (const int gi : gate_groups) flush(static_cast<std::size_t>(gi));
             OpenBlock bridge;
             bridge.qubits = g.qubits;
             std::sort(bridge.qubits.begin(), bridge.qubits.end());
             bridge.gates.push_back(g);
             out.push_back(close_block(std::move(bridge), true));
+            continue;
         }
+        const circuit::CouplingMap& cm = *opt.coupling;
+        if (g.arity() == 2 && !cm.adjacent(g.qubits[0], g.qubits[1])) {
+            if (opt.bridge_policy == BridgePolicy::reject)
+                throw std::invalid_argument(
+                    "greedy_partition: bridging gate " + gate_span_str(g) +
+                    " spans non-adjacent qubits (bridge policy: reject)");
+            // SWAP-walk the first operand toward the second along a shortest
+            // path, apply the gate on the adjacent pair, then walk back. The
+            // net layout is the identity, so the block list stays
+            // unitary-equal to the input and later gates are unaffected.
+            std::vector<int> walk;
+            int pos = g.qubits[0];
+            while (!cm.adjacent(pos, g.qubits[1])) {
+                pos = cm.next_hop(pos, g.qubits[1]);
+                walk.push_back(pos);
+            }
+            std::set<int> touched{g.qubits[0], g.qubits[1]};
+            touched.insert(walk.begin(), walk.end());
+            flush_touching(touched);
+            std::vector<std::pair<int, int>> swaps;
+            int cur = g.qubits[0];
+            for (const int nxt : walk) {
+                swaps.emplace_back(cur, nxt);
+                cur = nxt;
+            }
+            for (const auto& [x, y] : swaps)
+                out.push_back(one_gate_block({x, y}, global_swap(x, y)));
+            Gate moved = g;
+            moved.qubits[0] = cur;
+            out.push_back(one_gate_block({cur, g.qubits[1]}, moved));
+            for (auto it = swaps.rbegin(); it != swaps.rend(); ++it)
+                out.push_back(one_gate_block({it->first, it->second},
+                                             global_swap(it->first, it->second)));
+            continue;
+        }
+        // Adjacent two-qubit bridge, or a wider gate: the block's qubit set
+        // is the connected closure of the operands (union of shortest paths
+        // from the first operand), so the emitted block is always a connected
+        // subgraph of the device.
+        std::set<int> closure(g.qubits.begin(), g.qubits.end());
+        for (std::size_t i = 1; i < g.qubits.size(); ++i) {
+            int p = g.qubits[0];
+            while (p != g.qubits[i] && !cm.adjacent(p, g.qubits[i])) {
+                p = cm.next_hop(p, g.qubits[i]);
+                closure.insert(p);
+            }
+        }
+        if (opt.bridge_policy == BridgePolicy::reject &&
+            closure.size() != g.qubits.size())
+            throw std::invalid_argument(
+                "greedy_partition: bridging gate " + gate_span_str(g) +
+                " spans non-adjacent qubits (bridge policy: reject)");
+        flush_touching(closure);
+        out.push_back(
+            one_gate_block(std::vector<int>(closure.begin(), closure.end()), g));
     }
     for (std::size_t gi = 0; gi < groups.size(); ++gi) flush(gi);
     return out;

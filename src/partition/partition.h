@@ -6,13 +6,29 @@
 // spanning two groups closes both groups' open blocks and is emitted as its
 // own bridging block, preserving execution order exactly: replaying the block
 // list in order reproduces the original circuit.
+//
+// Topology-aware mode (opt.coupling != nullptr): every emitted block's qubit
+// set induces a connected subgraph of the device coupling map, so each block
+// is physically realizable. Groups only grow along coupling edges, and
+// cross-group bridging gates between non-adjacent qubits are handled per
+// BridgePolicy — routed via the coupling map's shortest paths (SWAP-walk
+// bridge blocks that restore the layout afterwards, keeping the block list
+// unitary-equivalent to the input) or rejected with an error.
 #pragma once
 
 #include "circuit/circuit.h"
+#include "circuit/routing.h"
 
 #include <vector>
 
 namespace epoc::partition {
+
+/// What to do with a bridging gate whose operands are not adjacent on the
+/// coupling map (topology-aware mode only).
+enum class BridgePolicy {
+    route, ///< SWAP-walk the operands together along shortest paths
+    reject ///< throw std::invalid_argument naming the infeasible gate
+};
 
 struct PartitionOptions {
     /// Maximum number of qubits per group (paper uses up to 8; our QOC-bound
@@ -20,6 +36,12 @@ struct PartitionOptions {
     int max_qubits = 3;
     /// Maximum number of gates per block before a vertical cut.
     int max_gates = 24;
+    /// Device coupling map for topology-aware partitioning; nullptr (the
+    /// default) keeps the topology-unconstrained behaviour. Not owned; must
+    /// outlive the call. The circuit must not be wider than the map.
+    const circuit::CouplingMap* coupling = nullptr;
+    /// Feasibility policy for non-adjacent bridging gates (coupling set only).
+    BridgePolicy bridge_policy = BridgePolicy::route;
 };
 
 struct CircuitBlock {
@@ -28,7 +50,8 @@ struct CircuitBlock {
     std::vector<int> qubits;
     /// The block's gates over local qubit indices.
     circuit::Circuit body;
-    /// True if this block is a single cross-group bridging gate.
+    /// True if this block is a single cross-group bridging gate (or one of
+    /// the SWAP-walk blocks routing such a gate in topology-aware mode).
     bool bridge = false;
 };
 
@@ -36,8 +59,10 @@ struct CircuitBlock {
 std::vector<CircuitBlock> greedy_partition(const circuit::Circuit& c,
                                            const PartitionOptions& opt = {});
 
-/// The horizontal cut on its own (paper Algorithm 1, GroupQubits).
-std::vector<std::vector<int>> group_qubits(const circuit::Circuit& c, int max_qubits);
+/// The horizontal cut on its own (paper Algorithm 1, GroupQubits). With a
+/// coupling map, groups only grow along its edges (connected subgraphs).
+std::vector<std::vector<int>> group_qubits(const circuit::Circuit& c, int max_qubits,
+                                           const circuit::CouplingMap* coupling = nullptr);
 
 /// Unitary of one block (dimension 2^|qubits|).
 linalg::Matrix block_unitary(const CircuitBlock& b);

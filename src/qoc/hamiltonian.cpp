@@ -2,6 +2,7 @@
 
 #include "circuit/gate.h"
 #include "circuit/unitary.h"
+#include "qoc/pulse_io.h"
 
 #include <stdexcept>
 
@@ -42,6 +43,7 @@ BlockHamiltonian make_block_hamiltonian(int num_qubits, const DeviceParams& dev)
                  circuit::embed_gate(sx, {a}, num_qubits) *
                      circuit::embed_gate(sx, {b}, num_qubits),
                  dev.coupling_bound});
+    h.variant = "zz:" + exact_double(dev.zz_drift);
     return h;
 }
 

@@ -43,6 +43,11 @@ struct BlockHamiltonian {
     std::vector<ControlLine> controls;
     /// GRAPE slot width copied from DeviceParams [ns].
     double dt = 2.0;
+    /// Drift/model fingerprint for cache keying. Control labels and bounds
+    /// alone do not pin down the drift (e.g. two devices differing only in
+    /// zz_drift share every control line), so builders record the remaining
+    /// model parameters here — exact_double-encoded, never decimal-formatted.
+    std::string variant;
 };
 
 /// Build the model for a block of n qubits (n >= 1).

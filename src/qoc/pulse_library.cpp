@@ -30,6 +30,9 @@ std::string PulseLibrary::key_of(const BlockHamiltonian& h, const Matrix& m,
     os << "|H:" << h.num_qubits << ":" << exact_double(h.dt);
     for (const ControlLine& c : h.controls)
         os << ":" << c.label << "=" << exact_double(c.bound);
+    // Drift variant: control lines alone leave the drift ambiguous (zz_drift,
+    // crosstalk terms, level structure); builders fingerprint those here.
+    os << "|V:" << h.variant;
 
     // Effective search options. warm_amplitudes is intentionally absent (see
     // header): it seeds the optimizer on a miss but does not define the entry.

@@ -91,6 +91,12 @@ void AdmissionController::record_replay(const std::string& tenant) {
     ++tenants_[tenant].replayed;
 }
 
+void AdmissionController::record_invalid(const std::string& tenant) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++tenants_[tenant].submitted;
+    ++tenants_[tenant].failed;
+}
+
 void AdmissionController::close() {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;

@@ -25,6 +25,7 @@
 // Per-tenant counters accumulate here and feed the daemon's status endpoint.
 #pragma once
 
+#include "backend/backend.h"
 #include "service/protocol.h"
 #include "util/deadline.h"
 
@@ -56,6 +57,11 @@ struct AdmissionOptions {
 /// callback that delivers the response to the right connection).
 struct Job {
     JobRequest request;
+    /// Hardware backend resolved from request.backend at admission (nullptr
+    /// for the default device model); the executor passes it to compile().
+    /// Resolution happens *before* the queue so an unknown name is answered
+    /// invalid_input immediately instead of burning an executor slot.
+    std::shared_ptr<const backend::Backend> backend;
     /// Armed from request.deadline_ms at submission (unarmed when 0), linked
     /// to `cancel` — so remaining_ms() collapses to 0 the moment the client
     /// vanishes or the daemon shuts down.
@@ -117,6 +123,10 @@ public:
     /// Account a replayed response (a re-submitted id answered from the
     /// daemon's replay table — the job never re-entered the queue).
     void record_replay(const std::string& tenant);
+
+    /// Account a job answered invalid_input at the door (e.g. an unknown
+    /// backend name rejected at admission — the job never entered the queue).
+    void record_invalid(const std::string& tenant);
 
     /// Stop admitting (submit returns closed) and wake next() waiters.
     /// Queued jobs remain takeable so a draining shutdown can answer them.

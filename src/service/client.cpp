@@ -114,13 +114,15 @@ void EpocClient::handle_connection_loss(const char* context) {
 
 std::uint64_t EpocClient::submit(const std::string& qasm,
                                  const std::string& tenant,
-                                 std::int32_t priority, double deadline_ms) {
+                                 std::int32_t priority, double deadline_ms,
+                                 const std::string& backend) {
     JobRequest req;
     req.id = next_id_++;
     req.tenant = tenant;
     req.priority = priority;
     req.deadline_ms = deadline_ms;
     req.qasm = qasm;
+    req.backend = backend;
     const std::uint64_t id = req.id;
     // Track before sending: if the write tears the connection, the reconnect
     // path re-submits this job along with the rest (so no second write here —
@@ -196,8 +198,9 @@ JobResponse EpocClient::wait_for(std::uint64_t id) {
 
 JobResponse EpocClient::compile(const std::string& qasm,
                                 const std::string& tenant,
-                                std::int32_t priority, double deadline_ms) {
-    return wait_for(submit(qasm, tenant, priority, deadline_ms));
+                                std::int32_t priority, double deadline_ms,
+                                const std::string& backend) {
+    return wait_for(submit(qasm, tenant, priority, deadline_ms, backend));
 }
 
 /// Send `request`, then read frames until one of type `expect` arrives.

@@ -86,8 +86,12 @@ public:
     /// Enqueue one compile job; returns the id to pass to wait_for(). Ids
     /// are assigned by the client, unique per connection. Throws on a dead
     /// connection (after the retry layer, when enabled, is exhausted).
+    /// `backend` names a hardware backend registered with the daemon; empty
+    /// targets the daemon's default device model. An unknown name comes back
+    /// as an invalid_input response, not an error.
     std::uint64_t submit(const std::string& qasm, const std::string& tenant,
-                         std::int32_t priority = 0, double deadline_ms = 0.0);
+                         std::int32_t priority = 0, double deadline_ms = 0.0,
+                         const std::string& backend = "");
 
     /// Block until the response for `id` arrives (earlier-arriving responses
     /// for other ids are buffered). Throws ClientTimeout when the bounded
@@ -97,7 +101,8 @@ public:
 
     /// submit() + wait_for() in one call.
     JobResponse compile(const std::string& qasm, const std::string& tenant,
-                        std::int32_t priority = 0, double deadline_ms = 0.0);
+                        std::int32_t priority = 0, double deadline_ms = 0.0,
+                        const std::string& backend = "");
 
     /// Fetch the daemon's counter snapshot. Job responses arriving while
     /// waiting are buffered for later wait_for() calls.

@@ -135,6 +135,8 @@ EpocDaemon::EpocDaemon(DaemonOptions opt)
     opt_.compiler.cancel = nullptr;
     compiler_ = std::make_unique<core::EpocCompiler>(opt_.compiler);
     opt_.num_executors = std::max(1, opt_.num_executors);
+    if (opt_.backends == nullptr)
+        opt_.backends = std::make_shared<backend::BackendRegistry>();
 }
 
 EpocDaemon::~EpocDaemon() { stop(); }
@@ -414,6 +416,24 @@ void EpocDaemon::handle_job_request(const std::shared_ptr<Connection>& conn,
 
     Job job;
     job.request = std::move(req);
+    if (!job.request.backend.empty()) {
+        // Backend validation at admission: an unknown name is answered
+        // invalid_input right here — never dropped, never an executor slot.
+        job.backend = opt_.backends->find(job.request.backend);
+        if (job.backend == nullptr) {
+            invalid_backend_.fetch_add(1, std::memory_order_relaxed);
+            admission_.record_invalid(job.request.tenant);
+            JobResponse resp;
+            resp.id = job.request.id;
+            resp.status = JobStatus::invalid_input;
+            resp.detail = "unknown backend '" + job.request.backend + "'";
+            if (opt_.replay_entries > 0)
+                replay_.insert(replay_key(job.request.tenant, job.request.id),
+                               resp);
+            send_response(conn, resp);
+            return;
+        }
+    }
     job.cancel = std::make_shared<util::CancelToken>();
     if (job.request.deadline_ms > 0.0)
         job.deadline = util::Deadline::after_ms(job.request.deadline_ms);
@@ -553,6 +573,7 @@ JobResponse EpocDaemon::run_job(Job& job) {
         }
         core::CompileCallOptions call;
         call.cancel = job.cancel.get();
+        call.backend = job.backend;
         // Hand the compile whatever budget survived the queue (0 = none
         // requested = unlimited).
         call.deadline_ms =
@@ -647,6 +668,8 @@ StatusResponse EpocDaemon::status() const {
     put("service.send_failures",
         send_failures_.load(std::memory_order_relaxed));
     put("service.replay_hits", replay_hits_.load(std::memory_order_relaxed));
+    put("service.invalid_backend",
+        invalid_backend_.load(std::memory_order_relaxed));
     put("service.degraded_retries",
         degraded_retries_.load(std::memory_order_relaxed));
     put("service.degraded_shipped",

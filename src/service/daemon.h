@@ -68,6 +68,11 @@ struct DaemonOptions {
     /// Configuration for the shared compiler (deadline/cancel fields are
     /// ignored — per-job budgets arrive with each request).
     core::EpocOptions compiler;
+    /// Registry the per-job `backend` field resolves against. nullptr (the
+    /// default) makes the daemon construct a registry of the built-in
+    /// devices; pass a pre-populated one to serve custom (JSON-registered)
+    /// backends.
+    std::shared_ptr<backend::BackendRegistry> backends;
 
     /// Watchdog scan period. The watchdog fires a job's cancel token once
     /// the job has overrun its armed deadline by
@@ -209,6 +214,9 @@ private:
     std::atomic<std::uint64_t> write_timeouts_{0};
     std::atomic<std::uint64_t> send_failures_{0};
     std::atomic<std::uint64_t> replay_hits_{0};
+    /// Jobs naming a backend the registry does not know (answered
+    /// invalid_input at admission).
+    std::atomic<std::uint64_t> invalid_backend_{0};
     std::atomic<std::uint64_t> drain_deadline_exceeded_{0};
     /// Healthy jobs whose first compile came back degraded (inherited another
     /// job's cancellation via the shared compiler) and were re-compiled once.

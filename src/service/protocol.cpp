@@ -69,6 +69,7 @@ std::string encode_job_request(const JobRequest& req) {
     put_u32(out, static_cast<std::uint32_t>(req.priority));
     put_f64(out, req.deadline_ms);
     put_str(out, req.qasm);
+    put_str(out, req.backend);
     return out;
 }
 
@@ -135,7 +136,8 @@ std::optional<JobRequest> decode_job_request(const std::string& payload) {
     JobRequest req;
     std::uint32_t prio = 0;
     if (!in.get_u64(req.id) || !get_str(in, req.tenant) || !in.get_u32(prio) ||
-        !in.get_f64(req.deadline_ms) || !get_str(in, req.qasm) || !in.done())
+        !in.get_f64(req.deadline_ms) || !get_str(in, req.qasm) ||
+        !get_str(in, req.backend) || !in.done())
         return std::nullopt;
     req.priority = static_cast<std::int32_t>(prio);
     return req;

@@ -37,6 +37,7 @@ SynthesisResult leap_synthesize(const Matrix& target, const LeapOptions& opt) {
         for (int a = 0; a < nq; ++a) {
             for (int b = 0; b < nq; ++b) {
                 if (a == b) continue;
+                if (!cnot_pair_allowed(opt.allowed_pairs, a, b)) continue;
                 SynthStructure cand = cur.expanded(a, b);
                 std::vector<double> warm = cur_fit.params;
                 warm.resize(static_cast<std::size_t>(cand.num_params()), 0.0);

@@ -19,6 +19,8 @@ struct LeapOptions {
     /// round; on expiry the best committed structure so far is returned with
     /// SynthesisResult::timed_out set.
     const util::Deadline* deadline = nullptr;
+    /// Topology constraint on CNOT placements (see QSearchOptions).
+    std::vector<std::pair<int, int>> allowed_pairs;
     InstantiateOptions instantiate;
 };
 

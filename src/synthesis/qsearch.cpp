@@ -69,6 +69,7 @@ SynthesisResult qsearch_synthesize(const Matrix& target, const QSearchOptions& o
         for (int a = 0; a < nq; ++a) {
             for (int b = 0; b < nq; ++b) {
                 if (a == b) continue;
+                if (!cnot_pair_allowed(opt.allowed_pairs, a, b)) continue;
                 Node next;
                 next.structure = cur.structure.expanded(a, b);
                 // Warm start: reuse parent parameters, zero-init the new VUGs.

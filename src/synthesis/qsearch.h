@@ -9,6 +9,10 @@
 #include "synthesis/instantiate.h"
 #include "util/deadline.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace epoc::synthesis {
 
 struct QSearchOptions {
@@ -20,8 +24,25 @@ struct QSearchOptions {
     /// Polled once per A* expansion: on expiry the search returns its best
     /// structure so far with `timed_out` set instead of throwing.
     const util::Deadline* deadline = nullptr;
+    /// Topology constraint: CNOT placements are restricted to these local
+    /// qubit pairs (unordered; either orientation expands). Empty = all
+    /// pairs, the historical all-to-all behaviour.
+    std::vector<std::pair<int, int>> allowed_pairs;
     InstantiateOptions instantiate;
 };
+
+/// True when a CNOT over local qubits (a, b) is admissible under `allowed`
+/// (empty allows everything; pairs are unordered).
+inline bool cnot_pair_allowed(const std::vector<std::pair<int, int>>& allowed, int a,
+                              int b) {
+    if (allowed.empty()) return true;
+    const std::pair<int, int> key{std::min(a, b), std::max(a, b)};
+    return std::any_of(allowed.begin(), allowed.end(),
+                       [&key](const std::pair<int, int>& p) {
+                           return std::pair<int, int>{std::min(p.first, p.second),
+                                                      std::max(p.first, p.second)} == key;
+                       });
+}
 
 struct SynthesisResult {
     circuit::Circuit circuit;  ///< U3 + CX realisation

@@ -1,0 +1,323 @@
+// Hardware-backend registry, per-backend Hamiltonians/keying, and the
+// backend-aware compile path.
+#include "backend/backend.h"
+
+#include "bench_circuits/generators.h"
+#include "epoc/export.h"
+#include "epoc/pipeline.h"
+#include "qoc/pulse_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace epoc;
+using backend::Backend;
+using backend::BackendRegistry;
+using epoc::circuit::CouplingMap;
+
+core::EpocOptions fast_options() {
+    core::EpocOptions opt;
+    opt.latency.fidelity_threshold = 0.99;
+    opt.latency.grape.max_iterations = 120;
+    opt.qsearch.threshold = 1e-4;
+    opt.qsearch.instantiate.restarts = 2;
+    return opt;
+}
+
+std::uint64_t digest(const core::EpocResult& r) {
+    return qoc::fnv1a64(core::schedule_to_json(r.schedule));
+}
+
+// --- Registry ------------------------------------------------------------
+
+TEST(BackendRegistry, BuiltinsResolve) {
+    BackendRegistry reg;
+    for (const char* name : {"linear-5", "ring-8", "grid-3x3", "heavy-hex-7"}) {
+        const auto be = reg.find(name);
+        ASSERT_NE(be, nullptr) << name;
+        EXPECT_EQ(be->name, name);
+        EXPECT_NO_THROW(be->validate());
+    }
+    EXPECT_EQ(reg.find("linear-5")->coupling.num_qubits(), 5);
+    EXPECT_EQ(reg.find("heavy-hex-7")->coupling.edges().size(), 6u);
+}
+
+TEST(BackendRegistry, FullNMaterializesParametrically) {
+    BackendRegistry reg;
+    const auto be = reg.find("full-4");
+    ASSERT_NE(be, nullptr);
+    EXPECT_EQ(be->coupling.num_qubits(), 4);
+    EXPECT_EQ(be->coupling.edges().size(), 6u); // C(4,2)
+    // Second lookup returns the same materialized instance.
+    EXPECT_EQ(reg.find("full-4").get(), be.get());
+    EXPECT_EQ(reg.find("full-0"), nullptr);
+    EXPECT_EQ(reg.find("full-999"), nullptr);
+    EXPECT_EQ(reg.find("full-x"), nullptr);
+}
+
+TEST(BackendRegistry, UnknownNameIsNullptrNotThrow) {
+    BackendRegistry reg;
+    EXPECT_EQ(reg.find("no-such-device"), nullptr);
+    EXPECT_EQ(reg.find(""), nullptr);
+}
+
+TEST(BackendRegistry, DuplicateNameThrows) {
+    BackendRegistry reg;
+    EXPECT_THROW(reg.register_backend(Backend("linear-5", CouplingMap::linear(2))),
+                 std::invalid_argument);
+}
+
+TEST(BackendRegistry, JsonRoundTrip) {
+    BackendRegistry reg;
+    const std::string json = R"({
+        "name": "fridge-a",
+        "num_qubits": 3,
+        "edges": [[0, 1], [1, 2]],
+        "drive_bound": 0.15,
+        "zz_drift": 0.0021,
+        "edge_overrides": [{"a": 1, "b": 2, "coupling_bound": 0.017}],
+        "crosstalk_zz": true
+    })";
+    const auto be = reg.register_json(json);
+    ASSERT_NE(be, nullptr);
+    EXPECT_EQ(be->name, "fridge-a");
+    EXPECT_EQ(be->coupling.num_qubits(), 3);
+    EXPECT_DOUBLE_EQ(be->base.drive_bound, 0.15);
+    EXPECT_DOUBLE_EQ(be->edge(1, 2).coupling_bound, 0.017);
+    EXPECT_DOUBLE_EQ(be->edge(2, 1).coupling_bound, 0.017); // either orientation
+    EXPECT_DOUBLE_EQ(be->edge(0, 1).coupling_bound, be->base.coupling_bound);
+    EXPECT_TRUE(be->crosstalk_zz);
+    EXPECT_EQ(reg.find("fridge-a").get(), be.get());
+}
+
+TEST(BackendRegistry, MalformedJsonThrows) {
+    BackendRegistry reg;
+    EXPECT_THROW(reg.register_json("not json"), std::invalid_argument);
+    EXPECT_THROW(reg.register_json("{}"), std::invalid_argument);
+    EXPECT_THROW(reg.register_json(R"({"name": "x", "num_qubits": 2})"),
+                 std::invalid_argument);
+    // Edge override on a non-edge fails validate(), not just parsing.
+    EXPECT_THROW(reg.register_json(R"({
+        "name": "bad", "num_qubits": 3, "edges": [[0, 1]],
+        "edge_overrides": [{"a": 1, "b": 2, "coupling_bound": 0.01}]
+    })"),
+                 std::invalid_argument);
+}
+
+// --- Fingerprints and cache keying ---------------------------------------
+
+TEST(BackendFingerprint, OneUlpApartKeysDifferently) {
+    // Two backends identical except for one ulp of zz_drift: a decimal-
+    // formatted key would collide, exact_double encoding must not.
+    Backend a("dev", CouplingMap::linear(3));
+    Backend b("dev", CouplingMap::linear(3));
+    b.base.zz_drift = std::nextafter(a.base.zz_drift, 1.0);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    EXPECT_NE(a.fingerprint_hash(), b.fingerprint_hash());
+    // The Hamiltonian variant embeds the fingerprint, so pulse-library keys
+    // separate automatically.
+    EXPECT_NE(a.block_hamiltonian({0, 1}).variant,
+              b.block_hamiltonian({0, 1}).variant);
+}
+
+TEST(BackendFingerprint, NearEqualBackendsSeparateInPulseLibrary) {
+    Backend a("dev", CouplingMap::linear(2));
+    Backend b("dev", CouplingMap::linear(2));
+    b.base.zz_drift = std::nextafter(a.base.zz_drift, 1.0);
+
+    qoc::PulseLibrary lib;
+    qoc::LatencySearchOptions lopt;
+    lopt.fidelity_threshold = 0.5; // cheap: keying is under test, not GRAPE
+    lopt.grape.max_iterations = 10;
+    const linalg::Matrix cx = circuit::Circuit(2).cx(0, 1).gate(0).unitary();
+    const auto ha = a.block_hamiltonian({0, 1});
+    const auto hb = b.block_hamiltonian({0, 1});
+    ASSERT_NE(lib.get_or_generate(ha, cx, lopt), nullptr);
+    EXPECT_NE(lib.peek(ha, cx, lopt), nullptr);
+    EXPECT_EQ(lib.peek(hb, cx, lopt), nullptr) << "1-ulp backends shared a key";
+}
+
+// --- Device-resolved Hamiltonians ----------------------------------------
+
+TEST(BackendHamiltonian, EntanglingLinesOnlyOnCouplers) {
+    BackendRegistry reg;
+    const auto be = reg.find("heavy-hex-7");
+    const qoc::BlockHamiltonian h = be->block_hamiltonian({0, 1, 2});
+    std::set<std::string> labels;
+    for (const auto& ctl : h.controls) labels.insert(ctl.label);
+    // Local indices: 0->phys 0, 1->phys 1, 2->phys 2; edges (0,1) and (1,2)
+    // exist, (0,2) does not (both flags hang off qubit 1).
+    EXPECT_EQ(labels.count("xx0_1"), 1u);
+    EXPECT_EQ(labels.count("xx1_2"), 1u);
+    EXPECT_EQ(labels.count("xx0_2"), 0u);
+    for (int q = 0; q < 3; ++q) {
+        EXPECT_EQ(labels.count("x" + std::to_string(q)), 1u);
+        EXPECT_EQ(labels.count("y" + std::to_string(q)), 1u);
+    }
+}
+
+TEST(BackendHamiltonian, PerQubitAndPerEdgeOverridesResolve) {
+    Backend be("cal", CouplingMap::linear(3));
+    be.qubit_drive_bounds = {0.10, 0.20, 0.30};
+    be.edge_overrides[{1, 2}] = {0.05, 0.001};
+    be.validate();
+    EXPECT_DOUBLE_EQ(be.drive_bound(1), 0.20);
+    const qoc::BlockHamiltonian h = be.block_hamiltonian({1, 2});
+    for (const auto& ctl : h.controls) {
+        if (ctl.label == "x0" || ctl.label == "y0")
+            EXPECT_DOUBLE_EQ(ctl.bound, 0.20); // local 0 = physical 1
+        if (ctl.label == "x1" || ctl.label == "y1")
+            EXPECT_DOUBLE_EQ(ctl.bound, 0.30);
+        if (ctl.label == "xx0_1") EXPECT_DOUBLE_EQ(ctl.bound, 0.05);
+    }
+}
+
+TEST(BackendHamiltonian, CrosstalkChangesDriftNotControls) {
+    Backend off("dev", CouplingMap::linear(3));
+    Backend on("dev", CouplingMap::linear(3));
+    on.crosstalk_zz = true;
+    const auto ho = off.block_hamiltonian({0, 1, 2});
+    const auto hx = on.block_hamiltonian({0, 1, 2});
+    EXPECT_EQ(ho.controls.size(), hx.controls.size());
+    EXPECT_NE(ho.variant, hx.variant);
+    bool drift_differs = false;
+    for (std::size_t i = 0; i < ho.drift.rows(); ++i)
+        if (std::abs(ho.drift(i, i) - hx.drift(i, i)) > 1e-12) drift_differs = true;
+    EXPECT_TRUE(drift_differs) << "spectator ZZ left the drift unchanged";
+}
+
+TEST(BackendHamiltonian, EmbedInLevelsIsUnitaryAndBlockDiagonal) {
+    // 1-qubit X into 3 levels: the qubit block is X, the leakage level is
+    // identity.
+    linalg::Matrix x = linalg::Matrix::zeros(2, 2);
+    x(0, 1) = 1.0;
+    x(1, 0) = 1.0;
+    const linalg::Matrix e = backend::embed_in_levels(x, 1, 3);
+    ASSERT_EQ(e.rows(), 3u);
+    EXPECT_DOUBLE_EQ(std::abs(e(0, 1)), 1.0);
+    EXPECT_DOUBLE_EQ(std::abs(e(1, 0)), 1.0);
+    EXPECT_DOUBLE_EQ(std::abs(e(2, 2)), 1.0);
+    EXPECT_DOUBLE_EQ(std::abs(e(0, 0)), 0.0);
+    EXPECT_TRUE(e.is_unitary(1e-12));
+
+    // 2 qubits into 3 levels: 9x9, still unitary, levels==2 is a no-op.
+    const linalg::Matrix cx = circuit::Circuit(2).cx(0, 1).gate(0).unitary();
+    const linalg::Matrix e2 = backend::embed_in_levels(cx, 2, 3);
+    ASSERT_EQ(e2.rows(), 9u);
+    EXPECT_TRUE(e2.is_unitary(1e-12));
+    EXPECT_LT(backend::embed_in_levels(cx, 2, 2).max_abs_diff(cx), 1e-15);
+
+    const qoc::BlockHamiltonian h3 = [] {
+        Backend be("qutrit", CouplingMap::linear(2));
+        be.levels = 3;
+        return be.block_hamiltonian({0, 1});
+    }();
+    EXPECT_EQ(h3.drift.rows(), 9u);
+    for (const auto& ctl : h3.controls) EXPECT_EQ(ctl.h.rows(), 9u);
+}
+
+// --- Backend-aware compiles ----------------------------------------------
+
+TEST(BackendCompile, SameCircuitKeysSeparatelyPerBackend) {
+    // One compiler, one in-memory library, three devices: every backend must
+    // regenerate its own pulses. Intra-compile hits (congruent blocks within
+    // one circuit) are fine; cross-backend reuse is not — so each backend's
+    // miss delta in the shared compiler must equal what a fresh compiler
+    // misses for that backend alone.
+    BackendRegistry reg;
+    core::EpocCompiler compiler(fast_options());
+    const circuit::Circuit c = bench::ghz(3);
+
+    std::set<std::uint64_t> digests;
+    std::size_t prev_misses = 0;
+    for (const char* name : {"linear-5", "ring-8", "heavy-hex-7"}) {
+        core::CompileCallOptions call;
+        call.backend = reg.find(name);
+        ASSERT_NE(call.backend, nullptr);
+        const core::EpocResult r = compiler.compile(c, call);
+        EXPECT_TRUE(r.status.ok()) << name << ": " << r.status.to_string();
+        EXPECT_EQ(r.backend_name, name);
+        digests.insert(digest(r));
+        const std::size_t shared_misses =
+            compiler.library().stats().misses - prev_misses;
+        prev_misses = compiler.library().stats().misses;
+
+        core::EpocOptions fresh_opt = fast_options();
+        fresh_opt.backend = call.backend;
+        core::EpocCompiler fresh(fresh_opt);
+        fresh.compile(c);
+        EXPECT_EQ(shared_misses, fresh.library().stats().misses)
+            << name << " reused another backend's pulses";
+    }
+    EXPECT_EQ(digests.size(), 3u) << "two backends produced identical schedules";
+}
+
+TEST(BackendCompile, BitIdenticalAcrossThreadCounts) {
+    BackendRegistry reg;
+    const circuit::Circuit c = bench::ghz(3);
+    for (const char* name : {"linear-5", "heavy-hex-7"}) {
+        std::set<std::uint64_t> digests;
+        for (const int threads : {1, 2, 8}) {
+            core::EpocOptions opt = fast_options();
+            opt.num_threads = threads;
+            opt.backend = reg.find(name);
+            core::EpocCompiler compiler(opt);
+            const core::EpocResult r = compiler.compile(c);
+            EXPECT_TRUE(r.status.ok()) << name;
+            digests.insert(digest(r));
+        }
+        EXPECT_EQ(digests.size(), 1u)
+            << name << ": schedule depends on thread count";
+    }
+}
+
+TEST(BackendCompile, BridgedCircuitStaysEquivalentAndFeasible) {
+    // CX(0,3) is distance-3 on linear-5: the partitioner must SWAP-walk it
+    // and the compile must still come back clean.
+    BackendRegistry reg;
+    core::EpocOptions opt = fast_options();
+    opt.backend = reg.find("linear-5");
+    core::EpocCompiler compiler(opt);
+    circuit::Circuit c(4);
+    c.h(0).cx(0, 3);
+    const core::EpocResult r = compiler.compile(c);
+    EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+    EXPECT_FALSE(r.degraded);
+    EXPECT_GT(r.num_pulses, 0u);
+    // The schedule spans the device register, not just the logical circuit.
+    EXPECT_EQ(r.schedule.num_qubits, 5);
+}
+
+TEST(BackendCompile, ThreeLevelModelCompiles) {
+    Backend be("qutrit-2", CouplingMap::linear(2));
+    be.levels = 3;
+    core::EpocOptions opt = fast_options();
+    opt.latency.fidelity_threshold = 0.9; // 9-dim GRAPE is slower; keep cheap
+    opt.backend = std::make_shared<const Backend>(std::move(be));
+    core::EpocCompiler compiler(opt);
+    circuit::Circuit c(2);
+    c.h(0).cx(0, 1);
+    const core::EpocResult r = compiler.compile(c);
+    EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+    EXPECT_GT(r.num_pulses, 0u);
+    EXPECT_GT(r.latency_ns, 0.0);
+}
+
+TEST(BackendCompile, WiderThanRegisterIsInvalidInput) {
+    BackendRegistry reg;
+    core::EpocOptions opt = fast_options();
+    opt.backend = reg.find("linear-5");
+    core::EpocCompiler compiler(opt);
+    const core::EpocResult r = compiler.compile(bench::ghz(6));
+    EXPECT_EQ(r.status.cause, util::Cause::invalid_input);
+    EXPECT_NE(r.status.detail.find("exceeds backend"), std::string::npos)
+        << r.status.detail;
+}
+
+} // namespace

@@ -130,4 +130,117 @@ TEST(Partition, EmptyCircuitYieldsNoBlocks) {
     EXPECT_TRUE(greedy_partition(c, {}).empty());
 }
 
+// --- Topology-aware mode -------------------------------------------------
+
+using epoc::circuit::CouplingMap;
+
+/// Every block a topology-aware partition emits must be physically
+/// realizable: its qubit set induces a connected subgraph of the device.
+/// Bridge blocks additionally need coupling-adjacent operands — they ship to
+/// hardware verbatim, while non-bridge bodies are re-synthesized downstream
+/// with CNOTs restricted to coupling edges.
+void expect_blocks_feasible(const std::vector<CircuitBlock>& blocks,
+                            const CouplingMap& map) {
+    for (const CircuitBlock& b : blocks) {
+        EXPECT_TRUE(map.connected_subset(b.qubits))
+            << "disconnected block of " << b.qubits.size() << " qubits";
+        if (!b.bridge) continue;
+        for (const auto& g : b.body.gates())
+            if (g.arity() == 2)
+                EXPECT_TRUE(map.adjacent(b.qubits[static_cast<std::size_t>(
+                                             g.qubits[0])],
+                                         b.qubits[static_cast<std::size_t>(
+                                             g.qubits[1])]));
+    }
+}
+
+TEST(PartitionTopology, GroupsAreConnectedSubgraphs) {
+    const CouplingMap map = CouplingMap::heavy_hex7();
+    epoc::bench::RandomCircuitSpec spec;
+    spec.num_qubits = 7;
+    spec.num_gates = 40;
+    const Circuit c = epoc::bench::random_circuit(spec);
+    for (const int maxq : {2, 3, 4})
+        for (const auto& g : group_qubits(c, maxq, &map)) {
+            EXPECT_LE(g.size(), static_cast<std::size_t>(maxq));
+            EXPECT_TRUE(map.connected_subset(g));
+        }
+}
+
+TEST(PartitionTopology, BlocksFeasibleAndRoundTripOnEveryDevice) {
+    const std::vector<CouplingMap> devices = {
+        CouplingMap::linear(5), CouplingMap::ring(8), CouplingMap::grid(3, 3),
+        CouplingMap::heavy_hex7()};
+    for (const CouplingMap& map : devices) {
+        epoc::bench::RandomCircuitSpec spec;
+        spec.seed = 7;
+        spec.num_qubits = map.num_qubits();
+        spec.num_gates = 25;
+        const Circuit c = epoc::bench::random_circuit(spec);
+        PartitionOptions opt;
+        opt.max_qubits = 3;
+        opt.coupling = &map;
+        const auto blocks = greedy_partition(c, opt);
+        expect_blocks_feasible(blocks, map);
+        // The SWAP-walk bridges must cancel: replaying the block list is the
+        // original program (up to global phase).
+        const Circuit re = blocks_to_circuit(blocks, c.num_qubits());
+        EXPECT_TRUE(equal_up_to_global_phase(circuit_unitary(re),
+                                             circuit_unitary(c), 1e-7))
+            << "device with " << map.num_qubits() << " qubits";
+    }
+}
+
+TEST(PartitionTopology, SwapWalkBridgesDistantGate) {
+    // CX(0,3) on a 4-qubit chain: operands at distance 3 force a SWAP walk.
+    Circuit c(4);
+    c.h(0).cx(0, 3);
+    const CouplingMap map = CouplingMap::linear(4);
+    PartitionOptions opt;
+    opt.max_qubits = 2;
+    opt.coupling = &map;
+    const auto blocks = greedy_partition(c, opt);
+    bool swap_bridge = false;
+    for (const CircuitBlock& b : blocks)
+        if (b.bridge && b.body.size() == 1 &&
+            b.body.gate(0).kind == epoc::circuit::GateKind::SWAP)
+            swap_bridge = true;
+    EXPECT_TRUE(swap_bridge);
+    expect_blocks_feasible(blocks, map);
+    const Circuit re = blocks_to_circuit(blocks, c.num_qubits());
+    EXPECT_TRUE(
+        equal_up_to_global_phase(circuit_unitary(re), circuit_unitary(c), 1e-7));
+}
+
+TEST(PartitionTopology, RejectPolicyThrowsOnInfeasibleBridge) {
+    Circuit c(4);
+    c.cx(0, 3);
+    const CouplingMap map = CouplingMap::linear(4);
+    PartitionOptions opt;
+    opt.max_qubits = 2;
+    opt.coupling = &map;
+    opt.bridge_policy = BridgePolicy::reject;
+    try {
+        greedy_partition(c, opt);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("bridge policy: reject"),
+                  std::string::npos);
+    }
+}
+
+TEST(PartitionTopology, AdjacentBridgeNeedsNoSwaps) {
+    // Groups {0,1} and {2,3} on a chain: the cross-group CX(1,2) operands are
+    // adjacent, so the bridge is the plain one-gate block, no SWAPs.
+    Circuit c(4);
+    c.cx(0, 1).cx(2, 3).cx(1, 2);
+    const CouplingMap map = CouplingMap::linear(4);
+    PartitionOptions opt;
+    opt.max_qubits = 2;
+    opt.coupling = &map;
+    for (const CircuitBlock& b : greedy_partition(c, opt))
+        for (const auto& g : b.body.gates())
+            EXPECT_NE(g.kind, epoc::circuit::GateKind::SWAP);
+}
+
 } // namespace

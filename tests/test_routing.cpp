@@ -47,6 +47,58 @@ TEST(CouplingMap, BadEdgeThrows) {
     EXPECT_THROW(CouplingMap(2, {{1, 1}}), std::invalid_argument);
 }
 
+// Each malformed-constructor case must fail with its own diagnostic — a
+// calibration file with a duplicate edge should not be reported as
+// "out of range".
+TEST(CouplingMap, CtorRejectionsAreDistinct) {
+    const auto message_of = [](int n, std::vector<std::pair<int, int>> edges) {
+        try {
+            CouplingMap m(n, std::move(edges));
+        } catch (const std::invalid_argument& e) {
+            return std::string(e.what());
+        }
+        return std::string();
+    };
+    EXPECT_NE(message_of(3, {{0, 3}}).find("out of range"), std::string::npos);
+    EXPECT_NE(message_of(3, {{0, -1}}).find("out of range"), std::string::npos);
+    EXPECT_NE(message_of(3, {{2, 2}}).find("self-loop"), std::string::npos);
+    EXPECT_NE(message_of(3, {{0, 1}, {1, 0}}).find("duplicate"),
+              std::string::npos);
+    EXPECT_NE(message_of(3, {{0, 1}, {0, 1}}).find("duplicate"),
+              std::string::npos);
+}
+
+TEST(CouplingMap, BuiltinTopologyShapes) {
+    EXPECT_EQ(CouplingMap::ring(8).edges().size(), 8u);
+    EXPECT_EQ(CouplingMap::grid(3, 3).edges().size(), 12u); // 2*3 rows + 3*2 cols
+    EXPECT_EQ(CouplingMap::full(5).edges().size(), 10u);    // C(5,2)
+
+    const CouplingMap hh = CouplingMap::heavy_hex7();
+    EXPECT_EQ(hh.num_qubits(), 7);
+    EXPECT_EQ(hh.edges().size(), 6u); // a tree: 7 nodes, 6 couplers
+    EXPECT_TRUE(hh.adjacent(1, 3));
+    EXPECT_FALSE(hh.adjacent(0, 6));
+    EXPECT_EQ(hh.distance(0, 6), 4); // 0-1-3-5-6
+    EXPECT_EQ(hh.distance(2, 4), 4); // 2-1-3-5-4
+
+    // Grid distance is Manhattan; ring distance wraps.
+    EXPECT_EQ(CouplingMap::grid(3, 3).distance(0, 8), 4);
+    EXPECT_EQ(CouplingMap::ring(8).distance(0, 5), 3);
+}
+
+TEST(CouplingMap, ConnectedSubset) {
+    const CouplingMap hh = CouplingMap::heavy_hex7();
+    EXPECT_TRUE(hh.connected_subset({0}));
+    EXPECT_TRUE(hh.connected_subset({0, 1, 2}));
+    EXPECT_TRUE(hh.connected_subset({1, 3, 5, 6}));
+    EXPECT_FALSE(hh.connected_subset({0, 2})); // both hang off qubit 1
+    EXPECT_FALSE(hh.connected_subset({0, 5}));
+
+    const CouplingMap ring = CouplingMap::ring(6);
+    EXPECT_TRUE(ring.connected_subset({5, 0, 1})); // wraps through the seam
+    EXPECT_FALSE(ring.connected_subset({0, 2, 4}));
+}
+
 TEST(Routing, AdjacentGatesNeedNoSwaps) {
     Circuit c(3);
     c.h(0).cx(0, 1).cx(1, 2);

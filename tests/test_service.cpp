@@ -4,6 +4,7 @@
 // meaningful under TSan).
 #include "service/daemon.h"
 
+#include "backend/backend.h"
 #include "bench_circuits/generators.h"
 #include "circuit/qasm.h"
 #include "epoc/export.h"
@@ -43,6 +44,7 @@ TEST(Protocol, JobRequestRoundTrips) {
     req.priority = -3; // negative priorities are legal (background work)
     req.deadline_ms = 1234.5678;
     req.qasm = "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n";
+    req.backend = "heavy-hex-7";
     const auto back = decode_job_request(encode_job_request(req));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(back->id, req.id);
@@ -50,6 +52,7 @@ TEST(Protocol, JobRequestRoundTrips) {
     EXPECT_EQ(back->priority, req.priority);
     EXPECT_EQ(back->deadline_ms, req.deadline_ms);
     EXPECT_EQ(back->qasm, req.qasm);
+    EXPECT_EQ(back->backend, req.backend);
 }
 
 TEST(Protocol, JobResponseRoundTrips) {
@@ -290,6 +293,46 @@ TEST(Daemon, CompileMatchesLibraryModeAndAnswersEveryRequest) {
 
     client.shutdown_server();
     daemon.wait(); // returns because the client requested shutdown
+    daemon.stop();
+}
+
+TEST(Daemon, BackendJobsResolveAtAdmission) {
+    DaemonOptions opt;
+    opt.socket_path = test_socket_path();
+    opt.num_executors = 1;
+    opt.compiler = cheap_options();
+    EpocDaemon daemon(opt);
+    daemon.start();
+
+    EpocClient client(opt.socket_path);
+    const std::string qasm = circuit::to_qasm(bench::ghz(3));
+
+    // A known backend compiles and matches a local backend-aware compile
+    // bit for bit.
+    core::EpocOptions lopt = cheap_options();
+    lopt.backend = epoc::backend::BackendRegistry().find("linear-5");
+    core::EpocCompiler local(lopt);
+    const std::uint64_t want = local_digest(local, qasm);
+    const JobResponse ok = client.compile(qasm, "alice", 0, 0.0, "linear-5");
+    EXPECT_EQ(ok.status, JobStatus::ok);
+    EXPECT_EQ(ok.digest, want);
+
+    // An unknown backend name is answered invalid_input at admission — a
+    // structured response naming the backend, never a drop or an executor
+    // burn.
+    const JobResponse bad =
+        client.compile(qasm, "alice", 0, 0.0, "no-such-device");
+    EXPECT_EQ(bad.status, JobStatus::invalid_input);
+    EXPECT_NE(bad.detail.find("unknown backend"), std::string::npos)
+        << bad.detail;
+    EXPECT_NE(bad.detail.find("no-such-device"), std::string::npos);
+
+    const StatusResponse status = client.status();
+    EXPECT_EQ(counter_value(status, "service.invalid_backend"), 1u);
+    EXPECT_EQ(counter_value(status, "service.tenant.alice.failed"), 1u);
+
+    client.shutdown_server();
+    daemon.wait();
     daemon.stop();
 }
 
