@@ -126,6 +126,7 @@ int main(int argc, char** argv) {
     using namespace epoc;
     std::string trace_path;
     std::string store_dir;
+    std::vector<std::string> pack_dirs;
     std::string backend_name;
     double deadline_ms = 0.0;
     verify::VerifyLevel verify_level = verify::VerifyLevel::unset;
@@ -138,6 +139,19 @@ int main(int argc, char** argv) {
             deadline_ms = std::atof(argv[++i]);
         } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
             store_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--packs") == 0 && i + 1 < argc) {
+            // Colon-separated read-only pack directories, probed in order
+            // behind the local store tier (same syntax as EPOC_PULSE_PACKS).
+            const std::string spec = argv[++i];
+            std::size_t begin = 0;
+            while (begin <= spec.size()) {
+                const std::size_t end = spec.find(':', begin);
+                const std::string dir = spec.substr(
+                    begin, end == std::string::npos ? end : end - begin);
+                if (!dir.empty()) pack_dirs.push_back(dir);
+                if (end == std::string::npos) break;
+                begin = end + 1;
+            }
         } else if (std::strcmp(argv[i], "--verify") == 0 && i + 1 < argc) {
             try {
                 verify_level = verify::level_from_name(argv[++i]);
@@ -155,8 +169,8 @@ int main(int argc, char** argv) {
         } else {
             std::fprintf(stderr,
                          "usage: %s [--trace out.json] [--deadline-ms N] [--store DIR] "
-                         "[--verify off|sampled|full] [--corrupt-store-entries] "
-                         "[--sweep] [--backend NAME]\n",
+                         "[--packs DIR[:DIR...]] [--verify off|sampled|full] "
+                         "[--corrupt-store-entries] [--sweep] [--backend NAME]\n",
                          argv[0]);
             return 2;
         }
@@ -201,6 +215,7 @@ int main(int argc, char** argv) {
     eopt.trace_enabled = !trace_path.empty() || !store_dir.empty();
     eopt.deadline_ms = deadline_ms;
     eopt.pulse_store_dir = store_dir;
+    eopt.pulse_pack_dirs = pack_dirs;
     eopt.verify_level = verify_level;
     eopt.backend = be;
     if (be != nullptr)
@@ -246,6 +261,14 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(ss.bytes),
                     static_cast<unsigned long long>(
                         re.trace.counter("qoc.grape_runs")));
+        // Pack-tier line (grep-friendly; the cold-start-with-pack CI job
+        // asserts pack_hits > 0 and suspect/denied behaviour on this line).
+        std::printf("packs: open=%zu entries=%zu pack_hits=%zu denied=%zu "
+                    "corrupt=%zu suspect=%zu quarantine_evicted=%zu "
+                    "pack_revalidations=%zu\n",
+                    ss.packs_open, ss.pack_entries, ss.pack_hits, ss.pack_denied,
+                    ss.pack_corrupt, ss.pack_suspect, ss.quarantine_evicted,
+                    re.verify.pack_revalidations);
     }
 
     if (re.verify.level >= verify::VerifyLevel::sampled) {

@@ -16,6 +16,11 @@
 //                       hardware concurrency)
 //   --max-pending N     admission bound on queued+running jobs (default 256)
 //   --store DIR         attach the persistent pulse store
+//   --pack-dir DIR      layer a read-only shared pack directory (immutable
+//                       *.pack warm-library segments) behind the store
+//                       (repeatable, probed in order; requires --store or
+//                       EPOC_PULSE_STORE); hit rates appear in the status
+//                       endpoint as store.pack.* counters
 //   --drain-ms MS       shutdown drain budget: how long stop() waits for
 //                       executors to answer the queue (default 10000)
 //   --fast              cheap search settings (CI/smoke: same flag on the
@@ -77,6 +82,8 @@ int main(int argc, char** argv) {
                 static_cast<std::size_t>(std::atol(argv[++i]));
         } else if (arg == "--store" && has_value) {
             opt.compiler.pulse_store_dir = argv[++i];
+        } else if (arg == "--pack-dir" && has_value) {
+            opt.compiler.pulse_pack_dirs.push_back(argv[++i]);
         } else if (arg == "--drain-ms" && has_value) {
             opt.drain_ms = std::atof(argv[++i]);
         } else if (arg == "--fast") {

@@ -141,23 +141,35 @@ EpocCompiler::EpocCompiler(EpocOptions opt)
     library_.set_tracer(&tracer_);
     std::string store_dir = opt_.pulse_store_dir;
     if (store_dir.empty()) store_dir = store::PulseStore::dir_from_env();
+    bool have_packs = false;
     if (!store_dir.empty()) {
         store::PulseStoreOptions sopt;
         sopt.dir = store_dir;
         sopt.max_bytes = opt_.pulse_store_max_bytes;
+        sopt.pack_dirs = opt_.pulse_pack_dirs;
+        if (sopt.pack_dirs.empty())
+            sopt.pack_dirs = store::PulseStore::pack_dirs_from_env();
+        have_packs = !sopt.pack_dirs.empty();
         store_ = std::make_unique<store::PulseStore>(std::move(sopt));
         library_.set_store(store_.get());
     }
-    if (verifier_.enabled() && store_ != nullptr) {
+    if ((verifier_.enabled() || have_packs) && store_ != nullptr) {
         // Store revalidation: sampled re-simulation of L2 hits, catching
         // post-checksum damage (bytes intact, physics wrong). The sampling
         // decision keys on the store key itself so it is deterministic across
         // thread counts and processes. A rejected entry is quarantined by the
         // library and regenerated as an ordinary miss.
+        //
+        // Pack hits are *foreign* bytes (another machine, another build) and
+        // skip the sampling gate entirely: every one is re-simulated before
+        // it is trusted, even at verify level off — revalidate() is
+        // level-independent and fail-open, so a shipped library costs one
+        // forward simulation per first use of each entry, not a GRAPE run.
         library_.set_revalidator([this](const std::string& key,
                                         const qoc::BlockHamiltonian& h,
                                         const Matrix& target,
-                                        const qoc::LatencyResult& r) {
+                                        const qoc::LatencyResult& r, bool foreign) {
+            if (foreign) return verifier_.revalidate(h, target, r, /*foreign=*/true);
             if (!verifier_.should_check_key(key)) return true;
             return verifier_.revalidate(h, target, r);
         });
@@ -1492,6 +1504,16 @@ EpocResult EpocCompiler::compile(const Circuit& c, const CompileCallOptions& cal
             tracer_.set_counter("store.evicted", res.store_stats.evicted);
             tracer_.set_counter("store.bytes", res.store_stats.bytes);
             tracer_.set_counter("store.invalidated", res.store_stats.invalidated);
+            tracer_.set_counter("store.quarantine_evicted",
+                                res.store_stats.quarantine_evicted);
+            tracer_.set_counter("store.pack.hits", res.store_stats.pack_hits);
+            tracer_.set_counter("store.pack.denied", res.store_stats.pack_denied);
+            tracer_.set_counter("store.pack.corrupt", res.store_stats.pack_corrupt);
+            tracer_.set_counter("store.pack.suspect", res.store_stats.pack_suspect);
+            tracer_.set_counter("store.pack.open", res.store_stats.packs_open);
+            tracer_.set_counter("store.pack.entries", res.store_stats.pack_entries);
+            tracer_.set_counter("store.pack.packed", res.store_stats.packed);
+            tracer_.set_counter("store.pack.bytes", res.store_stats.pack_bytes);
         }
         if (verifier_.enabled()) {
             tracer_.set_counter("verify.checks", res.verify.checks);
@@ -1500,6 +1522,8 @@ EpocResult EpocCompiler::compile(const Circuit& c, const CompileCallOptions& cal
             tracer_.set_counter("verify.unverified", res.verify.unverified);
             tracer_.set_counter("verify.skipped", res.verify.skipped);
             tracer_.set_counter("verify.revalidations", res.verify.revalidations);
+            tracer_.set_counter("verify.pack_revalidations",
+                                res.verify.pack_revalidations);
             tracer_.set_counter("verify.revalidate_rejects",
                                 res.verify.revalidate_rejects);
             tracer_.set_counter("verify.recomputes", res.verify.recomputes);

@@ -120,6 +120,16 @@ struct EpocOptions {
     /// Byte budget for the store directory (LRU-by-mtime compaction keeps it
     /// under this); <= 0 disables compaction. Ignored when no store is set.
     std::uint64_t pulse_store_max_bytes = 256ull << 20;
+    /// Read-only shared pack directories (store/pack.h) layered behind the
+    /// local store tier: each holds immutable `*.pack` segments (shipped warm
+    /// libraries) probed on a local miss, so a fresh machine cold-starts at
+    /// warm-run speed. Requires a store (`pulse_store_dir` or env) to be
+    /// armed — the pack tier is part of the store. Empty consults the
+    /// EPOC_PULSE_PACKS environment variable (colon-separated directories;
+    /// an explicitly set option always wins). Every pack hit is re-simulated
+    /// through the verify layer before being trusted, whatever the verify
+    /// level — foreign bytes are trust-but-verify, never trust.
+    std::vector<std::string> pulse_pack_dirs;
     /// Independent output auditing (src/verify/verify.h): `off` disables
     /// every check (the compile is bit-identical to a verifier-less build),
     /// `sampled` audits stage equivalence always and per-block artifacts on a

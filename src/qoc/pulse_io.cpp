@@ -1,6 +1,8 @@
 #include "qoc/pulse_io.h"
 
+#include <algorithm>
 #include <cstring>
+#include <fstream>
 
 namespace epoc::qoc {
 
@@ -46,6 +48,29 @@ std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t state) {
 }
 
 std::uint64_t fnv1a64(const std::string& s) { return fnv1a64(s.data(), s.size()); }
+
+std::optional<std::uint64_t> fnv1a64_file(const std::string& path, std::size_t limit) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::uint64_t state = 14695981039346656037ULL;
+    char chunk[1 << 16];
+    std::size_t left = limit;
+    while (left > 0) {
+        in.read(chunk, static_cast<std::streamsize>(
+                           std::min(left, static_cast<std::size_t>(sizeof(chunk)))));
+        const std::size_t got = static_cast<std::size_t>(in.gcount());
+        if (in.bad()) return std::nullopt;
+        state = fnv1a64(chunk, got, state);
+        left -= got;
+        if (in.eof()) {
+            // A finite limit that outruns the file is a caller error (the
+            // pack trailer math said the file was longer than it is).
+            if (left > 0 && limit != SIZE_MAX) return std::nullopt;
+            break;
+        }
+    }
+    return state;
+}
 
 void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
 

@@ -42,6 +42,14 @@ std::uint64_t fnv1a64(const void* data, std::size_t n,
                       std::uint64_t state = 14695981039346656037ULL);
 std::uint64_t fnv1a64(const std::string& s);
 
+/// 64-bit FNV-1a over the first `limit` bytes of the file at `path` (the
+/// whole file when `limit` is SIZE_MAX), streamed in fixed chunks so pack
+/// tooling can fingerprint multi-GB artifacts without buffering them. Empty
+/// optional when the file cannot be opened, read, or is shorter than a
+/// finite `limit`.
+std::optional<std::uint64_t> fnv1a64_file(const std::string& path,
+                                          std::size_t limit = SIZE_MAX);
+
 // --- little-endian primitives (appended to a std::string byte buffer) ---
 void put_u8(std::string& out, std::uint8_t v);
 void put_u32(std::string& out, std::uint32_t v);

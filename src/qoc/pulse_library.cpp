@@ -72,11 +72,20 @@ std::shared_ptr<const LatencyResult> PulseLibrary::get_or_generate(
                 // per key however many threads raced here.
                 if (store_ != nullptr) {
                     bool rejected = false;
-                    if (std::optional<LatencyResult> stored = store_->load(key)) {
-                        if (!revalidator_ || revalidator_(key, h, target, *stored)) {
+                    bool from_pack = false;
+                    if (std::optional<LatencyResult> stored =
+                            store_->load(key, &from_pack)) {
+                        if (!revalidator_ ||
+                            revalidator_(key, h, target, *stored, from_pack)) {
                             // L2 hit: promote to memory verbatim. No GRAPE ran,
                             // so none of the qoc.* generation counters move.
                             store_hits_.fetch_add(1, std::memory_order_relaxed);
+                            if (from_pack) {
+                                store_pack_hits_.fetch_add(1,
+                                                           std::memory_order_relaxed);
+                                if (tracer_ != nullptr)
+                                    tracer_->add_counter("qoc.store_pack_promotions");
+                            }
                             if (tracer_ != nullptr)
                                 tracer_->add_counter("qoc.store_promotions");
                             return std::move(*stored);

@@ -60,8 +60,12 @@ class PulseTier {
 public:
     virtual ~PulseTier() = default;
     /// The stored result for `key`, or nullopt on a miss (including any I/O
-    /// or integrity failure). Must not throw.
-    virtual std::optional<LatencyResult> load(const std::string& key) = 0;
+    /// or integrity failure). Must not throw. Tiers with layered backends set
+    /// `*from_pack` (when non-null) to true when the hit came from a
+    /// read-only shared pack segment rather than the local read-write tier —
+    /// foreign bytes the caller may want to revalidate unconditionally.
+    virtual std::optional<LatencyResult> load(const std::string& key,
+                                              bool* from_pack = nullptr) = 0;
     /// Persist an authoritative result under `key` (best effort; callers
     /// never learn of a failed write). Must not throw.
     virtual void store(const std::string& key, const LatencyResult& result) = 0;
@@ -93,6 +97,10 @@ struct PulseLibraryStats {
     std::size_t store_hits = 0;
     std::size_t store_misses = 0;
     std::size_t store_writes = 0;
+    /// Tier hits served from a read-only shared pack segment rather than the
+    /// local read-write tier (a subset of `store_hits`). Nonzero means a
+    /// shipped library is actually paying for itself on this machine.
+    std::size_t store_pack_hits = 0;
     /// Tier hits the revalidation hook rejected: invalidated in the tier and
     /// regenerated. Disjoint from store_misses (a probe is a hit, a miss, or
     /// a rejection — never two of them). Zero without a revalidator.
@@ -144,12 +152,16 @@ public:
     /// Revalidation hook consulted on every L2 hit before it is promoted to
     /// memory: return false to reject the entry (it is invalidated in the
     /// tier, counted as a miss, and regenerated by GRAPE). Sampling policy
-    /// belongs to the hook — it sees the exact key. Must not throw; runs
-    /// inside the single-flight slot, so at most once per key per miss.
-    /// Kept as a std::function so qoc stays independent of the verify layer.
+    /// belongs to the hook — it sees the exact key, plus `foreign`: true when
+    /// the hit came from a read-only shared pack segment (bytes from another
+    /// machine or build, which callers typically re-simulate unconditionally
+    /// rather than sample). Must not throw; runs inside the single-flight
+    /// slot, so at most once per key per miss. Kept as a std::function so qoc
+    /// stays independent of the verify layer.
     using Revalidator =
         std::function<bool(const std::string& key, const BlockHamiltonian& h,
-                           const Matrix& target, const LatencyResult& result)>;
+                           const Matrix& target, const LatencyResult& result,
+                           bool foreign)>;
     void set_revalidator(Revalidator hook) { revalidator_ = std::move(hook); }
 
     /// Verify-triggered recompute: evict `bad` — the exact value an audit
@@ -167,6 +179,7 @@ public:
         const util::CacheStats s = cache_.stats();
         PulseLibraryStats out{s.hits, s.misses, s.waits, s.uncacheable, 0, 0, 0, 0};
         out.store_hits = store_hits_.load(std::memory_order_relaxed);
+        out.store_pack_hits = store_pack_hits_.load(std::memory_order_relaxed);
         out.store_misses = store_misses_.load(std::memory_order_relaxed);
         out.store_writes = store_writes_.load(std::memory_order_relaxed);
         out.store_rejected = store_rejected_.load(std::memory_order_relaxed);
@@ -176,6 +189,7 @@ public:
     void reset_stats() {
         cache_.reset_stats();
         store_hits_.store(0, std::memory_order_relaxed);
+        store_pack_hits_.store(0, std::memory_order_relaxed);
         store_misses_.store(0, std::memory_order_relaxed);
         store_writes_.store(0, std::memory_order_relaxed);
         store_rejected_.store(0, std::memory_order_relaxed);
@@ -191,6 +205,7 @@ private:
     PulseTier* store_ = nullptr;
     Revalidator revalidator_;
     std::atomic<std::size_t> store_hits_{0};
+    std::atomic<std::size_t> store_pack_hits_{0};
     std::atomic<std::size_t> store_misses_{0};
     std::atomic<std::size_t> store_writes_{0};
     std::atomic<std::size_t> store_rejected_{0};

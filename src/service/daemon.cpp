@@ -700,6 +700,7 @@ StatusResponse EpocDaemon::status() const {
     put("qoc.single_flight_waits", lib.single_flight_waits);
     put("qoc.uncached_degraded", lib.uncached_degraded);
     put("qoc.store_hits", lib.store_hits);
+    put("qoc.store_pack_hits", lib.store_pack_hits);
     put("qoc.store_misses", lib.store_misses);
     put("qoc.store_rejected", lib.store_rejected);
     put("qoc.store_writes", lib.store_writes);
@@ -714,7 +715,18 @@ StatusResponse EpocDaemon::status() const {
         put("store.io_errors", ss.io_errors);
         put("store.disabled_enospc", ss.disabled_enospc);
         put("store.skipped_disabled", ss.skipped_disabled);
+        put("store.quarantine_evicted", ss.quarantine_evicted);
         put("store.bytes", ss.bytes);
+        // Shared pack tier: the per-daemon view a fleet operator reads to
+        // see whether the shipped warm library is actually being hit.
+        put("store.pack.hits", ss.pack_hits);
+        put("store.pack.denied", ss.pack_denied);
+        put("store.pack.corrupt", ss.pack_corrupt);
+        put("store.pack.suspect", ss.pack_suspect);
+        put("store.pack.open", ss.packs_open);
+        put("store.pack.entries", ss.pack_entries);
+        put("store.pack.packed", ss.packed);
+        put("store.pack.bytes", ss.pack_bytes);
     }
     return s;
 }

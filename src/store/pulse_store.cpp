@@ -4,6 +4,7 @@
 #include "util/fault_injection.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,7 +24,10 @@ namespace {
 constexpr char kMagic[8] = {'E', 'P', 'O', 'C', 'P', 'U', 'L', 'S'};
 constexpr std::uint32_t kFormatVersion = 1;
 constexpr const char* kEntrySuffix = ".pulse";
+constexpr const char* kPackSuffix = ".pack";
+constexpr const char* kPackTempSuffix = ".pack.tmp";
 constexpr const char* kTempPrefix = "tmp-";
+constexpr const char* kQuarantineDir = "quarantine";
 /// Temp files older than this are crash leftovers, safe to sweep: a live
 /// writer holds its temp for milliseconds between create and rename.
 constexpr auto kStaleTempAge = std::chrono::minutes(10);
@@ -97,9 +101,42 @@ bool is_entry_file(const std::filesystem::directory_entry& e) {
     return e.is_regular_file() && e.path().extension() == kEntrySuffix;
 }
 
+bool has_suffix(const std::string& name, const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+}
+
 bool is_temp_file(const std::filesystem::directory_entry& e) {
-    return e.is_regular_file() &&
-           e.path().filename().string().rfind(kTempPrefix, 0) == 0;
+    if (!e.is_regular_file()) return false;
+    const std::string name = e.path().filename().string();
+    return name.rfind(kTempPrefix, 0) == 0 || has_suffix(name, kPackTempSuffix);
+}
+
+bool is_pack_file(const std::filesystem::directory_entry& e) {
+    return e.is_regular_file() && !is_temp_file(e) &&
+           e.path().extension() == kPackSuffix;
+}
+
+/// Best-effort move of a damaged or rejected pack file into its *own*
+/// directory's quarantine/. Unlike loose-entry quarantine this never deletes
+/// on failure: a pack may be a fleet-shared read-only artifact, and one
+/// machine's mmap hiccup must not destroy it for the fleet — the caller's
+/// in-memory suspect flag protects this process either way. Returns the
+/// number of I/O errors for the caller to account.
+std::size_t quarantine_pack_file(const std::filesystem::path& p) {
+    static std::atomic<std::uint64_t> serial{0};
+    std::size_t io_errs = 0;
+    std::error_code ec;
+    const std::filesystem::path qdir = p.parent_path() / kQuarantineDir;
+    std::filesystem::create_directories(qdir, ec);
+    if (ec) ++io_errs;
+    std::filesystem::rename(
+        p,
+        qdir / (p.filename().string() + "." + std::to_string(process_id()) + "-" +
+                std::to_string(serial.fetch_add(1, std::memory_order_relaxed))),
+        ec);
+    if (ec) ++io_errs; // likely a read-only share; the file stays in place
+    return io_errs;
 }
 
 } // namespace
@@ -112,12 +149,31 @@ PulseStore::PulseStore(PulseStoreOptions opt) : opt_(std::move(opt)), dir_(opt_.
     if (ec || !std::filesystem::is_directory(dir_))
         throw std::runtime_error("PulseStore: cannot create store directory '" +
                                  opt_.dir + "': " + ec.message());
+    sweep_stale_temps();
     stats_.bytes = scan_bytes();
+    open_packs();
 }
 
 std::string PulseStore::dir_from_env() {
     const char* dir = std::getenv("EPOC_PULSE_STORE");
     return dir == nullptr ? std::string() : std::string(dir);
+}
+
+std::vector<std::string> PulseStore::pack_dirs_from_env() {
+    std::vector<std::string> dirs;
+    const char* env = std::getenv("EPOC_PULSE_PACKS");
+    if (env == nullptr) return dirs;
+    const std::string spec(env);
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        const std::size_t end = spec.find(':', begin);
+        const std::string dir =
+            spec.substr(begin, end == std::string::npos ? end : end - begin);
+        if (!dir.empty()) dirs.push_back(dir);
+        if (end == std::string::npos) break;
+        begin = end + 1;
+    }
+    return dirs;
 }
 
 std::filesystem::path PulseStore::entry_path(const std::string& key) const {
@@ -129,10 +185,86 @@ std::filesystem::path PulseStore::entry_path(const std::string& key) const {
     return dir_ / (name + kEntrySuffix);
 }
 
-std::optional<qoc::LatencyResult> PulseStore::load(const std::string& key) {
+void PulseStore::open_packs() {
+    // Local packs (compaction output) first — they shadow shared ones for
+    // keys present in both — then each configured shared directory in order.
+    std::vector<std::filesystem::path> dirs{dir_};
+    for (const std::string& d : opt_.pack_dirs)
+        if (!d.empty()) dirs.emplace_back(d);
+
+    std::vector<std::shared_ptr<PackReader>> opened;
+    std::size_t suspect = 0, io_errs = 0;
+    for (const std::filesystem::path& dir : dirs) {
+        std::vector<std::filesystem::path> files;
+        std::error_code ec;
+        for (std::filesystem::directory_iterator it(dir, ec), end; !ec && it != end;
+             it.increment(ec))
+            if (is_pack_file(*it)) files.push_back(it->path());
+        // A missing shared directory is a cold tier, not an error; a failed
+        // walk of an existing one is worth surfacing.
+        if (ec && std::filesystem::exists(dir)) ++io_errs;
+        std::sort(files.begin(), files.end());
+        for (const std::filesystem::path& p : files) {
+            if (std::shared_ptr<PackReader> pack = PackReader::open(p)) {
+                opened.push_back(std::move(pack));
+            } else {
+                // Structurally invalid (or injected open failure): a pack
+                // the index of which cannot be trusted serves nothing.
+                ++suspect;
+                io_errs += quarantine_pack_file(p);
+            }
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    packs_ = std::move(opened);
+    stats_.pack_suspect += suspect;
+    stats_.io_errors += io_errs;
+    stats_.packs_open = packs_.size();
+    stats_.pack_entries = 0;
+    stats_.pack_bytes = 0;
+    for (const std::shared_ptr<PackReader>& pack : packs_) {
+        stats_.pack_entries += pack->entry_count();
+        stats_.pack_bytes += pack->size_bytes();
+    }
+}
+
+std::vector<std::shared_ptr<PackReader>> PulseStore::packs() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return packs_;
+}
+
+void PulseStore::quarantine_pack(const std::shared_ptr<PackReader>& pack) {
+    pack->mark_suspect();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = std::find(packs_.begin(), packs_.end(), pack);
+        if (it == packs_.end()) return; // another thread already quarantined it
+        packs_.erase(it);
+        ++stats_.pack_suspect;
+        stats_.packs_open = packs_.size();
+        stats_.pack_entries = 0;
+        stats_.pack_bytes = 0;
+        for (const std::shared_ptr<PackReader>& open : packs_) {
+            stats_.pack_entries += open->entry_count();
+            stats_.pack_bytes += open->size_bytes();
+        }
+    }
+    // The rename happens after the list removal, so only the removing thread
+    // touches the filesystem. An open mmap survives the rename.
+    const std::size_t io_errs = quarantine_pack_file(pack->path());
+    if (io_errs > 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.io_errors += io_errs;
+    }
+}
+
+std::optional<qoc::LatencyResult> PulseStore::load(const std::string& key,
+                                                   bool* from_pack) {
+    if (from_pack != nullptr) *from_pack = false;
     try {
         util::fault::maybe_throw("store.read");
-        std::optional<qoc::LatencyResult> r = load_impl(key);
+        std::optional<qoc::LatencyResult> r = load_impl(key, from_pack);
         std::lock_guard<std::mutex> lock(mutex_);
         if (r)
             ++stats_.hits;
@@ -148,16 +280,54 @@ std::optional<qoc::LatencyResult> PulseStore::load(const std::string& key) {
     }
 }
 
-std::optional<qoc::LatencyResult> PulseStore::load_impl(const std::string& key) {
+std::optional<qoc::LatencyResult> PulseStore::load_impl(const std::string& key,
+                                                        bool* from_pack) {
     const std::filesystem::path p = entry_path(key);
     const std::optional<std::string> bytes = slurp(p);
-    if (!bytes) return std::nullopt; // plain miss (or vanished under eviction)
+
+    const auto probe_packs = [&]() -> std::optional<qoc::LatencyResult> {
+        std::vector<std::shared_ptr<PackReader>> packs;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (packs_.empty()) return std::nullopt;
+            if (denylist_.count(key) != 0) {
+                ++stats_.pack_denied;
+                return std::nullopt;
+            }
+            packs = packs_;
+        }
+        for (const std::shared_ptr<PackReader>& pack : packs) {
+            bool corrupt = false;
+            if (std::optional<qoc::LatencyResult> r = pack->find(key, &corrupt)) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.pack_hits;
+                if (from_pack != nullptr) *from_pack = true;
+                return r;
+            }
+            if (corrupt) {
+                // Integrity failure inside this pack: it answers nothing any
+                // more (suspect), gets quarantined, and the probe continues
+                // down the tier list — a later pack may still hold the key.
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.pack_corrupt;
+                }
+                quarantine_pack(pack);
+            }
+        }
+        return std::nullopt;
+    };
+
+    if (!bytes) return probe_packs(); // loose miss: fall through to the packs
 
     const auto corrupt = [&]() -> std::optional<qoc::LatencyResult> {
         quarantine(p);
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.corrupt;
-        return std::nullopt;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.corrupt;
+        }
+        // The damaged loose entry is gone; a pack may still serve the key.
+        return probe_packs();
     };
 
     // Header checks in diagnosis order: structure, then integrity, then
@@ -186,10 +356,14 @@ std::optional<qoc::LatencyResult> PulseStore::load_impl(const std::string& key) 
         std::memcmp(key_begin, key.data(), static_cast<std::size_t>(key_len)) != 0) {
         // Hash collision: a *valid* entry for some other key lives at our
         // content address. It is not corrupt — leave it in place (last
-        // writer wins the name; see header) and report a miss.
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.collisions;
-        return std::nullopt;
+        // writer wins the name; see header) and report a miss for the loose
+        // tier; a pack indexes by the full key hash too but validates the
+        // embedded key, so the probe below is still exact.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.collisions;
+        }
+        return probe_packs();
     }
 
     qoc::ByteReader body(key_begin + key_len,
@@ -209,6 +383,39 @@ std::optional<qoc::LatencyResult> PulseStore::load_impl(const std::string& key) 
     std::filesystem::last_write_time(
         p, std::filesystem::file_time_type::clock::now(), ec);
     return result;
+}
+
+std::optional<PackEntry> PulseStore::read_entry_file(const std::filesystem::path& p) {
+    const std::optional<std::string> bytes = slurp(p);
+    if (!bytes || bytes->size() < kMinEntrySize) return std::nullopt;
+    if (std::memcmp(bytes->data(), kMagic, sizeof(kMagic)) != 0) return std::nullopt;
+    qoc::ByteReader header(bytes->data() + sizeof(kMagic),
+                           bytes->size() - sizeof(kMagic));
+    std::uint32_t version;
+    std::uint64_t key_len;
+    if (!header.get_u32(version) || version != kFormatVersion) return std::nullopt;
+    if (!header.get_u64(key_len) || key_len > kMaxKeyBytes ||
+        key_len > header.remaining())
+        return std::nullopt;
+    qoc::ByteReader trailer(bytes->data() + bytes->size() - 8, 8);
+    std::uint64_t checksum;
+    trailer.get_u64(checksum);
+    if (qoc::fnv1a64(bytes->data(), bytes->size() - 8) != checksum)
+        return std::nullopt;
+    const char* key_begin = bytes->data() + sizeof(kMagic) + 4 + 8;
+    qoc::ByteReader body(key_begin + key_len,
+                         bytes->size() - (sizeof(kMagic) + 4 + 8) -
+                             static_cast<std::size_t>(key_len) - 8);
+    std::uint64_t payload_len;
+    if (!body.get_u64(payload_len) || payload_len != body.remaining())
+        return std::nullopt;
+    PackEntry e;
+    e.key.assign(key_begin, static_cast<std::size_t>(key_len));
+    e.payload.assign(key_begin + key_len + 8, static_cast<std::size_t>(payload_len));
+    // The payload must decode: a pack must never be built from an entry the
+    // reader would reject, or `verify` and `extract` break on a good pack.
+    if (!qoc::decode_latency_result(e.payload)) return std::nullopt;
+    return e;
 }
 
 void PulseStore::store(const std::string& key, const qoc::LatencyResult& result) {
@@ -238,6 +445,10 @@ void PulseStore::store(const std::string& key, const qoc::LatencyResult& result)
         std::lock_guard<std::mutex> lock(mutex_);
         if (wrote) {
             ++stats_.writes;
+            // A fresh local write shadows any pack entry, so the key has no
+            // business staying denylisted (the deny exists only to stop a
+            // rejected pack entry from resolving; the loose tier now wins).
+            denylist_.erase(key);
             if (opt_.max_bytes > 0 && stats_.bytes > opt_.max_bytes)
                 over_budget = stats_.bytes;
         } else {
@@ -259,10 +470,21 @@ bool PulseStore::memory_only() const {
 void PulseStore::invalidate(const std::string& key) {
     const std::filesystem::path p = entry_path(key);
     std::error_code ec;
-    if (!std::filesystem::exists(p, ec) || ec) return;
-    quarantine(p);
+    const bool had_loose = std::filesystem::exists(p, ec) && !ec;
+    if (had_loose) quarantine(p);
+    // Pack entries cannot be quarantined individually (the file is immutable
+    // and possibly shared): deny the key in memory instead, but only when
+    // some open pack could actually serve it — an unbounded denylist of
+    // never-packed keys would just leak.
+    const std::uint64_t h = qoc::fnv1a64(key);
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.invalidated;
+    bool denied = false;
+    for (const std::shared_ptr<PackReader>& pack : packs_) {
+        if (pack->suspect() || !pack->contains_hash(h)) continue;
+        denied = denylist_.insert(key).second;
+        break;
+    }
+    if (had_loose || denied) ++stats_.invalidated;
 }
 
 std::size_t PulseStore::corrupt_all_entries_for_test() {
@@ -271,27 +493,10 @@ std::size_t PulseStore::corrupt_all_entries_for_test() {
     for (std::filesystem::directory_iterator it(dir_, ec), end; !ec && it != end;
          it.increment(ec)) {
         if (!is_entry_file(*it)) continue;
-        const std::optional<std::string> bytes = slurp(it->path());
-        if (!bytes || bytes->size() < kMinEntrySize) continue;
-        if (std::memcmp(bytes->data(), kMagic, sizeof(kMagic)) != 0) continue;
-        qoc::ByteReader header(bytes->data() + sizeof(kMagic),
-                               bytes->size() - sizeof(kMagic));
-        std::uint32_t version;
-        std::uint64_t key_len;
-        if (!header.get_u32(version) || version != kFormatVersion) continue;
-        if (!header.get_u64(key_len) || key_len > kMaxKeyBytes ||
-            key_len > header.remaining())
-            continue;
-        const char* key_begin = bytes->data() + sizeof(kMagic) + 4 + 8;
-        const std::string key(key_begin, static_cast<std::size_t>(key_len));
-        qoc::ByteReader body(key_begin + key_len,
-                             bytes->size() - (sizeof(kMagic) + 4 + 8) -
-                                 static_cast<std::size_t>(key_len) - 8);
-        std::uint64_t payload_len;
-        if (!body.get_u64(payload_len) || payload_len != body.remaining()) continue;
-        const std::string payload(key_begin + key_len + 8,
-                                  static_cast<std::size_t>(payload_len));
-        std::optional<qoc::LatencyResult> result = qoc::decode_latency_result(payload);
+        const std::optional<PackEntry> entry = read_entry_file(it->path());
+        if (!entry) continue;
+        std::optional<qoc::LatencyResult> result =
+            qoc::decode_latency_result(entry->payload);
         if (!result) continue;
         // Zero the amplitudes, keep the recorded fidelity and every flag,
         // republish through the ordinary writer: a valid, checksummed entry
@@ -299,7 +504,7 @@ std::size_t PulseStore::corrupt_all_entries_for_test() {
         for (std::vector<double>& line : result->pulse.amplitudes)
             std::fill(line.begin(), line.end(), 0.0);
         bool disk_full = false;
-        if (write_impl(key, *result, disk_full)) ++corrupted;
+        if (write_impl(entry->key, *result, disk_full)) ++corrupted;
     }
     return corrupted;
 }
@@ -358,7 +563,7 @@ bool PulseStore::write_impl(const std::string& key, const qoc::LatencyResult& re
 void PulseStore::quarantine(const std::filesystem::path& p) {
     std::error_code ec;
     std::size_t io_errs = 0;
-    const std::filesystem::path qdir = dir_ / "quarantine";
+    const std::filesystem::path qdir = dir_ / kQuarantineDir;
     std::filesystem::create_directories(qdir, ec);
     if (ec) ++io_errs; // post-mortem copy lost; the delete below still protects
     std::uint64_t serial;
@@ -384,7 +589,35 @@ void PulseStore::quarantine(const std::filesystem::path& p) {
     }
 }
 
+std::size_t PulseStore::sweep_stale_temps() {
+    // Crash leftovers only: both the loose writer ("tmp-*") and the pack
+    // builder ("*.pack.tmp") hold their temps for milliseconds between
+    // create and rename, so anything past kStaleTempAge has no live owner.
+    std::size_t swept = 0, io_errs = 0;
+    std::error_code ec;
+    const auto now = std::filesystem::file_time_type::clock::now();
+    for (std::filesystem::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (!is_temp_file(*it)) continue;
+        std::error_code fec;
+        const auto mtime = it->last_write_time(fec);
+        if (fec || mtime + kStaleTempAge >= now) continue;
+        std::filesystem::remove(it->path(), fec);
+        if (fec)
+            ++io_errs;
+        else
+            ++swept;
+    }
+    if (io_errs > 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.io_errors += io_errs;
+    }
+    return swept;
+}
+
 std::uint64_t PulseStore::scan_bytes() const {
+    // Loose entries plus quarantined files: quarantine/ shares the byte
+    // budget (it exists for post-mortems, not as a free second store).
     std::uint64_t total = 0;
     std::error_code ec;
     for (std::filesystem::directory_iterator it(dir_, ec), end; !ec && it != end;
@@ -392,56 +625,130 @@ std::uint64_t PulseStore::scan_bytes() const {
         std::error_code fec;
         if (is_entry_file(*it)) total += it->file_size(fec);
     }
+    for (std::filesystem::directory_iterator it(dir_ / kQuarantineDir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        std::error_code fec;
+        if (it->is_regular_file()) total += it->file_size(fec);
+    }
     return total;
 }
 
 std::size_t PulseStore::compact() {
+    sweep_stale_temps();
+
     struct Entry {
         std::filesystem::path path;
         std::uint64_t size;
         std::filesystem::file_time_type mtime;
     };
-    std::vector<Entry> entries;
+    const auto collect = [](const std::filesystem::path& dir, bool entries_only,
+                            std::vector<Entry>& out, std::uint64_t& total,
+                            std::size_t& io_errs, bool surface_walk_failure) {
+        std::error_code ec;
+        for (std::filesystem::directory_iterator it(dir, ec), end; !ec && it != end;
+             it.increment(ec)) {
+            if (entries_only ? !is_entry_file(*it)
+                             : (!it->is_regular_file() || is_temp_file(*it)))
+                continue;
+            std::error_code fec;
+            Entry e{it->path(), it->file_size(fec), it->last_write_time(fec)};
+            if (fec) continue; // vanished under a concurrent eviction
+            total += e.size;
+            out.push_back(std::move(e));
+        }
+        // A failed directory walk means the byte accounting below is a lie
+        // by omission — surface it rather than silently trusting a partial
+        // scan. (The quarantine dir legitimately may not exist yet.)
+        if (ec && surface_walk_failure) ++io_errs;
+    };
+    const auto oldest_first = [](std::vector<Entry>& v) {
+        // Oldest first; filename tiebreak keeps the order deterministic when
+        // the filesystem's mtime granularity lumps a burst of writes.
+        std::sort(v.begin(), v.end(), [](const Entry& a, const Entry& b) {
+            return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+        });
+    };
+
+    std::vector<Entry> entries, quarantined;
     std::uint64_t total = 0;
     std::size_t io_errs = 0;
-    std::error_code ec;
-    const auto now = std::filesystem::file_time_type::clock::now();
-    for (std::filesystem::directory_iterator it(dir_, ec), end; !ec && it != end;
-         it.increment(ec)) {
-        std::error_code fec;
-        if (is_temp_file(*it)) {
-            // Crash leftovers: a temp that outlived any plausible writer.
-            if (it->last_write_time(fec) + kStaleTempAge < now && !fec) {
-                std::filesystem::remove(it->path(), fec);
-                if (fec) ++io_errs;
-            }
-            continue;
-        }
-        if (!is_entry_file(*it)) continue;
-        Entry e{it->path(), it->file_size(fec), it->last_write_time(fec)};
-        if (fec) continue; // vanished under a concurrent eviction
-        total += e.size;
-        entries.push_back(std::move(e));
-    }
-    // A failed directory walk means the byte accounting below is a lie by
-    // omission — surface it rather than silently trusting a partial scan.
-    if (ec) ++io_errs;
+    collect(dir_, /*entries_only=*/true, entries, total, io_errs, true);
+    collect(dir_ / kQuarantineDir, /*entries_only=*/false, quarantined, total,
+            io_errs, false);
 
-    std::size_t evicted = 0;
+    std::size_t evicted = 0, q_evicted = 0, packed = 0;
+    bool pack_disk_full = false;
+    std::shared_ptr<PackReader> new_pack;
     if (opt_.max_bytes > 0 && total > opt_.max_bytes) {
         const std::uint64_t target = static_cast<std::uint64_t>(
             static_cast<double>(opt_.max_bytes) *
             std::clamp(opt_.compact_to, 0.0, 1.0));
-        // Oldest first; filename tiebreak keeps the order deterministic when
-        // the filesystem's mtime granularity lumps a burst of writes.
-        std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-            return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
-        });
-        for (const Entry& e : entries) {
+        // Quarantined files go first: they serve no lookups, they exist only
+        // for post-mortems, and every byte they hold is a byte a live entry
+        // cannot use.
+        oldest_first(quarantined);
+        for (const Entry& e : quarantined) {
             if (total <= target) break;
             std::error_code rec;
             if (std::filesystem::remove(e.path, rec) && !rec) {
                 total -= e.size;
+                ++q_evicted;
+            } else if (rec) {
+                ++io_errs;
+            }
+        }
+        oldest_first(entries);
+        // The eviction victims, chosen up front so the optional pack fold
+        // covers exactly the entries about to disappear.
+        std::vector<const Entry*> victims;
+        {
+            std::uint64_t would_remain = total;
+            for (const Entry& e : entries) {
+                if (would_remain <= target) break;
+                victims.push_back(&e);
+                would_remain -= e.size;
+            }
+        }
+        bool fold = opt_.pack_on_compact && !victims.empty();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (disabled_) fold = false; // memory-only: no new files, period
+        }
+        if (fold) {
+            // Crash-safe fold: build the pack from the victims' bytes, make
+            // it durable (fsync + rename inside write_pack), and only then
+            // delete the loose files below. A crash in between leaves the
+            // key in both tiers — the loose entry just shadows the pack.
+            std::vector<PackEntry> to_pack;
+            for (const Entry* e : victims)
+                if (std::optional<PackEntry> parsed = read_entry_file(e->path))
+                    to_pack.push_back(std::move(*parsed));
+            if (!to_pack.empty()) {
+                std::uint64_t serial;
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    serial = ++temp_serial_;
+                }
+                const std::filesystem::path pack_path =
+                    dir_ / ("pack-" + std::to_string(process_id()) + "-" +
+                            std::to_string(serial) + kPackSuffix);
+                const std::size_t count = to_pack.size();
+                if (write_pack(pack_path, std::move(to_pack), nullptr,
+                               &pack_disk_full)) {
+                    new_pack = PackReader::open(pack_path);
+                    if (new_pack != nullptr) packed = count;
+                    // An unopenable pack we just wrote is a broken disk;
+                    // fall through — the victims are still deleted, just
+                    // not preserved.
+                } else {
+                    ++io_errs;
+                }
+            }
+        }
+        for (const Entry* e : victims) {
+            std::error_code rec;
+            if (std::filesystem::remove(e->path, rec) && !rec) {
+                total -= e->size;
                 ++evicted;
             } else if (rec) {
                 ++io_errs; // undeletable entry: budget cannot be honored
@@ -451,8 +758,25 @@ std::size_t PulseStore::compact() {
 
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.evicted += evicted;
+    stats_.quarantine_evicted += q_evicted;
+    stats_.packed += packed;
     stats_.io_errors += io_errs;
     stats_.bytes = total;
+    if (new_pack != nullptr) {
+        // Newest local pack probes *after* existing ones: entry duplication
+        // across local packs is possible only via re-publish + re-fold, and
+        // then the older copy is the one revalidation already vetted.
+        stats_.pack_entries += new_pack->entry_count();
+        stats_.pack_bytes += new_pack->size_bytes();
+        packs_.push_back(std::move(new_pack));
+        stats_.packs_open = packs_.size();
+    }
+    if (pack_disk_full && !disabled_) {
+        // ENOSPC during the fold rides the same one-way trip as a failed
+        // entry write: stop trying to grow files on a full disk.
+        disabled_ = true;
+        ++stats_.disabled_enospc;
+    }
     return evicted;
 }
 

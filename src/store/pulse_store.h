@@ -55,15 +55,42 @@
 // (stats counters `disabled_enospc` / `skipped_disabled`) instead of
 // hammering a full or read-only filesystem on every compile. The trip is
 // one-way for the store's lifetime — recovering disk space needs an
-// operator anyway, and a process restart re-arms the writer.
+// operator anyway, and a process restart re-arms the writer. An ENOSPC-class
+// failure while compaction folds entries into a pack rides the same trip.
+//
+// Pack tier (pack.h): behind the loose one-file-per-entry tier sits an
+// ordered list of immutable pack segments — `*.pack` files in the store
+// directory itself (produced by compaction when `pack_on_compact` is set)
+// followed by every directory in PulseStoreOptions::pack_dirs (read-only
+// shared libraries, e.g. a fleet-wide warm artifact). Lookup order is
+//
+//   loose entry  →  local packs (filename order)  →  shared packs
+//                                                    (dir order, then filename)
+//
+// so a locally regenerated entry always shadows a pack. Pack bytes do NOT
+// count toward `max_bytes` — packs are immutable operator-managed artifacts,
+// and evicting one to make room for loose churn would throw away exactly the
+// cold tail compaction worked to preserve. Every integrity failure inside a
+// pack (malformed index at open, checksum mismatch, embedded key disagreeing
+// with the index, torn mmap page) marks that pack *suspect* — it answers
+// every later probe with a miss — and quarantines the file (best-effort
+// rename into its own directory's `quarantine/`; a read-only share that
+// refuses the rename is left in place, the in-memory suspect flag still
+// protects this process). Entries a revalidator rejects land in an in-memory
+// *denylist* instead: the read-only file is never touched, the key just
+// stops resolving through packs, and the regenerated loose entry shadows it.
 #pragma once
 
 #include "qoc/pulse_library.h"
+#include "store/pack.h"
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 namespace epoc::store {
 
@@ -77,6 +104,15 @@ struct PulseStoreOptions {
     /// Compaction target: evict down to this fraction of max_bytes, so one
     /// pass buys headroom instead of thrashing at the boundary.
     double compact_to = 0.8;
+    /// Read-only shared pack directories, probed after the local tier in this
+    /// order (see header). Missing directories are tolerated (a share that is
+    /// not mounted is a cold tier, not an error).
+    std::vector<std::string> pack_dirs;
+    /// When set, compaction folds the loose entries it would have evicted
+    /// into a new local pack segment first and deletes them only after the
+    /// pack is durable (fsync + rename) — the entries stay servable, just
+    /// colder. Off by default: packing is an explicit operational choice.
+    bool pack_on_compact = false;
 };
 
 struct PulseStoreStats {
@@ -96,7 +132,23 @@ struct PulseStoreStats {
     std::size_t disabled_enospc = 0;
     /// Writes skipped because the store is in memory-only mode.
     std::size_t skipped_disabled = 0;
-    std::uint64_t bytes = 0;    ///< entry bytes on disk, as last accounted
+    /// Quarantined files deleted by compaction to honor the byte budget —
+    /// quarantine/ shares `max_bytes` and is evicted before live entries.
+    std::size_t quarantine_evicted = 0;
+    /// Budgeted bytes on disk as last accounted: loose entries plus
+    /// quarantined files (which share `max_bytes`); packs are excluded.
+    std::uint64_t bytes = 0;
+    // Pack tier (all zero when no packs are configured or produced):
+    std::size_t pack_hits = 0;    ///< loads served from a pack (subset of hits)
+    std::size_t pack_denied = 0;  ///< pack probes blocked by the denylist
+    std::size_t pack_corrupt = 0; ///< entry integrity failures inside packs
+    /// Packs marked suspect (open-time rejection or a lookup integrity
+    /// failure) and quarantined. Each pack counts once.
+    std::size_t pack_suspect = 0;
+    std::size_t packs_open = 0;   ///< packs currently open and probed
+    std::size_t pack_entries = 0; ///< entries indexed across open packs
+    std::size_t packed = 0;       ///< loose entries folded into packs by compaction
+    std::uint64_t pack_bytes = 0; ///< bytes across open packs (outside the budget)
 };
 
 class PulseStore final : public qoc::PulseTier {
@@ -107,10 +159,14 @@ public:
     /// cannot use is a setup error, not something to paper over.
     explicit PulseStore(PulseStoreOptions opt);
 
-    /// qoc::PulseTier: verify-and-load the entry for `key`. Any failure —
-    /// missing file, I/O error, corruption (quarantined), version mismatch
-    /// (quarantined), hash collision — is a miss. Never throws.
-    std::optional<qoc::LatencyResult> load(const std::string& key) override;
+    /// qoc::PulseTier: verify-and-load the entry for `key` — loose tier
+    /// first, then the ordered pack list (see header). Any failure — missing
+    /// file, I/O error, corruption (quarantined), version mismatch
+    /// (quarantined), hash collision, suspect or denylisted pack entry — is a
+    /// miss. `*from_pack` (when non-null) reports whether the hit came from a
+    /// pack segment rather than a loose entry. Never throws.
+    std::optional<qoc::LatencyResult> load(const std::string& key,
+                                           bool* from_pack = nullptr) override;
 
     /// qoc::PulseTier: atomically publish `result` under `key`. Refuses
     /// non-authoritative results outright (degraded pulses must never
@@ -118,11 +174,14 @@ public:
     /// failures count as io_errors and leave no partial file behind.
     void store(const std::string& key, const qoc::LatencyResult& result) override;
 
-    /// qoc::PulseTier: quarantine the entry for `key` (same post-mortem
+    /// qoc::PulseTier: quarantine the loose entry for `key` (same post-mortem
     /// directory the corruption path uses) so later loads miss and the next
-    /// authoritative write re-publishes. Called when store revalidation
-    /// rejects an entry whose bytes are intact but whose physics is wrong.
-    /// Never throws; a missing entry is a no-op.
+    /// authoritative write re-publishes. When any open pack indexes the key,
+    /// it is also added to the in-memory denylist, so the rejected entry
+    /// cannot keep resolving through the read-only tier (the pack file itself
+    /// is never modified). Called when store revalidation rejects an entry
+    /// whose bytes are intact but whose physics is wrong. Never throws; a
+    /// missing entry is a no-op.
     void invalidate(const std::string& key) override;
 
     /// Test hook: rewrite every entry in place with zeroed pulse amplitudes
@@ -135,13 +194,27 @@ public:
     std::size_t corrupt_all_entries_for_test();
 
     /// Force a compaction pass now (also run automatically when a write
-    /// pushes the directory over budget). Deletes oldest-mtime entries until
-    /// under `compact_to * max_bytes`, sweeps stale temp files, and refreshes
-    /// the byte accounting. Returns the number of entries evicted.
+    /// pushes the directory over budget). Sweeps stale temp files (loose and
+    /// pack), evicts quarantined files oldest-mtime-first, then loose entries
+    /// oldest-mtime-first — folding the latter into a new local pack segment
+    /// first when `pack_on_compact` is set (deleted only after the pack is
+    /// durable) — until under `compact_to * max_bytes`, and refreshes the
+    /// byte accounting. Returns the number of loose entries removed.
     std::size_t compact();
+
+    /// Parse one loose entry file into its (key, payload) pair, fully
+    /// validated (magic, version, checksum, decodability). Empty optional for
+    /// anything else — including valid entries of a future format version.
+    /// The ingest primitive behind `epoc_pack create` and pack-folding
+    /// compaction; quarantines nothing (tooling reports, the store decides).
+    static std::optional<PackEntry> read_entry_file(const std::filesystem::path& p);
 
     /// Path the entry for `key` lives at (exposed for tests and tooling).
     std::filesystem::path entry_path(const std::string& key) const;
+
+    /// The open pack list in probe order (exposed for tests and tooling;
+    /// readers are immutable and thread-safe, see pack.h).
+    std::vector<std::shared_ptr<PackReader>> packs() const;
 
     PulseStoreStats stats() const;
     const PulseStoreOptions& options() const { return opt_; }
@@ -154,22 +227,43 @@ public:
     /// when unset. The conventional way to arm any binary with persistence.
     static std::string dir_from_env();
 
+    /// Colon-separated shared pack directories from the EPOC_PULSE_PACKS
+    /// environment variable, empty when unset.
+    static std::vector<std::string> pack_dirs_from_env();
+
 private:
-    std::optional<qoc::LatencyResult> load_impl(const std::string& key);
+    std::optional<qoc::LatencyResult> load_impl(const std::string& key,
+                                                bool* from_pack);
     /// `disk_full` is set when the failure was ENOSPC-class (caller trips
     /// memory-only mode); untouched on success and on other failures.
     bool write_impl(const std::string& key, const qoc::LatencyResult& result,
                     bool& disk_full);
     void quarantine(const std::filesystem::path& p);
+    /// Mark suspect, account, and best-effort move the file into its own
+    /// directory's quarantine/ (a read-only share that refuses stays put —
+    /// the suspect flag alone protects this process). Idempotent per pack.
+    void quarantine_pack(const std::shared_ptr<PackReader>& pack);
+    /// Open every `*.pack` in the local dir then each pack_dirs entry
+    /// (construction-time; packs are immutable, so no re-scan afterward).
+    void open_packs();
+    /// Delete stale temp files (`tmp-*` loose, `*.pack.tmp` pack) older than
+    /// kStaleTempAge — crash leftovers. Run at startup and each compaction.
+    std::size_t sweep_stale_temps();
     std::uint64_t scan_bytes() const;
 
     PulseStoreOptions opt_;
     std::filesystem::path dir_;
 
-    mutable std::mutex mutex_; ///< guards stats_, disabled_, temp_serial_
+    mutable std::mutex mutex_; ///< guards stats_, disabled_, temp_serial_,
+                               ///< packs_, denylist_
     PulseStoreStats stats_;
     bool disabled_ = false; ///< memory-only mode (ENOSPC-class trip)
     std::uint64_t temp_serial_ = 0;
+    /// Probe-ordered open packs. The vector is copied out under the lock and
+    /// probed without it (readers are internally thread-safe).
+    std::vector<std::shared_ptr<PackReader>> packs_;
+    /// Keys revalidation rejected out of the read-only tier (see header).
+    std::unordered_set<std::string> denylist_;
 };
 
 } // namespace epoc::store

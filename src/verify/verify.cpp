@@ -111,6 +111,7 @@ void Verifier::begin_compile() {
     unverified_.store(0, std::memory_order_relaxed);
     skipped_.store(0, std::memory_order_relaxed);
     revalidations_.store(0, std::memory_order_relaxed);
+    pack_revalidations_.store(0, std::memory_order_relaxed);
     revalidate_rejects_.store(0, std::memory_order_relaxed);
     recomputes_.store(0, std::memory_order_relaxed);
     max_error_.store(0.0, std::memory_order_relaxed);
@@ -126,6 +127,7 @@ VerifySummary Verifier::summary() const {
     s.unverified = unverified_.load(std::memory_order_relaxed);
     s.skipped = skipped_.load(std::memory_order_relaxed);
     s.revalidations = revalidations_.load(std::memory_order_relaxed);
+    s.pack_revalidations = pack_revalidations_.load(std::memory_order_relaxed);
     s.revalidate_rejects = revalidate_rejects_.load(std::memory_order_relaxed);
     s.recomputes = recomputes_.load(std::memory_order_relaxed);
     s.error_budget = error_budget_.load(std::memory_order_relaxed);
@@ -291,8 +293,13 @@ Outcome Verifier::audit_pulse(const qoc::BlockHamiltonian& h,
 }
 
 bool Verifier::revalidate(const qoc::BlockHamiltonian& h, const linalg::Matrix& target,
-                          const qoc::LatencyResult& lr) {
+                          const qoc::LatencyResult& lr, bool foreign) {
     revalidations_.fetch_add(1, std::memory_order_relaxed);
+    // Foreign entries (pack-tier hits — bytes from another machine or build)
+    // are tallied separately: unlike sampled local revalidation, *every* pack
+    // hit passes through here, so this counter is the per-compile cost of
+    // trust-but-verify ingest.
+    if (foreign) pack_revalidations_.fetch_add(1, std::memory_order_relaxed);
     auto span = tracer_ != nullptr ? tracer_->span("verify.revalidate", "verify")
                                    : util::Tracer::Span();
     try {

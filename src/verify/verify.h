@@ -119,6 +119,10 @@ struct VerifySummary {
     std::size_t unverified = 0; ///< verifier-side failures (never fatal)
     std::size_t skipped = 0;    ///< width-gated or sampled-out checks
     std::size_t revalidations = 0;       ///< store hits re-simulated on load
+    /// Revalidations of *foreign* entries (pack-tier hits), a subset of
+    /// `revalidations`. These bypass sampling — every pack hit is audited —
+    /// so this is the standing cost of trust-but-verify library ingest.
+    std::size_t pack_revalidations = 0;
     std::size_t revalidate_rejects = 0;  ///< ... that were quarantined
     std::size_t recomputes = 0; ///< verify-triggered regenerations
     /// Sum over the shipped schedule's audited pulses of
@@ -202,9 +206,12 @@ public:
     /// Store-revalidation oracle (wired as PulseLibrary's revalidator):
     /// true accepts the entry. Sampling (should_check_key) is the caller's
     /// job; a verifier-side failure accepts — degrade to unverified, never
-    /// reject a good store on a broken verifier.
+    /// reject a good store on a broken verifier. `foreign` marks pack-tier
+    /// entries (counted separately; see VerifySummary::pack_revalidations).
+    /// Works at every verify level, `off` included — foreign-byte ingest
+    /// must not depend on the audit knob.
     bool revalidate(const qoc::BlockHamiltonian& h, const linalg::Matrix& target,
-                    const qoc::LatencyResult& lr);
+                    const qoc::LatencyResult& lr, bool foreign = false);
 
 private:
     Outcome record(Outcome o, const char* counter_hint);
@@ -220,6 +227,7 @@ private:
     std::atomic<std::size_t> unverified_{0};
     std::atomic<std::size_t> skipped_{0};
     std::atomic<std::size_t> revalidations_{0};
+    std::atomic<std::size_t> pack_revalidations_{0};
     std::atomic<std::size_t> revalidate_rejects_{0};
     std::atomic<std::size_t> recomputes_{0};
     std::atomic<double> max_error_{0.0};

@@ -629,7 +629,7 @@ TEST(PulseLibraryStore, ProbeOutcomesPartitionExactly) {
     lib.set_store(&store);
     int revalidations = 0;
     lib.set_revalidator([&](const std::string&, const BlockHamiltonian&,
-                            const Matrix&, const LatencyResult&) {
+                            const Matrix&, const LatencyResult&, bool) {
         ++revalidations;
         return false; // reject everything the tier offers
     });
